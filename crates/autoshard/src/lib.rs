@@ -1,0 +1,394 @@
+//! Sharding-spec search for stage-boundary tensors.
+//!
+//! The paper's U-Transformer evaluation uses an `(auto, auto, 2)` parallel
+//! configuration: Alpa *searches* for the intra-operator sharding of each
+//! stage, and cross-mesh resharding handles whatever layouts the search
+//! picks. This crate provides that missing half for boundary tensors: it
+//! enumerates every valid GSPMD-style spec for a tensor rank
+//! ([`enumerate_specs`]) and picks the `(source, destination)` pair whose
+//! cross-mesh resharding cost — estimated through the same planner the
+//! runtime uses — is minimal ([`search`]), subject to an optional
+//! per-device memory cap.
+//!
+//! # Example
+//!
+//! ```
+//! use crossmesh_autoshard::{search, AutoShardProblem};
+//! use crossmesh_mesh::DeviceMesh;
+//! use crossmesh_netsim::{ClusterSpec, LinkParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = ClusterSpec::homogeneous(4, 4, LinkParams::new(100e9, 1.25e9));
+//! let problem = AutoShardProblem::new(
+//!     DeviceMesh::from_cluster(&cluster, 0, (2, 4), "src")?,
+//!     DeviceMesh::from_cluster(&cluster, 2, (2, 4), "dst")?,
+//!     vec![1024, 1024, 64],
+//!     4,
+//! );
+//! let best = search(&problem, &Default::default())?;
+//! // Fully sharded layouts beat replication: less data crosses the NICs.
+//! assert!(!best.src_spec.is_fully_replicated());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use crossmesh_core::{
+    CostParams, LoadBalancePlanner, Planner, PlannerConfig, ReshardingTask,
+};
+use crossmesh_mesh::{DeviceMesh, DimSharding, Layout, MeshError, ShardingSpec};
+use serde::{Deserialize, Serialize};
+
+/// Enumerates every valid spec of the given tensor rank over a 2-D mesh:
+/// each mesh axis shards at most one dimension; when both axes shard the
+/// same dimension, both orders (`S^{01}`, `S^{10}`) are produced.
+///
+/// The count is `(rank+1)² + rank` (5 for rank 1, 11 for rank 2, 19 for
+/// rank 3).
+pub fn enumerate_specs(rank: usize) -> Vec<ShardingSpec> {
+    let mut out = Vec::new();
+    let choices = |_axis: usize| std::iter::once(None).chain((0..rank).map(Some));
+    for a0 in choices(0) {
+        for a1 in choices(1) {
+            let mut dims = vec![DimSharding::Replicated; rank];
+            match (a0, a1) {
+                (Some(d0), Some(d1)) if d0 == d1 => {
+                    for axes in [vec![0, 1], vec![1, 0]] {
+                        let mut dims = dims.clone();
+                        dims[d0] = DimSharding::Sharded(axes);
+                        out.push(ShardingSpec::new(dims).expect("valid by construction"));
+                    }
+                    continue;
+                }
+                (a0, a1) => {
+                    if let Some(d) = a0 {
+                        dims[d] = DimSharding::Sharded(vec![0]);
+                    }
+                    if let Some(d) = a1 {
+                        dims[d] = DimSharding::Sharded(vec![1]);
+                    }
+                }
+            }
+            out.push(ShardingSpec::new(dims).expect("valid by construction"));
+        }
+    }
+    out
+}
+
+/// A boundary tensor whose specs should be chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoShardProblem {
+    /// Producer stage mesh.
+    pub src_mesh: DeviceMesh,
+    /// Consumer stage mesh.
+    pub dst_mesh: DeviceMesh,
+    /// Tensor shape.
+    pub shape: Vec<u64>,
+    /// Bytes per element.
+    pub elem_bytes: u64,
+    /// Pin the producer-side spec (e.g. dictated by the producing op).
+    pub fixed_src: Option<ShardingSpec>,
+    /// Pin the consumer-side spec.
+    pub fixed_dst: Option<ShardingSpec>,
+    /// Reject specs whose largest per-device tile exceeds this many bytes.
+    pub max_bytes_per_device: Option<u64>,
+}
+
+impl AutoShardProblem {
+    /// An unconstrained problem.
+    pub fn new(
+        src_mesh: DeviceMesh,
+        dst_mesh: DeviceMesh,
+        shape: Vec<u64>,
+        elem_bytes: u64,
+    ) -> Self {
+        AutoShardProblem {
+            src_mesh,
+            dst_mesh,
+            shape,
+            elem_bytes,
+            fixed_src: None,
+            fixed_dst: None,
+            max_bytes_per_device: None,
+        }
+    }
+
+    /// Returns a copy with the producer spec pinned.
+    #[must_use]
+    pub fn with_fixed_src(mut self, spec: ShardingSpec) -> Self {
+        self.fixed_src = Some(spec);
+        self
+    }
+
+    /// Returns a copy with the consumer spec pinned.
+    #[must_use]
+    pub fn with_fixed_dst(mut self, spec: ShardingSpec) -> Self {
+        self.fixed_dst = Some(spec);
+        self
+    }
+
+    /// Returns a copy with a per-device memory cap.
+    #[must_use]
+    pub fn with_memory_cap(mut self, bytes: u64) -> Self {
+        self.max_bytes_per_device = Some(bytes);
+        self
+    }
+}
+
+/// The best pair found, with its estimated resharding time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoShardResult {
+    /// Chosen producer-side spec.
+    pub src_spec: ShardingSpec,
+    /// Chosen consumer-side spec.
+    pub dst_spec: ShardingSpec,
+    /// Estimated resharding makespan of the winning pair, seconds.
+    pub estimated_seconds: f64,
+    /// Number of candidate pairs evaluated.
+    pub candidates_evaluated: usize,
+}
+
+/// Largest per-device tile of `spec` on `mesh`, in bytes.
+fn peak_tile_bytes(
+    mesh: &DeviceMesh,
+    spec: &ShardingSpec,
+    shape: &[u64],
+    elem_bytes: u64,
+) -> Result<u64, MeshError> {
+    let layout = Layout::new(mesh, spec, shape)?;
+    Ok(layout
+        .iter()
+        .map(|(_, t)| t.volume() * elem_bytes)
+        .max()
+        .unwrap_or(0))
+}
+
+/// Searches the spec pair minimizing the estimated cross-mesh resharding
+/// cost. Ties break toward specs that use more mesh axes (less
+/// replication — cheaper for whoever produces/consumes the tensor), then
+/// lexicographic spec text for determinism.
+///
+/// # Errors
+///
+/// Returns [`MeshError`] if the meshes overlap, the shape is empty, or
+/// every candidate violates the memory cap.
+pub fn search(
+    problem: &AutoShardProblem,
+    params: &CostParams,
+) -> Result<AutoShardResult, MeshError> {
+    let rank = problem.shape.len();
+    let src_candidates = match &problem.fixed_src {
+        Some(s) => vec![s.clone()],
+        None => enumerate_specs(rank),
+    };
+    let dst_candidates = match &problem.fixed_dst {
+        Some(s) => vec![s.clone()],
+        None => enumerate_specs(rank),
+    };
+    let planner = LoadBalancePlanner::new(PlannerConfig::new(*params));
+
+    let mut best: Option<AutoShardResult> = None;
+    let mut evaluated = 0usize;
+    for src_spec in &src_candidates {
+        if let Some(cap) = problem.max_bytes_per_device {
+            if peak_tile_bytes(&problem.src_mesh, src_spec, &problem.shape, problem.elem_bytes)?
+                > cap
+            {
+                continue;
+            }
+        }
+        for dst_spec in &dst_candidates {
+            if let Some(cap) = problem.max_bytes_per_device {
+                if peak_tile_bytes(
+                    &problem.dst_mesh,
+                    dst_spec,
+                    &problem.shape,
+                    problem.elem_bytes,
+                )? > cap
+                {
+                    continue;
+                }
+            }
+            let task = ReshardingTask::new(
+                problem.src_mesh.clone(),
+                src_spec.clone(),
+                problem.dst_mesh.clone(),
+                dst_spec.clone(),
+                &problem.shape,
+                problem.elem_bytes,
+            )?;
+            let estimate = planner.plan(&task).estimate();
+            evaluated += 1;
+            let replication =
+                |a: &ShardingSpec, b: &ShardingSpec| a.replicated_axes().len() + b.replicated_axes().len();
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let tie = (estimate - b.estimated_seconds).abs() <= 1e-12;
+                    estimate < b.estimated_seconds - 1e-12
+                        || (tie
+                            && (
+                                replication(src_spec, dst_spec),
+                                src_spec.to_string(),
+                                dst_spec.to_string(),
+                            ) < (
+                                replication(&b.src_spec, &b.dst_spec),
+                                b.src_spec.to_string(),
+                                b.dst_spec.to_string(),
+                            ))
+                }
+            };
+            if better {
+                best = Some(AutoShardResult {
+                    src_spec: src_spec.clone(),
+                    dst_spec: dst_spec.clone(),
+                    estimated_seconds: estimate,
+                    candidates_evaluated: 0,
+                });
+            }
+        }
+    }
+    let mut result = best.ok_or_else(|| MeshError::Unsatisfiable {
+        what: "every candidate spec pair violates the memory cap".to_string(),
+    })?;
+    result.candidates_evaluated = evaluated;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_netsim::{ClusterSpec, LinkParams};
+
+    fn params() -> CostParams {
+        CostParams {
+            inter_bw: 1.0,
+            intra_bw: 100.0,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+        }
+    }
+
+    fn meshes() -> (DeviceMesh, DeviceMesh) {
+        let c = ClusterSpec::homogeneous(4, 4, LinkParams::new(100.0, 1.0));
+        (
+            DeviceMesh::from_cluster(&c, 0, (2, 4), "src").unwrap(),
+            DeviceMesh::from_cluster(&c, 2, (2, 4), "dst").unwrap(),
+        )
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        assert_eq!(enumerate_specs(1).len(), 5);
+        assert_eq!(enumerate_specs(2).len(), 11);
+        assert_eq!(enumerate_specs(3).len(), 19);
+        // All enumerated specs are distinct.
+        for rank in 1..=3 {
+            let specs = enumerate_specs(rank);
+            let mut texts: Vec<String> = specs.iter().map(|s| s.to_string()).collect();
+            texts.sort();
+            texts.dedup();
+            assert_eq!(texts.len(), specs.len());
+        }
+    }
+
+    #[test]
+    fn search_avoids_full_replication() {
+        let (src, dst) = meshes();
+        let best = search(
+            &AutoShardProblem::new(src, dst, vec![64, 64], 1),
+            &params(),
+        )
+        .unwrap();
+        assert!(!best.src_spec.is_fully_replicated());
+        assert!(!best.dst_spec.is_fully_replicated());
+        // The winner cannot be worse than the all-replicated baseline.
+        let (src, dst) = meshes();
+        let rr = ReshardingTask::new(
+            src,
+            ShardingSpec::replicated(2),
+            dst,
+            ShardingSpec::replicated(2),
+            &[64, 64],
+            1,
+        )
+        .unwrap();
+        let rr_cost = LoadBalancePlanner::new(PlannerConfig::new(params()))
+            .plan(&rr)
+            .estimate();
+        assert!(best.estimated_seconds <= rr_cost);
+    }
+
+    #[test]
+    fn fixed_sides_are_respected() {
+        let (src, dst) = meshes();
+        let pinned: ShardingSpec = "S0R".parse().unwrap();
+        let best = search(
+            &AutoShardProblem::new(src, dst, vec![64, 64], 1).with_fixed_src(pinned.clone()),
+            &params(),
+        )
+        .unwrap();
+        assert_eq!(best.src_spec, pinned);
+        assert_eq!(best.candidates_evaluated, 11);
+    }
+
+    #[test]
+    fn memory_cap_prunes_replication() {
+        let (src, dst) = meshes();
+        // 64x64 bytes = 4096; cap of 1024 forces >= 4-way sharding.
+        let best = search(
+            &AutoShardProblem::new(src, dst, vec![64, 64], 1).with_memory_cap(1024),
+            &params(),
+        )
+        .unwrap();
+        for (mesh, spec) in [(&meshes().0, &best.src_spec), (&meshes().1, &best.dst_spec)] {
+            assert!(peak_tile_bytes(mesh, spec, &[64, 64], 1).unwrap() <= 1024);
+        }
+    }
+
+    #[test]
+    fn impossible_cap_is_an_error() {
+        let (src, dst) = meshes();
+        let r = search(
+            &AutoShardProblem::new(src, dst, vec![64, 64], 1).with_memory_cap(1),
+            &params(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (src, dst) = meshes();
+        let p = AutoShardProblem::new(src, dst, vec![32, 32, 4], 2);
+        let a = search(&p, &params()).unwrap();
+        let b = search(&p, &params()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matched_shardings_beat_mismatched_ones() {
+        // The optimum found should be at least as good as an arbitrary
+        // mismatched pair.
+        let (src, dst) = meshes();
+        let best = search(
+            &AutoShardProblem::new(src.clone(), dst.clone(), vec![64, 64], 1),
+            &params(),
+        )
+        .unwrap();
+        let mismatched = ReshardingTask::new(
+            src,
+            "S1R".parse().unwrap(),
+            dst,
+            "RS0".parse().unwrap(),
+            &[64, 64],
+            1,
+        )
+        .unwrap();
+        let mismatched_cost = LoadBalancePlanner::new(PlannerConfig::new(params()))
+            .plan(&mismatched)
+            .estimate();
+        assert!(best.estimated_seconds <= mismatched_cost + 1e-12);
+    }
+}

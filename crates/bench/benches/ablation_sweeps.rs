@@ -1,0 +1,16 @@
+//! Criterion bench for the design-choice ablation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::ablations;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("chunk_sweep", |b| b.iter(ablations::chunk_sweep));
+    g.bench_function("permutation_sweep", |b| b.iter(ablations::permutation_sweep));
+    g.bench_function("scale_sweep", |b| b.iter(ablations::scale_sweep));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

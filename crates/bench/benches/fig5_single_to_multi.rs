@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 5's points (single device to a
+//! growing receiver mesh, per strategy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for (name, choice, ours) in fig5::strategies() {
+        g.bench_function(format!("1node_4gpus/{name}"), |b| {
+            b.iter(|| fig5::measure((1, 4), choice, ours))
+        });
+        g.bench_function(format!("4nodes_2gpus/{name}"), |b| {
+            b.iter(|| fig5::measure((4, 2), choice, ours))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

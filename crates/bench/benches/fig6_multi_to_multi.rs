@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Figure 6 (Table 2 cases x strategies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::{cases::TABLE2, fig6};
+use crossmesh_core::{Strategy, StrategyChoice};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for case in TABLE2 {
+        g.bench_function(format!("{}/send_recv", case.name), |b| {
+            b.iter(|| fig6::measure(&case, StrategyChoice::Fixed(Strategy::SendRecv), false))
+        });
+        g.bench_function(format!("{}/alpa", case.name), |b| {
+            b.iter(|| fig6::measure(&case, StrategyChoice::AlpaAuto, false))
+        });
+        g.bench_function(format!("{}/ours", case.name), |b| {
+            b.iter(|| fig6::measure(&case, StrategyChoice::Fixed(Strategy::broadcast()), true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

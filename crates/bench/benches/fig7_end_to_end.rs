@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 7 (end-to-end GPT / U-Transformer
+//! throughput under the five communication configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::fig7::{measure, workloads, Variant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for (model, job, cluster) in workloads() {
+        for variant in Variant::all() {
+            g.bench_function(format!("{model}/{}", variant.name()), |b| {
+                b.iter(|| measure(&job, &cluster, variant))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench regenerating Figure 8 (load-balance ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::{cases::TABLE2, fig8};
+use crossmesh_core::{
+    DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, PlannerConfig,
+};
+use crossmesh_models::presets;
+
+fn bench(c: &mut Criterion) {
+    let config = || PlannerConfig::new(presets::p3_cost_params());
+    let naive = NaivePlanner::new(config());
+    let lpt = LoadBalancePlanner::new(config());
+    let ours = EnsemblePlanner::new(config()).with_dfs(DfsPlanner::new(config()));
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for case in TABLE2 {
+        g.bench_function(format!("{}/naive", case.name), |b| {
+            b.iter(|| fig8::measure(&case, &naive))
+        });
+        g.bench_function(format!("{}/load_balance", case.name), |b| {
+            b.iter(|| fig8::measure(&case, &lpt))
+        });
+        g.bench_function(format!("{}/ours", case.name), |b| {
+            b.iter(|| fig8::measure(&case, &ours))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 9 (overlap-friendly schedule
+//! ablation on the U-Transformer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::fig9::{measure, ScheduleVariant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for m in [4usize, 32] {
+        for v in ScheduleVariant::all() {
+            g.bench_function(format!("mb{m}/{}", v.name()), |b| {
+                b.iter(|| measure(m, v))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the planner algorithms and the simulator engine
+//! themselves (planning cost, not simulated communication time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::cases::TABLE2;
+use crossmesh_core::{
+    DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner, PlannerConfig,
+    RandomizedGreedyPlanner,
+};
+use crossmesh_models::presets;
+
+fn bench(c: &mut Criterion) {
+    let config = || PlannerConfig::new(presets::p3_cost_params());
+    // Case 4 has 64 unit tasks: the stress case for planning cost.
+    let (_, task) = TABLE2[3].build().expect("case4 builds");
+    let mut g = c.benchmark_group("planner");
+    g.bench_function("naive/case4", |b| {
+        let p = NaivePlanner::new(config());
+        b.iter(|| p.plan(&task))
+    });
+    g.bench_function("load_balance/case4", |b| {
+        let p = LoadBalancePlanner::new(config());
+        b.iter(|| p.plan(&task))
+    });
+    g.bench_function("randomized_greedy/case4", |b| {
+        let p = RandomizedGreedyPlanner::new(config());
+        b.iter(|| p.plan(&task))
+    });
+    g.bench_function("dfs_budget_10k/case4", |b| {
+        let p = DfsPlanner::new(config()).with_node_budget(10_000);
+        b.iter(|| p.plan(&task))
+    });
+    g.bench_function("ensemble/case4", |b| {
+        let p = EnsemblePlanner::new(config());
+        b.iter(|| p.plan(&task))
+    });
+    g.bench_function("engine/case4_broadcast_execute", |b| {
+        let p = EnsemblePlanner::new(config());
+        let (cluster, task) = TABLE2[3].build().expect("case4 builds");
+        let plan = p.plan(&task);
+        b.iter(|| plan.execute(&cluster).expect("simulates"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

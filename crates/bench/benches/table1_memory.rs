@@ -1,0 +1,20 @@
+//! Criterion bench for the Table 1 memory computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/gpt3_layer_memory", |b| {
+        b.iter(|| {
+            crossmesh_models::memory::gpt3_layer_memory(
+                black_box(12288),
+                black_box(1024),
+                black_box(2),
+                black_box(8),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig8 artifact; prints the rows/series and, with
+//! `--json`, a machine-readable dump.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = crossmesh_bench::fig8::run();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    } else {
+        println!("{}", crossmesh_bench::fig8::render(&rows));
+    }
+}

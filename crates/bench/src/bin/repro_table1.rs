@@ -1,0 +1,12 @@
+//! Regenerates Table 1; prints the memory breakdown and, with `--json`, a
+//! machine-readable dump.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let m = crossmesh_bench::table1::run();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&m).expect("serializable"));
+    } else {
+        println!("{}", crossmesh_bench::table1::render(&m));
+    }
+}

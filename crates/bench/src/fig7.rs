@@ -1,0 +1,225 @@
+//! Figure 7 (+ Table 3): end-to-end training throughput of GPT-2.6B and
+//! U-Transformer-2.1B under five communication configurations.
+
+use crate::table_fmt;
+use crossmesh_core::{
+    EnsemblePlanner, LoadBalancePlanner, Planner, PlannerConfig, Strategy, StrategyChoice,
+};
+use crossmesh_models::gpt::GptConfig;
+use crossmesh_models::utransformer::UTransformerConfig;
+use crossmesh_models::{presets, ModelJob, Precision};
+use crossmesh_pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
+use serde::{Deserialize, Serialize};
+
+/// The five configurations of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// P2P resharding, synchronous, 1F1B.
+    SendRecv,
+    /// All-gather resharding (Alpa), synchronous, 1F1B.
+    Alpa,
+    /// Broadcast resharding with load balance but no overlap (the
+    /// CoCoNet-style single-task optimization), synchronous, 1F1B.
+    Broadcast,
+    /// The full system: broadcast + ensemble planner + eager-1F1B with
+    /// overlapped communication.
+    Ours,
+    /// The hypothetical upper bound: 1-byte signals.
+    Signal,
+}
+
+impl Variant {
+    /// All variants in figure order.
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::SendRecv,
+            Variant::Alpa,
+            Variant::Broadcast,
+            Variant::Ours,
+            Variant::Signal,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::SendRecv => "send_recv",
+            Variant::Alpa => "alpa",
+            Variant::Broadcast => "broadcast",
+            Variant::Ours => "ours",
+            Variant::Signal => "signal",
+        }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let (schedule, comm) = match self {
+            Variant::Ours => (ScheduleKind::Eager1F1B, CommMode::Overlapped),
+            Variant::Signal => (ScheduleKind::OneFOneB, CommMode::Signal),
+            _ => (ScheduleKind::OneFOneB, CommMode::Synchronous),
+        };
+        PipelineConfig {
+            schedule,
+            comm,
+            weight_delay: WeightDelay::None,
+        }
+    }
+
+    fn planner(&self) -> Box<dyn Planner> {
+        let base = PlannerConfig::new(presets::p3_cost_params());
+        match self {
+            Variant::SendRecv => Box::new(LoadBalancePlanner::new(
+                base.with_strategy(StrategyChoice::Fixed(Strategy::SendRecv)),
+            )),
+            Variant::Alpa => Box::new(LoadBalancePlanner::new(
+                base.with_strategy(StrategyChoice::AlpaAuto),
+            )),
+            _ => Box::new(EnsemblePlanner::new(base)),
+        }
+    }
+}
+
+/// One bar of Figure 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Model name as in Table 3.
+    pub model: &'static str,
+    /// Variant name.
+    pub variant: &'static str,
+    /// Simulated iteration time.
+    pub iteration_seconds: f64,
+    /// Aggregate cluster throughput, TFLOPS.
+    pub tflops: f64,
+}
+
+/// Builds the Table 3 workloads on their 2-host p3 clusters.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build (harness bug).
+pub fn workloads() -> Vec<(&'static str, ModelJob, crossmesh_netsim::ClusterSpec)> {
+    let fp16 = presets::aws_p3_8xlarge(2, Precision::Fp16);
+    let fp32 = presets::aws_p3_8xlarge(2, Precision::Fp32);
+    vec![
+        (
+            "GPT case1 (2,2,2)",
+            GptConfig::case1().build(&fp16).expect("gpt case1 builds"),
+            fp16.clone(),
+        ),
+        (
+            "GPT case2 (4,1,2)",
+            GptConfig::case2().build(&fp16).expect("gpt case2 builds"),
+            fp16,
+        ),
+        (
+            "U-Trans case1",
+            UTransformerConfig::case1()
+                .build(&fp32)
+                .expect("utransformer builds"),
+            fp32,
+        ),
+    ]
+}
+
+/// Measures one workload under one variant.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (harness bug).
+pub fn measure(
+    job: &ModelJob,
+    cluster: &crossmesh_netsim::ClusterSpec,
+    variant: Variant,
+) -> Row {
+    let planner = variant.planner();
+    let report = simulate(&job.graph, cluster, planner.as_ref(), &variant.pipeline_config())
+        .expect("pipeline simulates");
+    Row {
+        model: "",
+        variant: variant.name(),
+        iteration_seconds: report.iteration_seconds,
+        tflops: job.aggregate_tflops(report.iteration_seconds),
+    }
+}
+
+/// Regenerates Figure 7 (15 bars).
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (model, job, cluster) in workloads() {
+        for variant in Variant::all() {
+            let mut row = measure(&job, &cluster, variant);
+            row.model = model;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders Figure 7 with Table 3's configuration header.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 3 — models in end-to-end evaluation\n\
+         GPT case1: batch 1024, 2.6B params, FP16, parallel (2, 2, 2)\n\
+         GPT case2: batch 1024, 2.6B params, FP16, parallel (4, 1, 2)\n\
+         U-Trans case1: batch 2048, 2.1B params, FP32, parallel (auto, auto, 2)\n\n\
+         Figure 7 — end-to-end training throughput (aggregate TFLOPS)\n",
+    );
+    let mut table = vec![vec![
+        "model".to_string(),
+        "variant".to_string(),
+        "iteration".to_string(),
+        "TFLOPS".to_string(),
+        "% of signal".to_string(),
+    ]];
+    for row in rows {
+        let signal = rows
+            .iter()
+            .find(|r| r.model == row.model && r.variant == "signal")
+            .map(|r| r.tflops)
+            .unwrap_or(row.tflops);
+        table.push(vec![
+            row.model.to_string(),
+            row.variant.to_string(),
+            table_fmt::secs(row.iteration_seconds),
+            format!("{:.1}", row.tflops),
+            format!("{:.1}%", 100.0 * row.tflops / signal),
+        ]);
+    }
+    out.push_str(&table_fmt::render(&table));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end shape check on a scaled-down GPT so the debug-build test
+    /// stays fast; the full Figure 7 runs in the bench harness.
+    #[test]
+    fn small_gpt_ordering_holds() {
+        let cluster = presets::aws_p3_8xlarge(2, Precision::Fp16);
+        // Keep case1's compute/communication ratio class: 8 layers per
+        // stage and 16-sequence microbatches leave the boundary transfer
+        // smaller than a stage's forward compute, as in the real config.
+        let cfg = GptConfig {
+            num_layers: 16,
+            global_batch: 128,
+            num_microbatches: 8,
+            ..GptConfig::case1()
+        };
+        let job = cfg.build(&cluster).expect("builds");
+        let t = |v: Variant| measure(&job, &cluster, v).iteration_seconds;
+        let signal = t(Variant::Signal);
+        let ours = t(Variant::Ours);
+        let broadcast = t(Variant::Broadcast);
+        let send_recv = t(Variant::SendRecv);
+        assert!(signal <= ours * 1.001, "signal {signal} vs ours {ours}");
+        assert!(ours <= broadcast * 1.001, "ours {ours} vs broadcast {broadcast}");
+        assert!(
+            broadcast <= send_recv * 1.001,
+            "broadcast {broadcast} vs send_recv {send_recv}"
+        );
+        // Ours should land close to the upper bound (the paper reports
+        // >= 97% on the real cluster; allow slack on the tiny config).
+        assert!(ours <= signal * 1.35, "ours {ours} too far from signal {signal}");
+    }
+}

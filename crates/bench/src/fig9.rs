@@ -1,0 +1,202 @@
+//! Figure 9: ablation of the overlap-friendly schedule on the
+//! U-Transformer, at a small and a large microbatch count (the paper uses
+//! two batch sizes with the microbatch size fixed).
+
+use crate::table_fmt;
+use crossmesh_core::{EnsemblePlanner, PlannerConfig};
+use crossmesh_models::utransformer::UTransformerConfig;
+use crossmesh_models::{presets, Precision};
+use crossmesh_pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
+use serde::{Deserialize, Serialize};
+
+/// The schedule variants of §5.3.2 (all use broadcast + load balance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleVariant {
+    /// Synchronous 1F1B: broadcast-based resharding only.
+    Broadcast,
+    /// 1F1B with asynchronous communication, no schedule change.
+    Overlap,
+    /// The eager-1F1B schedule with overlapped communication.
+    Eager1F1B,
+    /// The 1-byte-signal upper bound (reference line).
+    Signal,
+}
+
+impl ScheduleVariant {
+    /// All variants in figure order.
+    pub fn all() -> [ScheduleVariant; 4] {
+        [
+            ScheduleVariant::Broadcast,
+            ScheduleVariant::Overlap,
+            ScheduleVariant::Eager1F1B,
+            ScheduleVariant::Signal,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleVariant::Broadcast => "broadcast",
+            ScheduleVariant::Overlap => "overlap",
+            ScheduleVariant::Eager1F1B => "eager-1f1b",
+            ScheduleVariant::Signal => "signal",
+        }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let (schedule, comm) = match self {
+            ScheduleVariant::Broadcast => (ScheduleKind::OneFOneB, CommMode::Synchronous),
+            ScheduleVariant::Overlap => (ScheduleKind::OneFOneB, CommMode::Overlapped),
+            ScheduleVariant::Eager1F1B => (ScheduleKind::Eager1F1B, CommMode::Overlapped),
+            ScheduleVariant::Signal => (ScheduleKind::OneFOneB, CommMode::Signal),
+        };
+        PipelineConfig {
+            schedule,
+            comm,
+            weight_delay: WeightDelay::None,
+        }
+    }
+}
+
+/// One bar of Figure 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Number of microbatches (batch = 64 × microbatches).
+    pub microbatches: usize,
+    /// Variant name.
+    pub variant: &'static str,
+    /// Simulated iteration time.
+    pub iteration_seconds: f64,
+    /// Aggregate throughput, TFLOPS.
+    pub tflops: f64,
+}
+
+/// Builds the U-Transformer with the given microbatch count (microbatch
+/// size held at 64 sequences, as the paper holds microbatch size fixed).
+pub fn workload(microbatches: usize) -> UTransformerConfig {
+    UTransformerConfig {
+        global_batch: 64 * microbatches as u64,
+        num_microbatches: microbatches,
+        ..UTransformerConfig::case1()
+    }
+}
+
+/// Measures one variant at one microbatch count.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build or simulate (harness bug).
+pub fn measure(microbatches: usize, variant: ScheduleVariant) -> Row {
+    let cluster = presets::aws_p3_8xlarge(2, Precision::Fp32);
+    let job = workload(microbatches).build(&cluster).expect("utrans builds");
+    let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
+    let report = simulate(&job.graph, &cluster, &planner, &variant.pipeline_config())
+        .expect("pipeline simulates");
+    Row {
+        microbatches,
+        variant: variant.name(),
+        iteration_seconds: report.iteration_seconds,
+        tflops: job.aggregate_tflops(report.iteration_seconds),
+    }
+}
+
+/// Regenerates Figure 9: a small (4) and a typical (32) microbatch count.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for m in [4usize, 32] {
+        for v in ScheduleVariant::all() {
+            rows.push(measure(m, v));
+        }
+    }
+    rows
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[Row]) -> String {
+    let mut table = vec![vec![
+        "microbatches".to_string(),
+        "variant".to_string(),
+        "iteration".to_string(),
+        "TFLOPS".to_string(),
+    ]];
+    for row in rows {
+        table.push(vec![
+            row.microbatches.to_string(),
+            row.variant.to_string(),
+            table_fmt::secs(row.iteration_seconds),
+            format!("{:.1}", row.tflops),
+        ]);
+    }
+    format!(
+        "Figure 9 — overlap-friendly schedule ablation (U-Transformer)\n{}",
+        table_fmt::render(&table)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(m: usize) -> Vec<Row> {
+        // Scaled-down image keeps the debug-build test quick while
+        // preserving the comm/compute balance class.
+        let cluster = presets::aws_p3_8xlarge(2, Precision::Fp32);
+        let cfg = UTransformerConfig {
+            image_size: 32,
+            levels: 3,
+            global_batch: 64 * m as u64,
+            num_microbatches: m,
+            ..UTransformerConfig::case1()
+        };
+        let job = cfg.build(&cluster).expect("builds");
+        let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
+        ScheduleVariant::all()
+            .into_iter()
+            .map(|v| {
+                let report =
+                    simulate(&job.graph, &cluster, &planner, &v.pipeline_config()).unwrap();
+                Row {
+                    microbatches: m,
+                    variant: v.name(),
+                    iteration_seconds: report.iteration_seconds,
+                    tflops: job.aggregate_tflops(report.iteration_seconds),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlap_ordering_holds() {
+        let rows = small_run(8);
+        let t = |v: &str| {
+            rows.iter()
+                .find(|r| r.variant == v)
+                .unwrap()
+                .iteration_seconds
+        };
+        assert!(t("signal") <= t("eager-1f1b") * 1.001);
+        assert!(t("eager-1f1b") <= t("overlap") * 1.001);
+        assert!(t("overlap") <= t("broadcast") * 1.001);
+        assert!(
+            t("broadcast") > t("eager-1f1b") * 1.1,
+            "overlap should matter: broadcast {} vs eager {}",
+            t("broadcast"),
+            t("eager-1f1b")
+        );
+    }
+
+    #[test]
+    fn small_microbatch_counts_shrink_the_gap() {
+        // With very few microbatches there is no steady state, so overlap
+        // and eager-1f1b are close (paper: ~3%).
+        let rows = small_run(2);
+        let t = |v: &str| {
+            rows.iter()
+                .find(|r| r.variant == v)
+                .unwrap()
+                .iteration_seconds
+        };
+        let gap = t("overlap") / t("eager-1f1b");
+        assert!(gap < 1.25, "gap too large for 2 microbatches: {gap}");
+    }
+}

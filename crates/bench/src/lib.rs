@@ -1,0 +1,29 @@
+//! Reproduction harnesses for every table and figure in the paper's
+//! evaluation (§5). Each `figN`/`tableN` module exposes a `run()` that
+//! regenerates the corresponding rows/series on the flow-level simulator;
+//! the `repro_*` binaries print them, and the Criterion benches in
+//! `benches/` time them.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — GPT-3 layer memory breakdown |
+//! | [`fig5`] | Figure 5 — single-device → multi-device microbenchmark |
+//! | [`fig6`] | Figure 6 (+ Table 2) — multi-device → multi-device cases |
+//! | [`fig7`] | Figure 7 (+ Table 3) — end-to-end GPT / U-Transformer |
+//! | [`fig8`] | Figure 8 — load-balance ablation |
+//! | [`fig9`] | Figure 9 — overlap-friendly schedule ablation |
+//!
+//! Simulated numbers are not the paper's wall-clock numbers — the substrate
+//! is a simulator, not the authors' AWS cluster — but the *shapes* (who
+//! wins, by what factor, where the crossovers sit) are the reproduction
+//! targets, recorded in `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod cases;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table_fmt;

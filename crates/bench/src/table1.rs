@@ -1,0 +1,64 @@
+//! Table 1: per-GPU memory of one GPT-3 layer in mixed-precision training.
+
+use crate::table_fmt;
+use crossmesh_models::memory::{gpt3_layer_memory, MemoryBreakdown, GI, MI};
+
+/// Table 1's setting: S=1024, H=12288, B=2, TMP=8.
+pub fn run() -> MemoryBreakdown {
+    gpt3_layer_memory(12288, 1024, 2, 8)
+}
+
+/// Renders the table with the paper's expressions and values.
+pub fn render(m: &MemoryBreakdown) -> String {
+    let rows = vec![
+        vec![
+            "quantity".to_string(),
+            "expression".to_string(),
+            "value".to_string(),
+        ],
+        vec![
+            "#parameter".to_string(),
+            "12H^2/TMP".to_string(),
+            format!("{:.0}M", m.num_parameters / MI),
+        ],
+        vec![
+            "#optimizer state parameters".to_string(),
+            "24H^2/TMP".to_string(),
+            format!("{:.0}M", m.optimizer_state_parameters / MI),
+        ],
+        vec![
+            "#activation elements".to_string(),
+            "BSH".to_string(),
+            format!("{:.0}M", m.activation_elements / MI),
+        ],
+        vec![
+            "Memory of weights and optimizer".to_string(),
+            "168H^2/TMP".to_string(),
+            format!("{:.2}GB", m.weights_and_optimizer_bytes / GI),
+        ],
+        vec![
+            "Memory of activation".to_string(),
+            "2BSH".to_string(),
+            format!("{:.0}MB", m.activation_bytes / MI),
+        ],
+    ];
+    format!(
+        "Table 1 — GPT-3 layer memory per GPU (S=1024, H=12288, B=2, TMP=8)\n{}",
+        table_fmt::render(&rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_values_match_paper() {
+        let text = render(&run());
+        assert!(text.contains("216M"));
+        assert!(text.contains("432M"));
+        assert!(text.contains("24M"));
+        assert!(text.contains("2.95GB"));
+        assert!(text.contains("48MB"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal fixed-width text-table formatting for harness output.
+
+/// Renders `rows` (first row is the header) as an aligned text table.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            if i + 1 < row.len() {
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats seconds with millisecond precision.
+pub fn secs(t: f64) -> String {
+    format!("{:.3}s", t)
+}
+
+/// Formats a dimensionless speedup factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(&[
+            vec!["case".into(), "ours".into()],
+            vec!["1".into(), "0.123s".into()],
+            vec!["long-name".into(), "1.000s".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("case"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(render(&[]), "");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.23456), "1.235s");
+        assert_eq!(speedup(2.5), "2.50x");
+    }
+}

@@ -1,0 +1,182 @@
+//! A small dependency-free argument parser: `--key value` pairs plus flags.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: the subcommand, `--key value` options, and flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument errors with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid arguments: {}", self.0)
+    }
+}
+
+impl Error for ArgError {}
+
+impl Args {
+    /// Parses tokens (excluding the program name).
+    ///
+    /// Options take the next token as their value; `--json`-style flags
+    /// are recognized from `flag_names`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for an option missing its value or an
+    /// unexpected positional argument after the command.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        tokens: I,
+        flag_names: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    args.flags.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    args.options.insert(name.to_string(), value);
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected argument {tok:?}")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The string value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` or a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Parses `--name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} {v:?} is not valid"))),
+        }
+    }
+
+    /// True if the flag was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses `"2x4"` into `(2, 4)`.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for anything that is not `<rows>x<cols>`.
+pub fn parse_mesh(s: &str) -> Result<(usize, usize), ArgError> {
+    let (a, b) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| ArgError(format!("mesh {s:?} must look like 2x4")))?;
+    let rows = a
+        .parse()
+        .map_err(|_| ArgError(format!("bad mesh rows in {s:?}")))?;
+    let cols = b
+        .parse()
+        .map_err(|_| ArgError(format!("bad mesh cols in {s:?}")))?;
+    if rows == 0 || cols == 0 {
+        return Err(ArgError(format!("mesh {s:?} must be non-empty")));
+    }
+    Ok((rows, cols))
+}
+
+/// Parses `"1024x1024x512"` into a shape vector.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for empty or non-numeric components.
+pub fn parse_shape(s: &str) -> Result<Vec<u64>, ArgError> {
+    s.split(['x', 'X'])
+        .map(|p| {
+            p.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| ArgError(format!("bad shape component {p:?} in {s:?}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(
+            toks("reshard --src-spec S0RR --shape 8x8 --json"),
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(a.command.as_deref(), Some("reshard"));
+        assert_eq!(a.get("src-spec"), Some("S0RR"));
+        assert!(a.has_flag("json"));
+        assert_eq!(a.get_or("dst-spec", "RRR"), "RRR");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Args::parse(toks("reshard --src-spec"), &[]).unwrap_err();
+        assert!(e.to_string().contains("src-spec"));
+    }
+
+    #[test]
+    fn extra_positional_is_an_error() {
+        assert!(Args::parse(toks("reshard oops"), &[]).is_err());
+    }
+
+    #[test]
+    fn parsed_values_with_defaults() {
+        let a = Args::parse(toks("x --n 7"), &[]).unwrap();
+        assert_eq!(a.get_parsed("n", 3usize).unwrap(), 7);
+        assert_eq!(a.get_parsed("m", 3usize).unwrap(), 3);
+        assert!(a.get_parsed::<usize>("n", 0).is_ok());
+        let bad = Args::parse(toks("x --n seven"), &[]).unwrap();
+        assert!(bad.get_parsed::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn mesh_and_shape_parsing() {
+        assert_eq!(parse_mesh("2x4").unwrap(), (2, 4));
+        assert_eq!(parse_mesh("3X2").unwrap(), (3, 2));
+        assert!(parse_mesh("2").is_err());
+        assert!(parse_mesh("0x4").is_err());
+        assert_eq!(parse_shape("8x4x2").unwrap(), vec![8, 4, 2]);
+        assert!(parse_shape("8x0").is_err());
+        assert!(parse_shape("8xq").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! `crossmesh` — plan and simulate cross-mesh resharding and pipeline
+//! schedules from the shell.
+//!
+//! ```text
+//! crossmesh reshard  --src-spec RS0R --dst-spec S0RR --src-mesh 2x4 \
+//!                    --dst-mesh 2x4 --shape 1024x1024x512 [--elem-bytes 4]
+//!                    [--strategy broadcast|send_recv|local_allgather|global_allgather|alpa]
+//!                    [--planner ours|naive|lpt|dfs|greedy] [--verify] [--json]
+//! crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
+//!                    [--comm overlap|sync|signal] [--microbatches N] [--json]
+//! crossmesh cluster  [--hosts N] [--gpus-per-host N] [--inter-bw B] [--intra-bw B] ...
+//! ```
+//!
+//! Bandwidths default to the paper's p3.8xlarge class (NVLink intra-host,
+//! 10 Gbps inter-host); `--inter-bw` / `--intra-bw` override them in
+//! bytes/s.
+
+mod args;
+
+use args::{parse_mesh, parse_shape, Args};
+use crossmesh_core::{
+    dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner,
+    Planner, PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
+};
+use crossmesh_mesh::DeviceMesh;
+use crossmesh_models::gpt::GptConfig;
+use crossmesh_models::utransformer::UTransformerConfig;
+use crossmesh_models::{presets, ModelJob, Precision};
+use crossmesh_netsim::{ClusterSpec, LinkParams};
+use crossmesh_pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
+use crossmesh_autoshard::{search, AutoShardProblem};
+use std::error::Error;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+crossmesh — cross-mesh resharding planner/simulator (MLSys 2023 reproduction)
+
+USAGE:
+  crossmesh reshard  --src-spec <SPEC> --dst-spec <SPEC> --src-mesh <RxC> --dst-mesh <RxC>
+                     --shape <AxBxC> [--elem-bytes N] [--strategy S] [--planner P]
+                     [--inter-bw B] [--intra-bw B] [--verify] [--json]
+  crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
+                     [--comm overlap|sync|signal] [--microbatches N] [--json]
+  crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
+                     [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
+
+  strategies: broadcast (default) | send_recv | local_allgather | global_allgather
+              | tree_broadcast | alpa
+  planners:   ours (default) | naive | lpt | dfs | greedy
+  specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR";
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(tokens) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
+    let args = Args::parse(tokens, &["json", "verify", "help"])?;
+    if args.has_flag("help") {
+        return Ok(USAGE.to_string());
+    }
+    match args.command.as_deref() {
+        Some("reshard") => reshard(&args),
+        Some("pipeline") => pipeline(&args),
+        Some("autospec") => autospec(&args),
+        None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn autospec(args: &Args) -> Result<String, Box<dyn Error>> {
+    let src_mesh_shape = parse_mesh(args.get("src-mesh").ok_or("missing --src-mesh")?)?;
+    let dst_mesh_shape = parse_mesh(args.get("dst-mesh").ok_or("missing --dst-mesh")?)?;
+    let shape = parse_shape(args.get("shape").ok_or("missing --shape")?)?;
+    let elem_bytes: u64 = args.get_parsed("elem-bytes", 4)?;
+    let params = cost_params(args)?;
+    let gpus = src_mesh_shape.1.max(dst_mesh_shape.1) as u32;
+    let hosts = (src_mesh_shape.0 + dst_mesh_shape.0) as u32;
+    let cluster = ClusterSpec::homogeneous(
+        hosts,
+        gpus,
+        LinkParams::new(params.intra_bw, params.inter_bw),
+    );
+    let src = DeviceMesh::from_cluster(&cluster, 0, src_mesh_shape, "src")?;
+    let dst = DeviceMesh::from_cluster(&cluster, src_mesh_shape.0, dst_mesh_shape, "dst")?;
+    let mut problem = AutoShardProblem::new(src, dst, shape, elem_bytes);
+    if let Some(spec) = args.get("fixed-src") {
+        problem = problem.with_fixed_src(spec.parse()?);
+    }
+    if let Some(spec) = args.get("fixed-dst") {
+        problem = problem.with_fixed_dst(spec.parse()?);
+    }
+    if let Some(cap) = args.get("memory-cap") {
+        problem = problem.with_memory_cap(cap.parse().map_err(|_| "bad --memory-cap")?);
+    }
+    let best = search(&problem, &params)?;
+    if args.has_flag("json") {
+        return Ok(serde_json::to_string_pretty(&best)?);
+    }
+    Ok(format!(
+        "best specs: {} -> {}  (estimated {:.6}s; {} candidates evaluated)",
+        best.src_spec, best.dst_spec, best.estimated_seconds, best.candidates_evaluated
+    ))
+}
+
+fn cost_params(args: &Args) -> Result<CostParams, Box<dyn Error>> {
+    let mut p = presets::p3_cost_params();
+    p.inter_bw = args.get_parsed("inter-bw", p.inter_bw)?;
+    p.intra_bw = args.get_parsed("intra-bw", p.intra_bw)?;
+    Ok(p)
+}
+
+fn strategy_choice(name: &str) -> Result<StrategyChoice, Box<dyn Error>> {
+    Ok(match name {
+        "broadcast" => StrategyChoice::Fixed(Strategy::broadcast()),
+        "send_recv" => StrategyChoice::Fixed(Strategy::SendRecv),
+        "local_allgather" => StrategyChoice::Fixed(Strategy::LocalAllGather),
+        "global_allgather" => StrategyChoice::Fixed(Strategy::GlobalAllGather),
+        "tree_broadcast" => StrategyChoice::Fixed(Strategy::TreeBroadcast { chunks: 64 }),
+        "alpa" => StrategyChoice::AlpaAuto,
+        other => return Err(format!("unknown strategy {other:?}").into()),
+    })
+}
+
+fn planner_for(name: &str, config: PlannerConfig) -> Result<Box<dyn Planner>, Box<dyn Error>> {
+    Ok(match name {
+        "ours" => Box::new(EnsemblePlanner::new(config)),
+        "naive" => Box::new(NaivePlanner::new(config)),
+        "lpt" => Box::new(LoadBalancePlanner::new(config)),
+        "dfs" => Box::new(DfsPlanner::new(config)),
+        "greedy" => Box::new(RandomizedGreedyPlanner::new(config)),
+        other => return Err(format!("unknown planner {other:?}").into()),
+    })
+}
+
+fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
+    let src_spec = args
+        .get("src-spec")
+        .ok_or("missing --src-spec")?
+        .parse()?;
+    let dst_spec = args
+        .get("dst-spec")
+        .ok_or("missing --dst-spec")?
+        .parse()?;
+    let src_mesh_shape = parse_mesh(args.get("src-mesh").ok_or("missing --src-mesh")?)?;
+    let dst_mesh_shape = parse_mesh(args.get("dst-mesh").ok_or("missing --dst-mesh")?)?;
+    let shape = parse_shape(args.get("shape").ok_or("missing --shape")?)?;
+    let elem_bytes: u64 = args.get_parsed("elem-bytes", 4)?;
+
+    let params = cost_params(args)?;
+    let gpus = src_mesh_shape.1.max(dst_mesh_shape.1) as u32;
+    let hosts = (src_mesh_shape.0 + dst_mesh_shape.0) as u32;
+    let cluster = ClusterSpec::homogeneous(
+        hosts,
+        gpus,
+        LinkParams::new(params.intra_bw, params.inter_bw)
+            .with_latencies(params.intra_latency, params.inter_latency),
+    );
+    let src = DeviceMesh::from_cluster(&cluster, 0, src_mesh_shape, "src")?;
+    let dst = DeviceMesh::from_cluster(&cluster, src_mesh_shape.0, dst_mesh_shape, "dst")?;
+    let task = ReshardingTask::new(src, src_spec, dst, dst_spec, &shape, elem_bytes)?;
+
+    let config = PlannerConfig::new(params)
+        .with_strategy(strategy_choice(args.get_or("strategy", "broadcast"))?);
+    let planner = planner_for(args.get_or("planner", "ours"), config)?;
+    let plan = planner.plan(&task);
+    let report = plan.execute(&cluster)?;
+
+    if let Some(path) = args.get("trace") {
+        // Re-run the lowering to export a Chrome trace of the transfer.
+        let mut graph = crossmesh_netsim::TaskGraph::new();
+        plan.lower(&mut graph, &[]);
+        let trace = crossmesh_netsim::Engine::new(&cluster).run(&graph)?;
+        std::fs::write(path, crossmesh_netsim::to_chrome_trace(&graph, &trace))?;
+    }
+
+    let verified = if args.has_flag("verify") {
+        // The data plane materializes every element; keep it to sizes
+        // where that is instant.
+        let elements: u64 = shape.iter().product();
+        if elements > 1 << 24 {
+            return Err(format!(
+                "--verify materializes every element; {elements} elements is too many                  (use a shape with at most {} elements)",
+                1u64 << 24
+            )
+            .into());
+        }
+        dataplane::execute_and_verify(&plan)?;
+        Some(true)
+    } else {
+        None
+    };
+
+    if args.has_flag("json") {
+        let out = serde_json::json!({
+            "task": task.to_string(),
+            "unit_tasks": task.units().len(),
+            "total_bytes": task.total_bytes(),
+            "planner": planner.name(),
+            "estimate_seconds": plan.estimate(),
+            "lower_bound_seconds": plan.lower_bound(),
+            "simulated_seconds": report.simulated_seconds,
+            "cross_host_bytes": report.cross_host_bytes,
+            "data_plane_verified": verified,
+        });
+        return Ok(serde_json::to_string_pretty(&out)?);
+    }
+    let mut out = format!(
+        "task: {task}\n{} unit tasks, {:.1} MB tensor\nplanner: {}\n\
+         simulated: {:.6}s (estimate {:.6}s, bandwidth bound {:.6}s)\n\
+         cross-host traffic: {:.1} MB",
+        task.units().len(),
+        task.total_bytes() as f64 / 1e6,
+        planner.name(),
+        report.simulated_seconds,
+        plan.estimate(),
+        plan.lower_bound(),
+        report.cross_host_bytes / 1e6,
+    );
+    if verified == Some(true) {
+        out.push_str("\ndata plane: verified — every destination tile correct");
+    }
+    Ok(out)
+}
+
+fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
+    let model = args.get("model").ok_or("missing --model")?;
+    let microbatches: usize = args.get_parsed("microbatches", 0)?;
+    let (name, job, cluster): (&str, ModelJob, ClusterSpec) = match model {
+        "gpt-case1" | "gpt-case2" => {
+            let cluster = presets::aws_p3_8xlarge(2, Precision::Fp16);
+            let mut cfg = if model == "gpt-case1" {
+                GptConfig::case1()
+            } else {
+                GptConfig::case2()
+            };
+            if microbatches > 0 {
+                cfg.num_microbatches = microbatches;
+            }
+            ("GPT-2.6B", cfg.build(&cluster)?, cluster)
+        }
+        "utrans" => {
+            let cluster = presets::aws_p3_8xlarge(2, Precision::Fp32);
+            let mut cfg = UTransformerConfig::case1();
+            if microbatches > 0 {
+                cfg.num_microbatches = microbatches;
+                cfg.global_batch = 64 * microbatches as u64;
+            }
+            ("U-Transformer-2.1B", cfg.build(&cluster)?, cluster)
+        }
+        other => return Err(format!("unknown model {other:?}").into()),
+    };
+
+    let schedule = match args.get_or("schedule", "eager") {
+        "eager" => ScheduleKind::Eager1F1B,
+        "1f1b" => ScheduleKind::OneFOneB,
+        "gpipe" => ScheduleKind::GPipe,
+        other => return Err(format!("unknown schedule {other:?}").into()),
+    };
+    let comm = match args.get_or("comm", "overlap") {
+        "overlap" => CommMode::Overlapped,
+        "sync" => CommMode::Synchronous,
+        "signal" => CommMode::Signal,
+        other => return Err(format!("unknown comm mode {other:?}").into()),
+    };
+    let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
+    let report = simulate(
+        &job.graph,
+        &cluster,
+        &planner,
+        &PipelineConfig {
+            schedule,
+            comm,
+            weight_delay: WeightDelay::None,
+        },
+    )?;
+
+    if args.has_flag("json") {
+        let out = serde_json::json!({
+            "model": name,
+            "schedule": schedule.to_string(),
+            "microbatches": job.graph.num_microbatches(),
+            "iteration_seconds": report.iteration_seconds,
+            "aggregate_tflops": job.aggregate_tflops(report.iteration_seconds),
+            "per_gpu_tflops": job.per_gpu_tflops(report.iteration_seconds),
+            "cross_host_bytes": report.cross_host_bytes,
+            "peak_memory_bytes": report.peak_memory_bytes,
+        });
+        return Ok(serde_json::to_string_pretty(&out)?);
+    }
+    Ok(format!(
+        "{name}: schedule {schedule}, {} microbatches\n\
+         iteration {:.3}s — {:.1} aggregate TFLOPS ({:.1}/GPU)\n\
+         cross-host traffic {:.2} GB, peak memory/GPU {:.2} GB",
+        job.graph.num_microbatches(),
+        report.iteration_seconds,
+        job.aggregate_tflops(report.iteration_seconds),
+        job.per_gpu_tflops(report.iteration_seconds),
+        report.cross_host_bytes / 1e9,
+        report.peak_memory_bytes[0] / 1e9,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(vec![]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn reshard_runs_and_verifies() {
+        let out = run(toks(
+            "reshard --src-spec RS0R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 64x64x8 --verify",
+        ))
+        .unwrap();
+        assert!(out.contains("simulated:"));
+        assert!(out.contains("verified"));
+    }
+
+    #[test]
+    fn reshard_json_output_parses() {
+        let out = run(toks(
+            "reshard --src-spec S0R --dst-spec RS1 --src-mesh 1x4 --dst-mesh 2x2 \
+             --shape 32x32 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["simulated_seconds"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["total_bytes"].as_u64().unwrap(), 32 * 32 * 4);
+    }
+
+    #[test]
+    fn pipeline_runs_small_config() {
+        let out = run(toks("pipeline --model gpt-case1 --microbatches 8 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["aggregate_tflops"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["microbatches"].as_u64().unwrap(), 8);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(run(toks("reshard --src-spec QQ")).is_err());
+        assert!(run(toks("pipeline --model nope")).is_err());
+        assert!(run(toks("frobnicate")).is_err());
+        assert!(run(toks(
+            "reshard --src-spec S0R --dst-spec S0R --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 8x8 --planner nope"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn autospec_finds_specs() {
+        let out = run(toks(
+            "autospec --src-mesh 2x4 --dst-mesh 2x4 --shape 64x64 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["estimated_seconds"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["candidates_evaluated"].as_u64().unwrap(), 11 * 11);
+    }
+
+    #[test]
+    fn trace_export_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("crossmesh_cli_trace_test.json");
+        let path = dir.to_str().unwrap();
+        run(toks(&format!(
+            "reshard --src-spec S0R --dst-spec S1R --src-mesh 1x2 --dst-mesh 1x2 \
+             --shape 16x16 --trace {path}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(!v.as_array().unwrap().is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn strategies_and_planners_resolve() {
+        for s in ["broadcast", "send_recv", "local_allgather", "global_allgather", "alpa"] {
+            strategy_choice(s).unwrap();
+        }
+        let cfg = PlannerConfig::new(presets::p3_cost_params());
+        for p in ["ours", "naive", "lpt", "dfs", "greedy"] {
+            planner_for(p, cfg).unwrap();
+        }
+    }
+}

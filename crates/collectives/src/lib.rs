@@ -1,0 +1,38 @@
+//! Communication strategies for unit communication tasks.
+//!
+//! The paper's §3.1 analyses four ways to deliver one unique data slice
+//! `DS_i` from a sender to its receiver set, in increasing order of
+//! sophistication (with their idealised latencies for an `A`-host ×
+//! `B`-device receiver set and a slice that takes `t` to cross one
+//! inter-host link):
+//!
+//! | strategy | latency | implemented by |
+//! |---|---|---|
+//! | send/recv | `A·B·t` | [`Strategy::SendRecv`] |
+//! | send/recv + local all-gather | `A·t` | [`Strategy::LocalAllGather`] |
+//! | send/recv + global all-gather | `2·t` | [`Strategy::GlobalAllGather`] |
+//! | chunked ring broadcast | `t·(1 + A/K)` | [`Strategy::Broadcast`] |
+//!
+//! [`lower_unit_task`] turns a [`UnitTask`](crossmesh_mesh::UnitTask) plus a
+//! chosen strategy and sender into a [`TaskGraph`](crossmesh_netsim::TaskGraph)
+//! fragment executable on the simulator; [`estimate_unit_task`] provides the
+//! matching closed-form estimates used by the planner in `crossmesh-core`.
+//!
+//! Standalone ring collectives ([`ring_all_gather`], [`ring_all_reduce`],
+//! [`all_to_all`]) are also exposed; they model the intra-mesh collective
+//! communication of intra-operator parallelism.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost_model;
+mod intra;
+mod lower;
+mod ring;
+mod strategy;
+
+pub use cost_model::{estimate_unit_task, CostParams};
+pub use intra::lower_intra_mesh_resharding;
+pub use lower::{lower_unit_task, LoweredComm};
+pub use ring::{all_to_all, ring_all_gather, ring_all_reduce, RingResult};
+pub use strategy::{alpa_effective_strategy, Strategy};

@@ -1,0 +1,544 @@
+//! Lowering a unit communication task onto the simulator under a strategy.
+
+use crate::ring::ring_all_gather;
+use crate::strategy::Strategy;
+use crossmesh_mesh::UnitTask;
+use crossmesh_netsim::{DeviceId, HostId, TaskGraph, TaskId, Work};
+use std::collections::BTreeMap;
+
+/// Handles into the lowered communication fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredComm {
+    /// Per receiver device: the task that completes when that device holds
+    /// everything it needs from this unit task.
+    pub receiver_done: Vec<(DeviceId, TaskId)>,
+    /// Joins all receivers (and the sender's obligations).
+    pub done: TaskId,
+}
+
+/// Lowers `task` into `graph` using `strategy`, with `sender` as the chosen
+/// replica (one of `task.senders`) and `deps` gating the first byte.
+///
+/// Returns per-receiver completion handles so downstream consumers (e.g.
+/// a pipeline stage's forward compute) can depend on exactly their data.
+///
+/// # Panics
+///
+/// Panics if `sender` is not one of the task's replica devices.
+pub fn lower_unit_task(
+    graph: &mut TaskGraph,
+    task: &UnitTask,
+    sender: DeviceId,
+    strategy: Strategy,
+    deps: &[TaskId],
+) -> LoweredComm {
+    let sender_host = task
+        .senders
+        .iter()
+        .find(|&&(d, _)| d == sender)
+        .map(|&(_, h)| h)
+        .unwrap_or_else(|| panic!("device {sender} does not hold slice {}", task.slice));
+
+    if task.receivers.is_empty() {
+        let done = graph.add(Work::Marker, deps.iter().copied());
+        return LoweredComm {
+            receiver_done: Vec::new(),
+            done,
+        };
+    }
+
+    let bytes = task.bytes as f64;
+    let bytes_per_elem = bytes / task.slice.volume() as f64;
+
+    let receiver_done = match strategy {
+        Strategy::SendRecv => {
+            // P2P exactly the needed sub-tile to each receiver.
+            task.receivers
+                .iter()
+                .map(|r| {
+                    let needed = r.needed.volume() as f64 * bytes_per_elem;
+                    let f = graph.add_labeled(
+                        Work::flow(sender, r.device, needed),
+                        deps.iter().copied(),
+                        Some(format!("sr u{} {}->{}", task.index, sender, r.device)),
+                    );
+                    (r.device, f)
+                })
+                .collect()
+        }
+        Strategy::LocalAllGather => {
+            // One copy of the slice per receiver host, scattered over its
+            // receiver devices, reassembled by an intra-host all-gather.
+            let mut by_host: BTreeMap<HostId, Vec<DeviceId>> = BTreeMap::new();
+            for r in &task.receivers {
+                by_host.entry(r.host).or_default().push(r.device);
+            }
+            let mut out = Vec::new();
+            for devices in by_host.values() {
+                let n = devices.len();
+                if n == 1 {
+                    let f = graph.add_labeled(
+                        Work::flow(sender, devices[0], bytes),
+                        deps.iter().copied(),
+                        Some(format!("la u{} copy", task.index)),
+                    );
+                    out.push((devices[0], f));
+                    continue;
+                }
+                let part = bytes / n as f64;
+                let scatter: Vec<TaskId> = devices
+                    .iter()
+                    .map(|&d| {
+                        graph.add_labeled(
+                            Work::flow(sender, d, part),
+                            deps.iter().copied(),
+                            Some(format!("la u{} scatter", task.index)),
+                        )
+                    })
+                    .collect();
+                let ready: Vec<Vec<TaskId>> = scatter.iter().map(|&f| vec![f]).collect();
+                let ring = ring_all_gather(graph, devices, &vec![part; n], &ready);
+                out.extend(devices.iter().copied().zip(ring.done_per_device));
+            }
+            out
+        }
+        Strategy::GlobalAllGather => {
+            // Scatter over all receivers (host-grouped order), then a
+            // global ring all-gather that may cross hosts.
+            let mut ordered: Vec<&crossmesh_mesh::Receiver> = task.receivers.iter().collect();
+            ordered.sort_by_key(|r| (r.host, r.device));
+            let devices: Vec<DeviceId> = ordered.iter().map(|r| r.device).collect();
+            let n = devices.len();
+            if n == 1 {
+                let f = graph.add(Work::flow(sender, devices[0], bytes), deps.iter().copied());
+                vec![(devices[0], f)]
+            } else {
+                let part = bytes / n as f64;
+                let scatter: Vec<TaskId> = devices
+                    .iter()
+                    .map(|&d| {
+                        graph.add_labeled(
+                            Work::flow(sender, d, part),
+                            deps.iter().copied(),
+                            Some(format!("ga u{} scatter", task.index)),
+                        )
+                    })
+                    .collect();
+                let ready: Vec<Vec<TaskId>> = scatter.iter().map(|&f| vec![f]).collect();
+                let ring = ring_all_gather(graph, &devices, &vec![part; n], &ready);
+                devices.into_iter().zip(ring.done_per_device).collect()
+            }
+        }
+        Strategy::Broadcast { chunks } => {
+            lower_broadcast(graph, task, sender, sender_host, chunks, deps)
+        }
+        Strategy::TreeBroadcast { chunks } => {
+            lower_tree_broadcast(graph, task, sender, sender_host, chunks, deps)
+        }
+    };
+
+    let done = graph.add(Work::Marker, receiver_done.iter().map(|&(_, t)| t));
+    LoweredComm {
+        receiver_done,
+        done,
+    }
+}
+
+/// Pipelined ring broadcast: the ring starts at the sender, visits any
+/// receivers co-located with it, then each remaining receiver host in
+/// ascending order — so the slice crosses the inter-host network exactly
+/// once per receiver host.
+fn lower_broadcast(
+    graph: &mut TaskGraph,
+    task: &UnitTask,
+    sender: DeviceId,
+    sender_host: HostId,
+    chunks: u32,
+    deps: &[TaskId],
+) -> Vec<(DeviceId, TaskId)> {
+    let mut ordered: Vec<&crossmesh_mesh::Receiver> = task.receivers.iter().collect();
+    ordered.sort_by_key(|r| (r.host != sender_host, r.host, r.device));
+    let ring: Vec<DeviceId> = std::iter::once(sender)
+        .chain(ordered.iter().map(|r| r.device))
+        .collect();
+    let hops = ring.len() - 1;
+    let bytes = task.bytes as f64;
+    // No point cutting more chunks than bytes; keep at least one.
+    let k = chunks.max(1).min(bytes.max(1.0) as u32).max(1) as usize;
+    let chunk_bytes = bytes / k as f64;
+
+    // last_on_hop[i]: previous chunk's flow on hop i (serialises the link);
+    // the per-chunk chain serialises store-and-forward.
+    let mut last_on_hop: Vec<Option<TaskId>> = vec![None; hops];
+    let mut last_into_receiver: Vec<TaskId> = Vec::new();
+    for j in 0..k {
+        let mut prev_hop: Option<TaskId> = None;
+        last_into_receiver.clear();
+        for (i, hop) in last_on_hop.iter_mut().enumerate() {
+            let mut fdeps: Vec<TaskId> = Vec::new();
+            match prev_hop {
+                Some(p) => fdeps.push(p),
+                None => fdeps.extend(deps.iter().copied()),
+            }
+            if let Some(l) = *hop {
+                fdeps.push(l);
+            }
+            let f = graph.add_labeled(
+                Work::flow(ring[i], ring[i + 1], chunk_bytes),
+                fdeps,
+                Some(format!("bc u{} c{j} h{i}", task.index)),
+            );
+            *hop = Some(f);
+            prev_hop = Some(f);
+            if j == k - 1 {
+                last_into_receiver.push(f);
+            }
+        }
+    }
+    ordered
+        .iter()
+        .map(|r| r.device)
+        .zip(last_into_receiver)
+        .collect()
+}
+
+/// Pipelined binary-tree broadcast: receiver hosts form a binary tree
+/// rooted at the sender; each host's first receiver device relays chunks
+/// to its two child hosts and along its own intra-host chain.
+fn lower_tree_broadcast(
+    graph: &mut TaskGraph,
+    task: &UnitTask,
+    sender: DeviceId,
+    sender_host: HostId,
+    chunks: u32,
+    deps: &[TaskId],
+) -> Vec<(DeviceId, TaskId)> {
+    // Group receivers by host, sender-host receivers first (they hang off
+    // the root directly over fast links).
+    let mut by_host: Vec<(HostId, Vec<DeviceId>)> = Vec::new();
+    {
+        let mut ordered: Vec<&crossmesh_mesh::Receiver> = task.receivers.iter().collect();
+        ordered.sort_by_key(|r| (r.host != sender_host, r.host, r.device));
+        for r in ordered {
+            match by_host.last_mut() {
+                Some((h, devs)) if *h == r.host => devs.push(r.device),
+                _ => by_host.push((r.host, vec![r.device])),
+            }
+        }
+    }
+    let bytes = task.bytes as f64;
+    let k = chunks.max(1).min(bytes.max(1.0) as u32).max(1) as usize;
+    let chunk_bytes = bytes / k as f64;
+
+    // Tree nodes: 0 is the sender's own host (root); remote receiver
+    // hosts follow in order. node_rep[i] = device that relays for node i.
+    let local = by_host
+        .iter()
+        .position(|(h, _)| *h == sender_host)
+        .map(|i| by_host[i].clone());
+    let remote: Vec<(HostId, Vec<DeviceId>)> = by_host
+        .iter()
+        .filter(|(h, _)| *h != sender_host)
+        .cloned()
+        .collect();
+
+    // arrival[j][node]: task delivering chunk j to the node's rep (root:
+    // the external deps). Chains: per-edge and per-intra-hop serialization.
+    let mut completions: Vec<(DeviceId, TaskId)> = Vec::new();
+    // last flow per (parent node, child node) edge and per intra-host hop.
+    let mut last_on_edge: std::collections::HashMap<(usize, usize), TaskId> =
+        std::collections::HashMap::new();
+    let mut last_intra: std::collections::HashMap<(usize, usize), TaskId> =
+        std::collections::HashMap::new();
+    // arrivals of the previous chunk per node (None for root).
+    let n_remote = remote.len();
+    let mut arrival: Vec<Option<TaskId>> = vec![None; n_remote + 1];
+    for j in 0..k {
+        let mut next_arrival: Vec<Option<TaskId>> = vec![None; n_remote + 1];
+        for node in 0..=n_remote {
+            let rep: DeviceId = if node == 0 {
+                sender
+            } else {
+                remote[node - 1].1[0]
+            };
+            let parent_arrived: Vec<TaskId> = if node == 0 {
+                if j == 0 { deps.to_vec() } else { Vec::new() }
+            } else {
+                arrival[node].into_iter().collect()
+            };
+            // Relay to children in the host tree.
+            for c in [2 * node + 1, 2 * node + 2] {
+                if c > n_remote {
+                    continue;
+                }
+                let child_rep = remote[c - 1].1[0];
+                let mut fdeps = parent_arrived.clone();
+                if let Some(&l) = last_on_edge.get(&(node, c)) {
+                    fdeps.push(l);
+                }
+                let f = graph.add_labeled(
+                    Work::flow(rep, child_rep, chunk_bytes),
+                    fdeps,
+                    Some(format!("tb u{} c{j} {node}->{c}", task.index)),
+                );
+                last_on_edge.insert((node, c), f);
+                next_arrival[c] = Some(f);
+                if j == k - 1 {
+                    completions.push((child_rep, f));
+                }
+            }
+            // Intra-host chain from the rep through local receivers.
+            let locals: &[DeviceId] = if node == 0 {
+                local.as_ref().map(|(_, d)| d.as_slice()).unwrap_or(&[])
+            } else {
+                &remote[node - 1].1[1..]
+            };
+            let mut prev_dev = rep;
+            let mut prev_task: Option<TaskId> = None;
+            for (hop, &dev) in locals.iter().enumerate() {
+                let mut fdeps: Vec<TaskId> = match prev_task {
+                    Some(t) => vec![t],
+                    None => parent_arrived.clone(),
+                };
+                if let Some(&l) = last_intra.get(&(node, hop)) {
+                    fdeps.push(l);
+                }
+                let f = graph.add_labeled(
+                    Work::flow(prev_dev, dev, chunk_bytes),
+                    fdeps,
+                    Some(format!("tb u{} c{j} local", task.index)),
+                );
+                last_intra.insert((node, hop), f);
+                prev_dev = dev;
+                prev_task = Some(f);
+                if j == k - 1 {
+                    completions.push((dev, f));
+                }
+            }
+        }
+        arrival = next_arrival;
+    }
+    completions
+}
+
+#[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)]
+mod tests {
+    use super::*;
+    use crossmesh_mesh::{Receiver, Tile};
+    use crossmesh_netsim::{ClusterSpec, Engine, LinkParams};
+
+    /// Builds a unit task: sender(s) on host 0, `a` receiver hosts x `b`
+    /// receiver devices starting at host 1, all needing the full slice.
+    fn multicast_task(cluster: &ClusterSpec, volume: u64, a: u32, b: u32) -> UnitTask {
+        let receivers = (1..=a)
+            .flat_map(|h| {
+                (0..b).map(move |l| (h, l))
+            })
+            .map(|(h, l)| Receiver {
+                device: cluster.device(h, l),
+                host: HostId(h),
+                needed: Tile::new([0..volume]),
+            })
+            .collect();
+        UnitTask {
+            index: 0,
+            slice: Tile::new([0..volume]),
+            bytes: volume,
+            senders: vec![(cluster.device(0, 0), HostId(0))],
+            receivers,
+        }
+    }
+
+    fn run(cluster: &ClusterSpec, task: &UnitTask, strategy: Strategy) -> f64 {
+        let mut g = TaskGraph::new();
+        let lowered = lower_unit_task(&mut g, task, task.senders[0].0, strategy, &[]);
+        let t = Engine::new(cluster).run(&g).unwrap();
+        t.interval(lowered.done).finish
+    }
+
+    fn cluster(hosts: u32, devs: u32) -> ClusterSpec {
+        // NVLink 100 B/s, NIC 1 B/s, zero latency: t = bytes seconds.
+        ClusterSpec::homogeneous(hosts, devs, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+    }
+
+    #[test]
+    fn send_recv_latency_is_a_times_b_times_t() {
+        // 2 hosts x 2 devices receiving 10 bytes each through one NIC:
+        // T = A*B*t = 4 * 10 = 40 s.
+        let c = cluster(3, 2);
+        let task = multicast_task(&c, 10, 2, 2);
+        let d = run(&c, &task, Strategy::SendRecv);
+        assert!((d - 40.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn local_allgather_latency_is_a_times_t() {
+        // Each of the A=2 hosts receives one copy (t each through the
+        // sender NIC) then gathers intra-host (fast): T ≈ A*t = 20.
+        let c = cluster(3, 2);
+        let task = multicast_task(&c, 10, 2, 2);
+        let d = run(&c, &task, Strategy::LocalAllGather);
+        assert!((d - 20.0).abs() < 0.3, "got {d}");
+    }
+
+    #[test]
+    fn global_allgather_latency_is_2t() {
+        // Scatter t + global all-gather ≈ t: T ≈ 2t = 20 (A=2, B=2).
+        let c = cluster(3, 2);
+        let task = multicast_task(&c, 12, 2, 2);
+        let d = run(&c, &task, Strategy::GlobalAllGather);
+        let t_unit = 12.0;
+        assert!(
+            d > 1.5 * t_unit && d < 2.3 * t_unit,
+            "expected about 2t = {}, got {d}",
+            2.0 * t_unit
+        );
+    }
+
+    #[test]
+    fn broadcast_latency_approaches_t() {
+        // T = t * (1 + A/K): with K=32 and A=3 receiver hosts, ~1.1*t.
+        let c = cluster(4, 2);
+        let task = multicast_task(&c, 32, 3, 2);
+        let d = run(&c, &task, Strategy::Broadcast { chunks: 32 });
+        let t_unit = 32.0;
+        assert!(
+            d < 1.2 * t_unit,
+            "expected close to t = {t_unit}, got {d}"
+        );
+        assert!(d >= t_unit - 1e-6, "cannot beat the bandwidth bound");
+    }
+
+    #[test]
+    fn broadcast_matches_closed_form() {
+        // Exactly T = t + A*t/K for a line of single-device hosts.
+        let c = cluster(4, 1);
+        let task = multicast_task(&c, 60, 3, 1);
+        let k = 6;
+        let d = run(&c, &task, Strategy::Broadcast { chunks: k });
+        let t_unit = 60.0;
+        // Ring hops: sender -> h1 -> h2 -> h3; 2 extra inter-host hops
+        // after the first, each pipelined: T = t * (1 + (hops-1)/K).
+        let expect = t_unit * (1.0 + 2.0 / k as f64);
+        assert!((d - expect).abs() < 1e-6, "expected {expect}, got {d}");
+    }
+
+    #[test]
+    fn tree_broadcast_covers_all_receivers() {
+        let c = cluster(4, 2);
+        let task = multicast_task(&c, 32, 3, 2);
+        let mut g = TaskGraph::new();
+        let lowered = lower_unit_task(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::TreeBroadcast { chunks: 8 },
+            &[],
+        );
+        assert_eq!(lowered.receiver_done.len(), task.receivers.len());
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!(t.interval(lowered.done).finish > 0.0);
+    }
+
+    #[test]
+    fn ring_beats_tree_for_large_messages() {
+        // Tree root sends every chunk twice: ~2t vs the ring's ~t.
+        let c = cluster(5, 2);
+        let task = multicast_task(&c, 64, 4, 2);
+        let ring = run(&c, &task, Strategy::Broadcast { chunks: 32 });
+        let tree = run(&c, &task, Strategy::TreeBroadcast { chunks: 32 });
+        assert!(
+            tree > 1.5 * ring,
+            "tree {tree} should pay ~2x bandwidth vs ring {ring}"
+        );
+        // But the tree still beats naive send/recv.
+        let sr = run(&c, &task, Strategy::SendRecv);
+        assert!(tree < sr);
+    }
+
+    #[test]
+    fn send_recv_ships_only_needed_subtiles() {
+        let c = cluster(2, 2);
+        let mut task = multicast_task(&c, 10, 1, 2);
+        // Receivers need disjoint halves.
+        task.receivers[0].needed = Tile::new([0..5]);
+        task.receivers[1].needed = Tile::new([5..10]);
+        let d = run(&c, &task, Strategy::SendRecv);
+        // 5 + 5 bytes through the NIC at 1 B/s.
+        assert!((d - 10.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn intra_host_receivers_use_fast_links() {
+        // Receivers on the sender's own host: broadcast never touches the
+        // NIC.
+        let c = cluster(1, 4);
+        let task = UnitTask {
+            index: 0,
+            slice: Tile::new([0..100]),
+            bytes: 100,
+            senders: vec![(c.device(0, 0), HostId(0))],
+            receivers: (1..4)
+                .map(|l| Receiver {
+                    device: c.device(0, l),
+                    host: HostId(0),
+                    needed: Tile::new([0..100]),
+                })
+                .collect(),
+        };
+        let d = run(&c, &task, Strategy::broadcast());
+        assert!(d < 2.0, "intra-host broadcast should be fast, got {d}");
+    }
+
+    #[test]
+    fn receiver_completions_are_ordered_along_the_ring() {
+        let c = cluster(4, 1);
+        let task = multicast_task(&c, 30, 3, 1);
+        let mut g = TaskGraph::new();
+        let lowered = lower_unit_task(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::Broadcast { chunks: 10 },
+            &[],
+        );
+        let t = Engine::new(&c).run(&g).unwrap();
+        let finishes: Vec<f64> = lowered
+            .receiver_done
+            .iter()
+            .map(|&(_, id)| t.interval(id).finish)
+            .collect();
+        assert!(finishes.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold slice")]
+    fn wrong_sender_panics() {
+        let c = cluster(2, 2);
+        let task = multicast_task(&c, 10, 1, 2);
+        let mut g = TaskGraph::new();
+        lower_unit_task(&mut g, &task, c.device(1, 0), Strategy::SendRecv, &[]);
+    }
+
+    #[test]
+    fn deps_gate_the_first_byte() {
+        let c = cluster(2, 1);
+        let task = multicast_task(&c, 10, 1, 1);
+        let mut g = TaskGraph::new();
+        let gate = g.add(Work::compute(c.device(0, 0), 5.0), []);
+        let lowered = lower_unit_task(&mut g, &task, task.senders[0].0, Strategy::broadcast(), &[gate]);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!(t.interval(lowered.done).finish >= 15.0 - 1e-6);
+    }
+
+    #[test]
+    fn tiny_messages_do_not_over_chunk() {
+        let c = cluster(2, 1);
+        let task = multicast_task(&c, 3, 1, 1);
+        let mut g = TaskGraph::new();
+        lower_unit_task(&mut g, &task, task.senders[0].0, Strategy::Broadcast { chunks: 64 }, &[]);
+        // 3-byte slice: at most 3 chunks (plus the join marker).
+        assert!(g.len() <= 4, "graph has {} tasks", g.len());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of intra-mesh resharding (Figure 1b layout
+//! conversion within one mesh).
+
+use crossmesh_collectives::lower_intra_mesh_resharding;
+use crossmesh_mesh::{DeviceMesh, DimSharding, Layout, ShardingSpec};
+use crossmesh_netsim::{ClusterSpec, Engine, LinkParams, TaskGraph, Work};
+use proptest::prelude::*;
+
+fn spec_strategy(rank: usize) -> impl Strategy<Value = ShardingSpec> {
+    (
+        prop::option::of(0..rank),
+        prop::option::of(0..rank),
+        any::<bool>(),
+    )
+        .prop_map(move |(a0, a1, swap)| {
+            let mut dims = vec![DimSharding::Replicated; rank];
+            match (a0, a1) {
+                (Some(d0), Some(d1)) if d0 == d1 => {
+                    dims[d0] = DimSharding::Sharded(if swap { vec![0, 1] } else { vec![1, 0] });
+                }
+                (a0, a1) => {
+                    if let Some(d) = a0 {
+                        dims[d] = DimSharding::Sharded(vec![0]);
+                    }
+                    if let Some(d) = a1 {
+                        dims[d] = DimSharding::Sharded(vec![1]);
+                    }
+                }
+            }
+            ShardingSpec::new(dims).expect("valid by construction")
+        })
+}
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::homogeneous(2, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every conversion completes, and each device receives at least the
+    /// volume of its new tile that its old tile did not already cover.
+    #[test]
+    fn conversions_deliver_missing_volume(
+        src in spec_strategy(2),
+        dst in spec_strategy(2),
+        shape in prop::collection::vec(2u64..16, 2),
+    ) {
+        let c = cluster();
+        let mesh = DeviceMesh::from_cluster(&c, 0, (2, 4), "m").unwrap();
+        let mut g = TaskGraph::new();
+        let r = lower_intra_mesh_resharding(&mut g, &mesh, &src, &dst, &shape, 1, &[]).unwrap();
+        let trace = Engine::new(&c).run(&g).unwrap();
+        prop_assert!(trace.interval(r.done).finish >= 0.0);
+
+        // Per-device inbound bytes >= missing volume of the new tile.
+        let src_layout = Layout::new(&mesh, &src, &shape).unwrap();
+        let dst_layout = Layout::new(&mesh, &dst, &shape).unwrap();
+        let mut inbound = std::collections::BTreeMap::new();
+        for (_, t) in g.iter() {
+            if let Work::Flow { dst, bytes, .. } = t.work {
+                *inbound.entry(dst).or_insert(0.0) += bytes;
+            }
+        }
+        for coord in mesh.coords() {
+            let dev = mesh.device(coord);
+            let have = src_layout.tile_at(coord);
+            let want = dst_layout.tile_at(coord);
+            let kept = have
+                .intersect(want)
+                .map(|t| t.volume())
+                .unwrap_or(0);
+            let missing = want.volume().saturating_sub(kept);
+            let got = inbound.get(&dev).copied().unwrap_or(0.0);
+            prop_assert!(
+                got + 1e-6 >= missing as f64,
+                "{src}->{dst}: device {dev} got {got} of {missing} missing"
+            );
+        }
+    }
+
+    /// Identity conversions never move a byte.
+    #[test]
+    fn identity_is_free(
+        spec in spec_strategy(2),
+        shape in prop::collection::vec(2u64..16, 2),
+    ) {
+        let c = cluster();
+        let mesh = DeviceMesh::from_cluster(&c, 0, (2, 4), "m").unwrap();
+        let mut g = TaskGraph::new();
+        lower_intra_mesh_resharding(&mut g, &mesh, &spec, &spec, &shape, 1, &[]).unwrap();
+        prop_assert_eq!(g.total_flow_bytes(), 0.0);
+    }
+}

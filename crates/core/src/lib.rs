@@ -1,0 +1,48 @@
+//! Cross-mesh resharding planning: the paper's primary contribution.
+//!
+//! A [`ReshardingTask`] describes one tensor that must move from a source
+//! mesh (with one sharding spec) to a destination mesh (with another). It
+//! decomposes into unit communication tasks (`crossmesh-mesh`), each lowered
+//! with a communication [`Strategy`](crossmesh_collectives::Strategy)
+//! (`crossmesh-collectives`). What remains — and what this crate solves — is
+//! the paper's §3.2 **load balancing and scheduling problem**:
+//!
+//! * pick, for every unit task, the sender host `n_i* ∈ n_i` among the
+//!   replica holders, and
+//! * order the tasks so that tasks sharing a sender or receiver host never
+//!   overlap (Eq. 1–3), minimising the completion time of the last task.
+//!
+//! Four algorithms are provided, mirroring §3.2 and the Figure 8 ablation:
+//!
+//! * [`NaivePlanner`] — lowest-index sender, arbitrary (index) order;
+//! * [`LoadBalancePlanner`] — the classical LPT greedy on sender loads
+//!   (Eq. 4), order by descending duration;
+//! * [`DfsPlanner`] — depth-first search over sender assignments with
+//!   lower-bound pruning and a node budget;
+//! * [`RandomizedGreedyPlanner`] — rounds of maximum non-conflicting task
+//!   sets found by seeded random permutations;
+//! * [`EnsemblePlanner`] — runs DFS and randomized greedy, returns the plan
+//!   with the better estimated makespan (the paper's final configuration).
+//!
+//! The produced [`Plan`] can be [`estimate`](Plan::estimate)d analytically
+//! or [`execute`](Plan::execute)d on the flow-level simulator.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataplane;
+
+mod plan;
+mod planners;
+mod task;
+
+pub use plan::{Assignment, ExecutionReport, Plan};
+pub use planners::{
+    DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner, PlannerConfig,
+    RandomizedGreedyPlanner, StrategyChoice,
+};
+pub use task::ReshardingTask;
+
+// Re-exports so downstream users rarely need the substrate crates directly.
+pub use crossmesh_collectives::{CostParams, Strategy};
+pub use crossmesh_mesh::{DeviceMesh, MeshError, ShardingSpec, UnitTask};

@@ -1,0 +1,367 @@
+//! Plans: sender-assigned, ordered unit tasks, with estimation, lowering,
+//! and simulated execution.
+
+use crate::task::ReshardingTask;
+use crossmesh_collectives::{estimate_unit_task, lower_unit_task, CostParams, LoweredComm, Strategy};
+use crossmesh_netsim::{ClusterSpec, DeviceId, Engine, HostId, SimError, TaskGraph, TaskId, Work};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One scheduled unit task: which replica sends, and with what strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Index into [`ReshardingTask::units`].
+    pub unit: usize,
+    /// The chosen sender device (one of the unit task's replicas).
+    pub sender: DeviceId,
+    /// Host of `sender`.
+    pub sender_host: HostId,
+    /// Communication strategy for this unit task.
+    pub strategy: Strategy,
+}
+
+/// The lowered form of a plan inside a larger task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredPlan {
+    /// Lowered fragments per scheduled assignment (plan order).
+    pub per_unit: Vec<LoweredComm>,
+    /// Joins the whole resharding task.
+    pub done: TaskId,
+}
+
+/// Result of executing a plan on the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Completion time of the last unit task, simulated seconds.
+    pub simulated_seconds: f64,
+    /// Bytes that crossed host NICs.
+    pub cross_host_bytes: f64,
+    /// Number of simulator tasks the plan lowered to.
+    pub tasks_lowered: usize,
+}
+
+/// A complete solution of the §3.2 optimization problem: an ordered list of
+/// sender-assigned unit tasks. Ordering is the schedule: on every host,
+/// tasks execute in plan order (tasks sharing no host proceed in parallel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan<'t> {
+    task: &'t ReshardingTask,
+    assignments: Vec<Assignment>,
+    params: CostParams,
+}
+
+impl<'t> Plan<'t> {
+    /// Builds a plan from an ordered assignment list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignments do not cover every unit task exactly once,
+    /// or a sender is not a replica of its unit task.
+    pub fn new(task: &'t ReshardingTask, assignments: Vec<Assignment>, params: CostParams) -> Self {
+        let mut seen = vec![false; task.units().len()];
+        for a in &assignments {
+            assert!(
+                a.unit < task.units().len(),
+                "assignment references unit {} of {}",
+                a.unit,
+                task.units().len()
+            );
+            assert!(!seen[a.unit], "unit {} scheduled twice", a.unit);
+            seen[a.unit] = true;
+            let unit = &task.units()[a.unit];
+            assert!(
+                unit.senders.iter().any(|&(d, h)| d == a.sender && h == a.sender_host),
+                "sender {} is not a replica holder of unit {}",
+                a.sender,
+                a.unit
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "plan must schedule every unit task"
+        );
+        Plan {
+            task,
+            assignments,
+            params,
+        }
+    }
+
+    /// The underlying resharding task.
+    pub fn task(&self) -> &'t ReshardingTask {
+        self.task
+    }
+
+    /// The ordered assignments.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// The cost parameters used for estimation.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Analytic makespan of the plan: a list schedule where each unit task
+    /// starts once the sender host and all receiver hosts are free, and
+    /// occupies them for its estimated duration.
+    pub fn estimate(&self) -> f64 {
+        let mut cursor: BTreeMap<HostId, f64> = BTreeMap::new();
+        let mut makespan = 0.0f64;
+        for a in &self.assignments {
+            let unit = &self.task.units()[a.unit];
+            let duration = estimate_unit_task(&self.params, unit, a.sender_host, a.strategy);
+            let hosts = involved_hosts(unit, a.sender_host);
+            let start = hosts
+                .iter()
+                .map(|h| cursor.get(h).copied().unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            let finish = start + duration;
+            for h in hosts {
+                cursor.insert(h, finish);
+            }
+            makespan = makespan.max(finish);
+        }
+        makespan
+    }
+
+    /// A lower bound on any schedule's makespan, from pure bandwidth
+    /// arguments: each receiver host's NIC must absorb every slice that no
+    /// source replica can deliver locally, and every unit task needs at
+    /// least its own transfer time.
+    pub fn lower_bound(&self) -> f64 {
+        let mut recv_load: BTreeMap<HostId, f64> = BTreeMap::new();
+        let mut longest = 0.0f64;
+        for a in &self.assignments {
+            let unit = &self.task.units()[a.unit];
+            let bytes = unit.bytes as f64;
+            let sender_hosts = unit.sender_hosts();
+            // Best-case transfer time of this unit in isolation.
+            let all_local = unit
+                .receiver_hosts()
+                .iter()
+                .all(|h| sender_hosts.contains(h));
+            let best = if all_local {
+                bytes / self.params.intra_bw
+            } else {
+                bytes / self.params.inter_bw
+            };
+            longest = longest.max(best);
+            for h in unit.receiver_hosts() {
+                if !sender_hosts.contains(&h) {
+                    *recv_load.entry(h).or_insert(0.0) += bytes / self.params.inter_bw;
+                }
+            }
+        }
+        recv_load
+            .values()
+            .copied()
+            .fold(0.0, f64::max)
+            .max(longest)
+    }
+
+    /// Lowers the plan into `graph`. Host-level serialization is enforced
+    /// with dependency chains: each unit task waits for the previous task
+    /// (in plan order) on each host it touches.
+    pub fn lower(&self, graph: &mut TaskGraph, deps: &[TaskId]) -> LoweredPlan {
+        let mut last_on_host: BTreeMap<HostId, TaskId> = BTreeMap::new();
+        let mut per_unit = Vec::with_capacity(self.assignments.len());
+        for a in &self.assignments {
+            let unit = &self.task.units()[a.unit];
+            let hosts = involved_hosts(unit, a.sender_host);
+            let mut unit_deps: Vec<TaskId> = deps.to_vec();
+            for h in &hosts {
+                if let Some(&m) = last_on_host.get(h) {
+                    unit_deps.push(m);
+                }
+            }
+            let lowered = lower_unit_task(graph, unit, a.sender, a.strategy, &unit_deps);
+            for h in hosts {
+                last_on_host.insert(h, lowered.done);
+            }
+            per_unit.push(lowered);
+        }
+        let done = graph.add(Work::Marker, per_unit.iter().map(|l| l.done));
+        LoweredPlan { per_unit, done }
+    }
+
+    /// Executes the plan alone on `cluster` and reports the simulated
+    /// completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (e.g. the plan references devices not in
+    /// `cluster`).
+    pub fn execute(&self, cluster: &ClusterSpec) -> Result<ExecutionReport, SimError> {
+        let mut graph = TaskGraph::new();
+        let lowered = self.lower(&mut graph, &[]);
+        let trace = Engine::new(cluster).run(&graph)?;
+        Ok(ExecutionReport {
+            simulated_seconds: trace.interval(lowered.done).finish,
+            cross_host_bytes: trace.usage().total_cross_host_bytes(),
+            tasks_lowered: graph.len(),
+        })
+    }
+}
+
+/// The hosts a unit task occupies while executing: its sender host plus all
+/// receiver hosts.
+pub(crate) fn involved_hosts(
+    unit: &crossmesh_mesh::UnitTask,
+    sender_host: HostId,
+) -> Vec<HostId> {
+    let mut hosts = unit.receiver_hosts();
+    if let Err(pos) = hosts.binary_search(&sender_host) {
+        hosts.insert(pos, sender_host);
+    }
+    hosts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_mesh::DeviceMesh;
+    use crossmesh_netsim::LinkParams;
+
+    fn setup() -> (ClusterSpec, ReshardingTask) {
+        let c = ClusterSpec::homogeneous(
+            4,
+            2,
+            LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+        );
+        let a = DeviceMesh::from_cluster(&c, 0, (2, 2), "A").unwrap();
+        let b = DeviceMesh::from_cluster(&c, 2, (2, 2), "B").unwrap();
+        let t = ReshardingTask::new(
+            a,
+            "S0R".parse().unwrap(),
+            b,
+            "S0R".parse().unwrap(),
+            &[8, 8],
+            1,
+        )
+        .unwrap();
+        (c, t)
+    }
+
+    fn params() -> CostParams {
+        CostParams {
+            inter_bw: 1.0,
+            intra_bw: 100.0,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+        }
+    }
+
+    fn plan_for(task: &ReshardingTask) -> Plan<'_> {
+        let assignments = task
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| Assignment {
+                unit: i,
+                sender: u.senders[0].0,
+                sender_host: u.senders[0].1,
+                strategy: Strategy::broadcast(),
+            })
+            .collect();
+        Plan::new(task, assignments, params())
+    }
+
+    #[test]
+    fn execute_reports_cross_host_traffic() {
+        let (c, t) = setup();
+        let plan = plan_for(&t);
+        let report = plan.execute(&c).unwrap();
+        // Two 32-byte halves, each broadcast to one remote host once.
+        assert!((report.cross_host_bytes - 64.0).abs() < 1e-6);
+        assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn estimate_is_close_to_simulation_for_disjoint_tasks() {
+        let (c, t) = setup();
+        let plan = plan_for(&t);
+        let est = plan.estimate();
+        let sim = plan.execute(&c).unwrap().simulated_seconds;
+        let rel = (est - sim).abs() / sim;
+        assert!(rel < 0.2, "estimate {est} vs simulated {sim}");
+    }
+
+    #[test]
+    fn lower_bound_holds() {
+        let (c, t) = setup();
+        let plan = plan_for(&t);
+        let sim = plan.execute(&c).unwrap().simulated_seconds;
+        assert!(plan.lower_bound() <= sim + 1e-9);
+        assert!(plan.lower_bound() <= plan.estimate() + 1e-9);
+    }
+
+    #[test]
+    fn conflicting_tasks_serialize() {
+        // Force both units through the same sender host; they must not
+        // overlap there.
+        let (c, t) = setup();
+        // Unit replicas: S0R on 2x2 mesh -> each slice held by one row
+        // (2 devices on one host each, since rows are hosts).
+        let assignments: Vec<Assignment> = t
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| Assignment {
+                unit: i,
+                sender: u.senders[0].0,
+                sender_host: u.senders[0].1,
+                strategy: Strategy::SendRecv,
+            })
+            .collect();
+        let plan = Plan::new(&t, assignments, params());
+        let mut graph = TaskGraph::new();
+        let lowered = plan.lower(&mut graph, &[]);
+        let trace = Engine::new(&c).run(&graph).unwrap();
+        // Receiver hosts are disjoint (unit 0 -> host 2, unit 1 -> host 3)
+        // and senders are distinct hosts, so they CAN overlap.
+        let i0 = trace.interval(lowered.per_unit[0].done);
+        let i1 = trace.interval(lowered.per_unit[1].done);
+        assert!(i0.overlaps(&i1) || i0.finish <= i1.start || i1.finish <= i0.start);
+        assert!(trace.interval(lowered.done).finish > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every unit task")]
+    fn incomplete_plan_panics() {
+        let (_, t) = setup();
+        Plan::new(&t, vec![], params());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a replica holder")]
+    fn bad_sender_panics() {
+        let (c, t) = setup();
+        let assignments = vec![
+            Assignment {
+                unit: 0,
+                sender: c.device(3, 0),
+                sender_host: HostId(3),
+                strategy: Strategy::SendRecv,
+            },
+            Assignment {
+                unit: 1,
+                sender: t.units()[1].senders[0].0,
+                sender_host: t.units()[1].senders[0].1,
+                strategy: Strategy::SendRecv,
+            },
+        ];
+        Plan::new(&t, assignments, params());
+    }
+
+    #[test]
+    fn involved_hosts_includes_sender_once() {
+        let (_, t) = setup();
+        let u = &t.units()[0];
+        let hosts = involved_hosts(u, u.senders[0].1);
+        let mut dedup = hosts.clone();
+        dedup.dedup();
+        assert_eq!(hosts, dedup);
+        assert!(hosts.contains(&u.senders[0].1));
+    }
+}

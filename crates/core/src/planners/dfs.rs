@@ -1,0 +1,241 @@
+//! Depth-first search over sender assignments with lower-bound pruning.
+
+use super::{replica_on, LoadBalancePlanner, Planner, PlannerConfig};
+use crate::plan::{involved_hosts, Assignment, Plan};
+use crate::task::ReshardingTask;
+use crossmesh_collectives::estimate_unit_task;
+use crossmesh_netsim::HostId;
+use std::collections::BTreeMap;
+
+/// The paper's "DFS with pruning" (§3.2): a depth-first search over sender
+/// assignments. Partial assignments are pruned when the heaviest sender
+/// load already reaches the best known makespan (the Eq. 4 lower bound);
+/// each complete assignment is turned into a schedule with an
+/// earliest-start list scheduler and evaluated analytically.
+///
+/// The search is bounded by a node budget; the paper notes the exact search
+/// stops being useful beyond ~20 unit tasks, which is why the ensemble also
+/// runs the randomized greedy.
+#[derive(Debug, Clone)]
+pub struct DfsPlanner {
+    config: PlannerConfig,
+    node_budget: usize,
+}
+
+impl Default for DfsPlanner {
+    fn default() -> Self {
+        DfsPlanner {
+            config: PlannerConfig::default(),
+            node_budget: 100_000,
+        }
+    }
+}
+
+impl DfsPlanner {
+    /// Creates the planner with the default node budget (100 000 nodes).
+    pub fn new(config: PlannerConfig) -> Self {
+        DfsPlanner {
+            config,
+            node_budget: 100_000,
+        }
+    }
+
+    /// Returns a copy with the node budget replaced.
+    #[must_use]
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.node_budget = budget.max(1);
+        self
+    }
+}
+
+struct Search<'t, 'c> {
+    task: &'t ReshardingTask,
+    config: &'c PlannerConfig,
+    /// Unit indices in search order with per-candidate (host, duration).
+    items: Vec<(usize, Vec<(HostId, f64)>)>,
+    nodes_left: usize,
+    best_est: f64,
+    best: Option<Vec<Assignment>>,
+    chosen: Vec<(HostId, f64)>,
+    load: BTreeMap<HostId, f64>,
+}
+
+impl<'t> Search<'t, '_> {
+    fn dfs(&mut self, depth: usize) {
+        if self.nodes_left == 0 {
+            return;
+        }
+        self.nodes_left -= 1;
+
+        if depth == self.items.len() {
+            let assignments = self.leaf_assignments();
+            let plan = Plan::new(self.task, assignments.clone(), self.config.params);
+            let est = plan.estimate();
+            if est < self.best_est {
+                self.best_est = est;
+                self.best = Some(assignments);
+            }
+            return;
+        }
+
+        // Try lighter hosts first to reach good leaves early.
+        let mut candidates = self.items[depth].1.clone();
+        candidates.sort_by(|&(ha, da), &(hb, db)| {
+            let la = self.load.get(&ha).copied().unwrap_or(0.0) + da;
+            let lb = self.load.get(&hb).copied().unwrap_or(0.0) + db;
+            la.total_cmp(&lb).then(ha.cmp(&hb))
+        });
+        for (host, duration) in candidates {
+            let new_load = self.load.get(&host).copied().unwrap_or(0.0) + duration;
+            if new_load >= self.best_est {
+                continue; // Eq. 4 lower bound: this host alone busts the best.
+            }
+            *self.load.entry(host).or_insert(0.0) += duration;
+            self.chosen.push((host, duration));
+            self.dfs(depth + 1);
+            self.chosen.pop();
+            *self.load.get_mut(&host).expect("host load present") -= duration;
+        }
+    }
+
+    /// Builds the ordered assignments for the current complete choice using
+    /// an earliest-start list schedule over host availability.
+    fn leaf_assignments(&self) -> Vec<Assignment> {
+        let entries: Vec<(usize, HostId, f64)> = self
+            .items
+            .iter()
+            .zip(&self.chosen)
+            .map(|(&(unit, _), &(host, duration))| (unit, host, duration))
+            .collect();
+        let mut cursor: BTreeMap<HostId, f64> = BTreeMap::new();
+        let mut remaining: Vec<(usize, HostId, f64)> = entries;
+        let mut out = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &(unit, host, duration))| {
+                    let hosts = involved_hosts(&self.task.units()[unit], host);
+                    let start = hosts
+                        .iter()
+                        .map(|h| cursor.get(h).copied().unwrap_or(0.0))
+                        .fold(0.0, f64::max);
+                    (pos, (start, -duration, unit))
+                })
+                .min_by(|a, b| {
+                    a.1 .0
+                        .total_cmp(&b.1 .0)
+                        .then(a.1 .1.total_cmp(&b.1 .1))
+                        .then(a.1 .2.cmp(&b.1 .2))
+                })
+                .expect("remaining is non-empty");
+            let (unit, host, duration) = remaining.swap_remove(pos);
+            let hosts = involved_hosts(&self.task.units()[unit], host);
+            let start = hosts
+                .iter()
+                .map(|h| cursor.get(h).copied().unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            for h in hosts {
+                cursor.insert(h, start + duration);
+            }
+            let u = &self.task.units()[unit];
+            out.push(Assignment {
+                unit,
+                sender: replica_on(u, host),
+                sender_host: host,
+                strategy: self.config.strategy.resolve(u),
+            });
+        }
+        out
+    }
+}
+
+impl Planner for DfsPlanner {
+    fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        // Start from the LPT solution: the search can only improve on it.
+        let seed_plan = LoadBalancePlanner::new(self.config).plan(task);
+        let seed_est = seed_plan.estimate();
+
+        let mut items: Vec<(usize, Vec<(HostId, f64)>)> = task
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, unit)| {
+                let strategy = self.config.strategy.resolve(unit);
+                let cands = unit
+                    .sender_hosts()
+                    .into_iter()
+                    .map(|h| (h, estimate_unit_task(&self.config.params, unit, h, strategy)))
+                    .collect();
+                (i, cands)
+            })
+            .collect();
+        // Longest first: prunes earlier.
+        items.sort_by(|a, b| {
+            let da = a.1.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+            let db = b.1.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+            db.total_cmp(&da).then(a.0.cmp(&b.0))
+        });
+
+        let mut search = Search {
+            task,
+            config: &self.config,
+            items,
+            nodes_left: self.node_budget,
+            best_est: seed_est,
+            best: None,
+            chosen: Vec::new(),
+            load: BTreeMap::new(),
+        };
+        search.dfs(0);
+        match search.best {
+            Some(assignments) => Plan::new(task, assignments, self.config.params),
+            None => seed_plan,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::NaivePlanner;
+    use super::*;
+
+    #[test]
+    fn never_worse_than_lpt() {
+        for (src, dst) in [("RRR", "S0RR"), ("S0RR", "S1RR"), ("RS0R", "S0RR")] {
+            let t = task(src, dst, &[16, 8, 8]);
+            let dfs = DfsPlanner::new(config()).plan(&t).estimate();
+            let lpt = LoadBalancePlanner::new(config()).plan(&t).estimate();
+            assert!(dfs <= lpt + 1e-9, "{src}->{dst}: dfs {dfs} vs lpt {lpt}");
+        }
+    }
+
+    #[test]
+    fn improves_on_naive_for_replicated_sources() {
+        let c = cluster();
+        let t = task("RRR", "S1RR", &[16, 8, 8]);
+        let dfs = DfsPlanner::new(config()).plan(&t).execute(&c).unwrap();
+        let naive = NaivePlanner::new(config()).plan(&t).execute(&c).unwrap();
+        assert!(dfs.simulated_seconds <= naive.simulated_seconds + 1e-9);
+    }
+
+    #[test]
+    fn budget_of_one_still_returns_a_valid_plan() {
+        let t = task("S0RR", "S01RR", &[8, 8, 8]);
+        let planner = DfsPlanner::new(config()).with_node_budget(1);
+        let plan = planner.plan(&t);
+        assert_eq!(plan.assignments().len(), t.units().len());
+    }
+
+    #[test]
+    fn respects_estimate_lower_bound() {
+        let t = task("RS0R", "S0RR", &[8, 8, 8]);
+        let plan = DfsPlanner::new(config()).plan(&t);
+        assert!(plan.lower_bound() <= plan.estimate() + 1e-9);
+    }
+}

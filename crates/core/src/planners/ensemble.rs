@@ -1,0 +1,116 @@
+//! The ensemble the paper actually ships: best of DFS and randomized greedy.
+
+use super::{DfsPlanner, Planner, PlannerConfig, RandomizedGreedyPlanner};
+use crate::plan::Plan;
+use crate::task::ReshardingTask;
+
+/// Runs both [`DfsPlanner`] and [`RandomizedGreedyPlanner`] and keeps the
+/// plan with the smaller estimated makespan — the configuration used for
+/// "ours" throughout the paper's evaluation ("We run both algorithms and
+/// choose the better result", §5.3.1).
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_core::{EnsemblePlanner, Planner, ReshardingTask};
+/// use crossmesh_mesh::DeviceMesh;
+/// use crossmesh_netsim::{ClusterSpec, LinkParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = ClusterSpec::homogeneous(4, 4, LinkParams::new(100e9, 1.25e9));
+/// let task = ReshardingTask::new(
+///     DeviceMesh::from_cluster(&cluster, 0, (2, 4), "src")?,
+///     "RS0R".parse()?,
+///     DeviceMesh::from_cluster(&cluster, 2, (2, 4), "dst")?,
+///     "S0RR".parse()?,
+///     &[256, 256, 64],
+///     4,
+/// )?;
+/// let plan = EnsemblePlanner::default().plan(&task);
+/// let report = plan.execute(&cluster)?;
+/// assert!(report.simulated_seconds >= plan.lower_bound());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnsemblePlanner {
+    dfs: DfsPlanner,
+    greedy: RandomizedGreedyPlanner,
+}
+
+impl EnsemblePlanner {
+    /// Creates the ensemble with both member planners sharing `config`.
+    pub fn new(config: PlannerConfig) -> Self {
+        EnsemblePlanner {
+            dfs: DfsPlanner::new(config),
+            greedy: RandomizedGreedyPlanner::new(config),
+        }
+    }
+
+    /// Replaces the DFS member (e.g. to change its node budget).
+    #[must_use]
+    pub fn with_dfs(mut self, dfs: DfsPlanner) -> Self {
+        self.dfs = dfs;
+        self
+    }
+
+    /// Replaces the randomized-greedy member.
+    #[must_use]
+    pub fn with_greedy(mut self, greedy: RandomizedGreedyPlanner) -> Self {
+        self.greedy = greedy;
+        self
+    }
+}
+
+impl Planner for EnsemblePlanner {
+    fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        // DFS explodes on large task counts; skip it there, as the paper
+        // observes it "fails to produce an efficient schedule ... when
+        // there are > 20 unit communication tasks".
+        let greedy = self.greedy.plan(task);
+        if task.units().len() > 20 {
+            return greedy;
+        }
+        let dfs = self.dfs.plan(task);
+        if dfs.estimate() <= greedy.estimate() {
+            dfs
+        } else {
+            greedy
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ours"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn at_least_as_good_as_either_member() {
+        for (src, dst) in [("RRR", "S0RR"), ("RS0R", "S0RR"), ("S0RR", "S1RR")] {
+            let t = task(src, dst, &[16, 8, 8]);
+            let e = EnsemblePlanner::new(config()).plan(&t).estimate();
+            let d = DfsPlanner::new(config()).plan(&t).estimate();
+            let g = RandomizedGreedyPlanner::new(config()).plan(&t).estimate();
+            assert!(e <= d.min(g) + 1e-9, "{src}->{dst}: {e} vs dfs {d} / greedy {g}");
+        }
+    }
+
+    #[test]
+    fn large_task_counts_skip_dfs() {
+        // S^{01} on a big first dim -> many unit tasks; must stay fast.
+        let t = task("S01RR", "S01RR", &[64, 8, 8]);
+        assert!(t.units().len() > 4);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        assert_eq!(plan.assignments().len(), t.units().len());
+    }
+
+    #[test]
+    fn name_is_ours() {
+        assert_eq!(EnsemblePlanner::default().name(), "ours");
+    }
+}

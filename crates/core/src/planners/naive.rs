@@ -1,0 +1,79 @@
+//! The naive baseline: lowest-index sender, arbitrary (index) order.
+
+use super::{replica_on, Planner, PlannerConfig};
+use crate::plan::{Assignment, Plan};
+use crate::task::ReshardingTask;
+
+/// The paper's naive baseline (§3.2): every unit task is sent by the
+/// first (lowest-indexed) replica host, in an arbitrary global order (we
+/// use unit-index order). No load balancing, no scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct NaivePlanner {
+    config: PlannerConfig,
+}
+
+impl NaivePlanner {
+    /// Creates the planner with the given configuration.
+    pub fn new(config: PlannerConfig) -> Self {
+        NaivePlanner { config }
+    }
+}
+
+impl Planner for NaivePlanner {
+    fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        let assignments = task
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, unit)| {
+                let host = unit.sender_hosts()[0];
+                Assignment {
+                    unit: i,
+                    sender: replica_on(unit, host),
+                    sender_host: host,
+                    strategy: self.config.strategy.resolve(unit),
+                }
+            })
+            .collect();
+        Plan::new(task, assignments, self.config.params)
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crossmesh_netsim::HostId;
+
+    #[test]
+    fn always_picks_lowest_host() {
+        // RRR source: every host replicates, naive always sends from host 0.
+        let t = task("RRR", "S0RR", &[8, 8, 8]);
+        let plan = NaivePlanner::new(config()).plan(&t);
+        for a in plan.assignments() {
+            assert_eq!(a.sender_host, HostId(0));
+        }
+    }
+
+    #[test]
+    fn order_is_unit_index_order() {
+        let t = task("S0RR", "S1RR", &[8, 8, 8]);
+        let plan = NaivePlanner::new(config()).plan(&t);
+        let order: Vec<usize> = plan.assignments().iter().map(|a| a.unit).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn executes_on_the_simulator() {
+        let c = cluster();
+        let t = task("S0RR", "S0RR", &[8, 8, 8]);
+        let report = NaivePlanner::new(config()).plan(&t).execute(&c).unwrap();
+        assert!(report.simulated_seconds > 0.0);
+    }
+}

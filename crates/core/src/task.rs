@@ -1,0 +1,152 @@
+//! The full cross-mesh resharding problem instance.
+
+use crossmesh_mesh::{unit_tasks, DeviceMesh, MeshError, ShardingSpec, UnitTask};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cross-mesh resharding task: send a tensor sharded as `src_spec` on
+/// `src_mesh` so it appears as `dst_spec` on `dst_mesh`.
+///
+/// Construction eagerly decomposes the task into unit communication tasks;
+/// planners and schedules operate on that decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshardingTask {
+    src_mesh: DeviceMesh,
+    src_spec: ShardingSpec,
+    dst_mesh: DeviceMesh,
+    dst_spec: ShardingSpec,
+    shape: Vec<u64>,
+    elem_bytes: u64,
+    units: Vec<UnitTask>,
+}
+
+impl ReshardingTask {
+    /// Builds the task and its unit-task decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MeshError`]s: overlapping meshes, rank mismatches, or
+    /// empty tensors.
+    pub fn new(
+        src_mesh: DeviceMesh,
+        src_spec: ShardingSpec,
+        dst_mesh: DeviceMesh,
+        dst_spec: ShardingSpec,
+        shape: &[u64],
+        elem_bytes: u64,
+    ) -> Result<Self, MeshError> {
+        let units = unit_tasks(
+            &src_mesh, &src_spec, &dst_mesh, &dst_spec, shape, elem_bytes,
+        )?;
+        Ok(ReshardingTask {
+            src_mesh,
+            src_spec,
+            dst_mesh,
+            dst_spec,
+            shape: shape.to_vec(),
+            elem_bytes,
+            units,
+        })
+    }
+
+    /// The unit communication tasks, in deterministic slice order.
+    pub fn units(&self) -> &[UnitTask] {
+        &self.units
+    }
+
+    /// Source mesh.
+    pub fn src_mesh(&self) -> &DeviceMesh {
+        &self.src_mesh
+    }
+
+    /// Destination mesh.
+    pub fn dst_mesh(&self) -> &DeviceMesh {
+        &self.dst_mesh
+    }
+
+    /// Source sharding spec.
+    pub fn src_spec(&self) -> &ShardingSpec {
+        &self.src_spec
+    }
+
+    /// Destination sharding spec.
+    pub fn dst_spec(&self) -> &ShardingSpec {
+        &self.dst_spec
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    /// Bytes per tensor element.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// Total unique bytes that must cross between the meshes — the §2.2
+    /// lower bound (the tensor size).
+    pub fn total_bytes(&self) -> u64 {
+        self.units.iter().map(|u| u.bytes).sum()
+    }
+}
+
+impl fmt::Display for ReshardingTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} -> {} @ {} ({} units)",
+            self.src_spec,
+            self.src_mesh,
+            self.dst_spec,
+            self.dst_mesh,
+            self.units.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_netsim::{ClusterSpec, LinkParams};
+
+    fn setup() -> (ClusterSpec, DeviceMesh, DeviceMesh) {
+        let c = ClusterSpec::homogeneous(4, 4, LinkParams::new(100e9, 1.25e9));
+        let a = DeviceMesh::from_cluster(&c, 0, (2, 4), "A").unwrap();
+        let b = DeviceMesh::from_cluster(&c, 2, (2, 4), "B").unwrap();
+        (c, a, b)
+    }
+
+    #[test]
+    fn construction_decomposes() {
+        let (_, a, b) = setup();
+        let t = ReshardingTask::new(
+            a,
+            "S0RR".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[64, 64, 64],
+            4,
+        )
+        .unwrap();
+        assert_eq!(t.units().len(), 2);
+        assert_eq!(t.total_bytes(), 64 * 64 * 64 * 4);
+        assert!(t.to_string().contains("2 units"));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let (c, a, _) = setup();
+        let overlapping = DeviceMesh::from_cluster(&c, 1, (2, 4), "B").unwrap();
+        let err = ReshardingTask::new(
+            a,
+            "RRR".parse().unwrap(),
+            overlapping,
+            "RRR".parse().unwrap(),
+            &[8, 8, 8],
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err, MeshError::OverlappingMeshes);
+    }
+}

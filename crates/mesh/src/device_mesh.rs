@@ -1,0 +1,336 @@
+//! 2-D logical device meshes over cluster devices.
+
+use crate::error::MeshError;
+use crossmesh_netsim::{ClusterSpec, DeviceId, HostId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Range;
+
+/// A coordinate inside a mesh: `(row, col)` = `(axis-0 index, axis-1 index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MeshCoord {
+    /// Index along mesh axis 0 (conventionally the host axis).
+    pub row: usize,
+    /// Index along mesh axis 1 (conventionally the device-within-host axis).
+    pub col: usize,
+}
+
+/// A 2-D logical view `(m1, m2)` over a set of cluster devices, following
+/// the GSPMD/Alpa definition the paper adopts.
+///
+/// The mesh stores, for every device, the host that owns it, so downstream
+/// planners can reason about intra- vs. inter-host communication without a
+/// cluster handle.
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_mesh::{DeviceMesh, MeshCoord};
+/// use crossmesh_netsim::{ClusterSpec, LinkParams};
+///
+/// # fn main() -> Result<(), crossmesh_mesh::MeshError> {
+/// let cluster = ClusterSpec::homogeneous(2, 4, LinkParams::new(100e9, 1.25e9));
+/// // A (2, 4) mesh: rows are hosts, columns the GPUs within each host.
+/// let mesh = DeviceMesh::from_cluster_hosts(&cluster, 0..2, "stage0")?;
+/// assert_eq!(mesh.shape(), (2, 4));
+/// assert_eq!(mesh.host(MeshCoord { row: 1, col: 0 }).0, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMesh {
+    name: String,
+    shape: (usize, usize),
+    /// Row-major: device at `(r, c)` is `devices[r * shape.1 + c]`.
+    devices: Vec<DeviceId>,
+    /// Host of each device, parallel to `devices`.
+    hosts: Vec<HostId>,
+}
+
+impl DeviceMesh {
+    /// Builds a mesh from explicit device and host lists (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ShapeMismatch`] if `devices.len() != m1 * m2`
+    /// or `hosts.len() != devices.len()`, and
+    /// [`MeshError::ClusterOutOfRange`] if a device id repeats.
+    pub fn new(
+        name: impl Into<String>,
+        shape: (usize, usize),
+        devices: Vec<DeviceId>,
+        hosts: Vec<HostId>,
+    ) -> Result<Self, MeshError> {
+        if shape.0 * shape.1 != devices.len() || hosts.len() != devices.len() {
+            return Err(MeshError::ShapeMismatch {
+                shape,
+                devices: devices.len(),
+            });
+        }
+        let unique: BTreeSet<_> = devices.iter().collect();
+        if unique.len() != devices.len() {
+            return Err(MeshError::ClusterOutOfRange {
+                what: "duplicate device in mesh".to_string(),
+            });
+        }
+        Ok(DeviceMesh {
+            name: name.into(),
+            shape,
+            devices,
+            hosts,
+        })
+    }
+
+    /// Builds an `(m1, m2)` mesh from the cluster: rows are hosts
+    /// `host_offset..host_offset + m1`, columns the first `m2` devices of
+    /// each of those hosts. This is the standard physical mapping where
+    /// mesh axis 0 is the host axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ClusterOutOfRange`] if the cluster does not
+    /// have enough hosts or devices per host.
+    pub fn from_cluster(
+        cluster: &ClusterSpec,
+        host_offset: usize,
+        shape: (usize, usize),
+        name: impl Into<String>,
+    ) -> Result<Self, MeshError> {
+        let (m1, m2) = shape;
+        if host_offset + m1 > cluster.num_hosts() as usize {
+            return Err(MeshError::ClusterOutOfRange {
+                what: format!(
+                    "hosts {}..{} of {}",
+                    host_offset,
+                    host_offset + m1,
+                    cluster.num_hosts()
+                ),
+            });
+        }
+        let mut devices = Vec::with_capacity(m1 * m2);
+        let mut hosts = Vec::with_capacity(m1 * m2);
+        for h in host_offset..host_offset + m1 {
+            let host = HostId(h as u32);
+            let available = cluster.host(host).devices as usize;
+            if m2 > available {
+                return Err(MeshError::ClusterOutOfRange {
+                    what: format!("{m2} devices on host {h} (has {available})"),
+                });
+            }
+            for l in 0..m2 {
+                devices.push(cluster.device(h as u32, l as u32));
+                hosts.push(host);
+            }
+        }
+        DeviceMesh::new(name, shape, devices, hosts)
+    }
+
+    /// Builds a mesh over whole hosts of the cluster: rows are the hosts in
+    /// `hosts`, columns all devices of each host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ClusterOutOfRange`] if the range exceeds the
+    /// cluster or the hosts have differing device counts.
+    pub fn from_cluster_hosts(
+        cluster: &ClusterSpec,
+        hosts: Range<usize>,
+        name: impl Into<String>,
+    ) -> Result<Self, MeshError> {
+        if hosts.end > cluster.num_hosts() as usize || hosts.start >= hosts.end {
+            return Err(MeshError::ClusterOutOfRange {
+                what: format!("host range {hosts:?} of {}", cluster.num_hosts()),
+            });
+        }
+        let per_host = cluster.host(HostId(hosts.start as u32)).devices as usize;
+        for h in hosts.clone() {
+            if cluster.host(HostId(h as u32)).devices as usize != per_host {
+                return Err(MeshError::ClusterOutOfRange {
+                    what: format!("host {h} has a different device count"),
+                });
+            }
+        }
+        let m1 = hosts.end - hosts.start;
+        DeviceMesh::from_cluster(cluster, hosts.start, (m1, per_host), name)
+    }
+
+    /// The mesh's name (used in labels and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical shape `(m1, m2)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Size of mesh axis `axis` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 1`.
+    pub fn axis_size(&self, axis: usize) -> usize {
+        match axis {
+            0 => self.shape.0,
+            1 => self.shape.1,
+            _ => panic!("mesh axis {axis} out of range"),
+        }
+    }
+
+    /// Total number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn device(&self, coord: MeshCoord) -> DeviceId {
+        assert!(
+            coord.row < self.shape.0 && coord.col < self.shape.1,
+            "mesh coordinate ({}, {}) out of {}x{}",
+            coord.row,
+            coord.col,
+            self.shape.0,
+            self.shape.1
+        );
+        self.devices[coord.row * self.shape.1 + coord.col]
+    }
+
+    /// The host owning the device at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn host(&self, coord: MeshCoord) -> HostId {
+        assert!(coord.row < self.shape.0 && coord.col < self.shape.1);
+        self.hosts[coord.row * self.shape.1 + coord.col]
+    }
+
+    /// The host owning `device`, if the device belongs to this mesh.
+    pub fn host_of_device(&self, device: DeviceId) -> Option<HostId> {
+        self.devices
+            .iter()
+            .position(|&d| d == device)
+            .map(|i| self.hosts[i])
+    }
+
+    /// Iterates over all coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = MeshCoord> + '_ {
+        let (m1, m2) = self.shape;
+        (0..m1).flat_map(move |row| (0..m2).map(move |col| MeshCoord { row, col }))
+    }
+
+    /// All devices in row-major order.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// The distinct hosts of this mesh, ascending.
+    pub fn distinct_hosts(&self) -> Vec<HostId> {
+        let set: BTreeSet<HostId> = self.hosts.iter().copied().collect();
+        set.into_iter().collect()
+    }
+
+    /// True if the meshes share no device.
+    pub fn is_disjoint(&self, other: &DeviceMesh) -> bool {
+        let mine: BTreeSet<_> = self.devices.iter().collect();
+        other.devices.iter().all(|d| !mine.contains(d))
+    }
+}
+
+impl fmt::Display for DeviceMesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}x{})",
+            self.name, self.shape.0, self.shape.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_netsim::LinkParams;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(4, 4, LinkParams::new(10e9, 1e9))
+    }
+
+    #[test]
+    fn from_cluster_maps_rows_to_hosts() {
+        let c = cluster();
+        let m = DeviceMesh::from_cluster(&c, 1, (2, 3), "m").unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.device(MeshCoord { row: 0, col: 0 }), c.device(1, 0));
+        assert_eq!(m.device(MeshCoord { row: 1, col: 2 }), c.device(2, 2));
+        assert_eq!(m.host(MeshCoord { row: 1, col: 0 }), HostId(2));
+        assert_eq!(m.distinct_hosts(), vec![HostId(1), HostId(2)]);
+    }
+
+    #[test]
+    fn from_cluster_hosts_uses_whole_hosts() {
+        let c = cluster();
+        let m = DeviceMesh::from_cluster_hosts(&c, 0..2, "m").unwrap();
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m.num_devices(), 8);
+    }
+
+    #[test]
+    fn out_of_range_requests_fail() {
+        let c = cluster();
+        assert!(DeviceMesh::from_cluster(&c, 3, (2, 2), "m").is_err());
+        assert!(DeviceMesh::from_cluster(&c, 0, (1, 5), "m").is_err());
+        assert!(DeviceMesh::from_cluster_hosts(&c, 2..2, "m").is_err());
+    }
+
+    #[test]
+    fn disjointness() {
+        let c = cluster();
+        let a = DeviceMesh::from_cluster(&c, 0, (2, 4), "a").unwrap();
+        let b = DeviceMesh::from_cluster(&c, 2, (2, 4), "b").unwrap();
+        let overlapping = DeviceMesh::from_cluster(&c, 1, (2, 4), "c").unwrap();
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&overlapping));
+    }
+
+    #[test]
+    fn duplicate_devices_rejected() {
+        let err = DeviceMesh::new(
+            "m",
+            (1, 2),
+            vec![DeviceId(0), DeviceId(0)],
+            vec![HostId(0), HostId(0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MeshError::ClusterOutOfRange { .. }));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let err = DeviceMesh::new("m", (2, 2), vec![DeviceId(0)], vec![HostId(0)]).unwrap_err();
+        assert!(matches!(err, MeshError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn coords_iterate_row_major() {
+        let c = cluster();
+        let m = DeviceMesh::from_cluster(&c, 0, (2, 2), "m").unwrap();
+        let coords: Vec<_> = m.coords().collect();
+        assert_eq!(coords.len(), 4);
+        assert_eq!(coords[0], MeshCoord { row: 0, col: 0 });
+        assert_eq!(coords[1], MeshCoord { row: 0, col: 1 });
+        assert_eq!(coords[2], MeshCoord { row: 1, col: 0 });
+    }
+
+    #[test]
+    fn display_includes_shape() {
+        let c = cluster();
+        let m = DeviceMesh::from_cluster(&c, 0, (2, 2), "src").unwrap();
+        assert_eq!(m.to_string(), "src(2x2)");
+    }
+}

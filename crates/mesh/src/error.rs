@@ -1,0 +1,110 @@
+//! Errors for mesh and sharding-spec construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building meshes, parsing specs, or decomposing
+/// resharding tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// A sharding-spec string failed to parse.
+    ParseSpec {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A mesh axis appears in more than one dimension of a spec, or an axis
+    /// index is not 0 or 1.
+    InvalidAxis {
+        /// The axis in question.
+        axis: usize,
+    },
+    /// The mesh shape does not match the number of devices.
+    ShapeMismatch {
+        /// Requested logical shape.
+        shape: (usize, usize),
+        /// Number of devices provided.
+        devices: usize,
+    },
+    /// A mesh slice request exceeds the cluster (host offset/count or
+    /// per-host device count out of range).
+    ClusterOutOfRange {
+        /// Description of what was out of range.
+        what: String,
+    },
+    /// A spec's dimensionality differs from the tensor's.
+    RankMismatch {
+        /// Spec rank.
+        spec: usize,
+        /// Tensor rank.
+        tensor: usize,
+    },
+    /// Source and destination meshes share a device, which cross-mesh
+    /// resharding forbids (`Mesh_A ∩ Mesh_B = ∅`).
+    OverlappingMeshes,
+    /// A tensor dimension of size zero was supplied.
+    EmptyTensor,
+    /// A search or constraint problem has no feasible solution.
+    Unsatisfiable {
+        /// Description of the violated requirement.
+        what: String,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::ParseSpec { input, reason } => {
+                write!(f, "invalid sharding spec {input:?}: {reason}")
+            }
+            MeshError::InvalidAxis { axis } => {
+                write!(f, "mesh axis {axis} is invalid or used more than once")
+            }
+            MeshError::ShapeMismatch { shape, devices } => write!(
+                f,
+                "mesh shape {}x{} needs {} devices, got {devices}",
+                shape.0,
+                shape.1,
+                shape.0 * shape.1
+            ),
+            MeshError::ClusterOutOfRange { what } => {
+                write!(f, "mesh does not fit in the cluster: {what}")
+            }
+            MeshError::RankMismatch { spec, tensor } => write!(
+                f,
+                "sharding spec has rank {spec} but the tensor has rank {tensor}"
+            ),
+            MeshError::OverlappingMeshes => {
+                write!(f, "source and destination meshes must not share devices")
+            }
+            MeshError::EmptyTensor => write!(f, "tensor dimensions must be positive"),
+            MeshError::Unsatisfiable { what } => write!(f, "no feasible solution: {what}"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MeshError::OverlappingMeshes.to_string().contains("share"));
+        let e = MeshError::ShapeMismatch {
+            shape: (2, 3),
+            devices: 4,
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("6 devices"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<MeshError>();
+    }
+}

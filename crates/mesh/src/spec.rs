@@ -1,0 +1,266 @@
+//! GSPMD/Alpa-style sharding specs.
+
+use crate::error::MeshError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How one tensor dimension maps onto mesh axes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DimSharding {
+    /// The dimension is replicated (`R`).
+    Replicated,
+    /// The dimension is sharded over the listed mesh axes in order
+    /// (`S^0`, `S^1`, or `S^01`; the first axis is the slower-varying one).
+    Sharded(Vec<usize>),
+}
+
+impl DimSharding {
+    /// Shorthand for `S^a`.
+    pub fn along(axis: usize) -> Self {
+        DimSharding::Sharded(vec![axis])
+    }
+
+    /// True if this dimension is replicated.
+    pub fn is_replicated(&self) -> bool {
+        matches!(self, DimSharding::Replicated)
+    }
+
+    /// Mesh axes this dimension is sharded over (empty when replicated).
+    pub fn axes(&self) -> &[usize] {
+        match self {
+            DimSharding::Replicated => &[],
+            DimSharding::Sharded(a) => a,
+        }
+    }
+}
+
+/// The layout of an N-dimensional tensor over a 2-D mesh, as a per-dimension
+/// list of [`DimSharding`]s.
+///
+/// The paper writes these as strings like `S^0 R`, `R S^{01}`; this type
+/// parses and displays the compact form without carets: `"S0R"`, `"RS01"`.
+///
+/// A valid spec uses every mesh axis at most once across all dimensions.
+/// Mesh axes that appear in no dimension replicate the tensor across that
+/// axis.
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_mesh::{DimSharding, ShardingSpec};
+///
+/// # fn main() -> Result<(), crossmesh_mesh::MeshError> {
+/// let spec: ShardingSpec = "S0RS1".parse()?;
+/// assert_eq!(spec.rank(), 3);
+/// assert_eq!(spec.dim(0), &DimSharding::along(0));
+/// assert!(spec.dim(1).is_replicated());
+/// assert_eq!(spec.to_string(), "S0RS1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardingSpec {
+    dims: Vec<DimSharding>,
+}
+
+impl ShardingSpec {
+    /// Builds a spec from per-dimension shardings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::InvalidAxis`] if an axis is greater than 1 or
+    /// used by more than one dimension (or twice within one dimension).
+    pub fn new(dims: Vec<DimSharding>) -> Result<Self, MeshError> {
+        let mut used = [false; 2];
+        for d in &dims {
+            for &a in d.axes() {
+                if a > 1 {
+                    return Err(MeshError::InvalidAxis { axis: a });
+                }
+                if used[a] {
+                    return Err(MeshError::InvalidAxis { axis: a });
+                }
+                used[a] = true;
+            }
+        }
+        Ok(ShardingSpec { dims })
+    }
+
+    /// A fully replicated spec of the given rank (`RR…R`).
+    pub fn replicated(rank: usize) -> Self {
+        ShardingSpec {
+            dims: vec![DimSharding::Replicated; rank],
+        }
+    }
+
+    /// Number of tensor dimensions this spec covers.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The sharding of tensor dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> &DimSharding {
+        &self.dims[i]
+    }
+
+    /// Iterates over the per-dimension shardings.
+    pub fn iter(&self) -> impl Iterator<Item = &DimSharding> {
+        self.dims.iter()
+    }
+
+    /// Mesh axes not used by any dimension; the tensor is replicated across
+    /// these axes.
+    pub fn replicated_axes(&self) -> Vec<usize> {
+        let mut used = [false; 2];
+        for d in &self.dims {
+            for &a in d.axes() {
+                used[a] = true;
+            }
+        }
+        (0..2).filter(|&a| !used[a]).collect()
+    }
+
+    /// True if no dimension is sharded.
+    pub fn is_fully_replicated(&self) -> bool {
+        self.dims.iter().all(DimSharding::is_replicated)
+    }
+}
+
+impl fmt::Display for ShardingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            match d {
+                DimSharding::Replicated => write!(f, "R")?,
+                DimSharding::Sharded(axes) => {
+                    write!(f, "S")?;
+                    for a in axes {
+                        write!(f, "{a}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ShardingSpec {
+    type Err = MeshError;
+
+    /// Parses compact (`"S0RS01"`) or paper-style (`"S^0 R S^{01}"`) spec
+    /// strings; whitespace, `^`, `{`, and `}` are ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let cleaned: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '^' && *c != '{' && *c != '}')
+            .collect();
+        let err = |reason: &str| MeshError::ParseSpec {
+            input: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut dims = Vec::new();
+        let mut chars = cleaned.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                'R' | 'r' => dims.push(DimSharding::Replicated),
+                'S' | 's' => {
+                    let mut axes = Vec::new();
+                    while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                        axes.push(d as usize);
+                        chars.next();
+                    }
+                    if axes.is_empty() {
+                        return Err(err("'S' must be followed by axis digits"));
+                    }
+                    dims.push(DimSharding::Sharded(axes));
+                }
+                other => return Err(err(&format!("unexpected character {other:?}"))),
+            }
+        }
+        if dims.is_empty() {
+            return Err(err("spec is empty"));
+        }
+        ShardingSpec::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_compact_specs() {
+        let s: ShardingSpec = "S0RR".parse().unwrap();
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(0), &DimSharding::along(0));
+        assert!(s.dim(1).is_replicated());
+        assert!(s.dim(2).is_replicated());
+    }
+
+    #[test]
+    fn parse_multi_axis() {
+        let s: ShardingSpec = "RS01".parse().unwrap();
+        assert_eq!(s.dim(1), &DimSharding::Sharded(vec![0, 1]));
+    }
+
+    #[test]
+    fn parse_paper_notation() {
+        let s: ShardingSpec = "S^{01} R".parse().unwrap();
+        assert_eq!(s, "S01R".parse().unwrap());
+        let s: ShardingSpec = "S^0 S^1".parse().unwrap();
+        assert_eq!(s, "S0S1".parse().unwrap());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["S0R", "RS1", "S01RR", "S0S1", "RRR", "S1RR"] {
+            let s: ShardingSpec = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+            let back: ShardingSpec = s.to_string().parse().unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn reject_duplicate_axis() {
+        assert!(matches!(
+            "S0S0".parse::<ShardingSpec>(),
+            Err(MeshError::InvalidAxis { axis: 0 })
+        ));
+        assert!(matches!(
+            "S00".parse::<ShardingSpec>(),
+            Err(MeshError::InvalidAxis { axis: 0 })
+        ));
+    }
+
+    #[test]
+    fn reject_axis_out_of_range() {
+        assert!(matches!(
+            "S2R".parse::<ShardingSpec>(),
+            Err(MeshError::InvalidAxis { axis: 2 })
+        ));
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!("".parse::<ShardingSpec>().is_err());
+        assert!("SxR".parse::<ShardingSpec>().is_err());
+        assert!("S".parse::<ShardingSpec>().is_err());
+        assert!("QR".parse::<ShardingSpec>().is_err());
+    }
+
+    #[test]
+    fn replicated_axes_reports_unused() {
+        let s: ShardingSpec = "S0R".parse().unwrap();
+        assert_eq!(s.replicated_axes(), vec![1]);
+        let s: ShardingSpec = "S0S1".parse().unwrap();
+        assert!(s.replicated_axes().is_empty());
+        let s = ShardingSpec::replicated(2);
+        assert_eq!(s.replicated_axes(), vec![0, 1]);
+        assert!(s.is_fully_replicated());
+    }
+}

@@ -1,0 +1,193 @@
+//! Hyper-rectangular index ranges of a tensor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A hyper-rectangular region of an N-dimensional tensor: one half-open
+/// index range per dimension.
+///
+/// Tiles are the unit of data in this workspace: a device's share of a
+/// distributed tensor is a tile, and a unit communication task moves a tile.
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_mesh::Tile;
+///
+/// let mine = Tile::new([0..4, 0..8]);
+/// let wanted = Tile::new([2..6, 4..8]);
+/// let overlap = mine.intersect(&wanted).expect("they overlap");
+/// assert_eq!(overlap, Tile::new([2..4, 4..8]));
+/// assert_eq!(overlap.volume(), 8);
+/// assert!(mine.contains(&overlap));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// `(start, end)` per dimension; half-open.
+    bounds: Vec<(u64, u64)>,
+}
+
+impl Tile {
+    /// Builds a tile from per-dimension ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range has `start > end`.
+    pub fn new(bounds: impl IntoIterator<Item = Range<u64>>) -> Self {
+        let bounds: Vec<(u64, u64)> = bounds.into_iter().map(|r| (r.start, r.end)).collect();
+        for &(s, e) in &bounds {
+            assert!(s <= e, "tile range start {s} exceeds end {e}");
+        }
+        Tile { bounds }
+    }
+
+    /// The full tile of a tensor with the given shape.
+    pub fn full(shape: &[u64]) -> Self {
+        Tile {
+            bounds: shape.iter().map(|&n| (0, n)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The range of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn range(&self, i: usize) -> Range<u64> {
+        let (s, e) = self.bounds[i];
+        s..e
+    }
+
+    /// Number of elements covered.
+    pub fn volume(&self) -> u64 {
+        self.bounds.iter().map(|&(s, e)| e - s).product()
+    }
+
+    /// True if any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.iter().any(|&(s, e)| s == e)
+    }
+
+    /// The intersection with `other`, or `None` if they do not overlap on a
+    /// region of positive volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks differ.
+    pub fn intersect(&self, other: &Tile) -> Option<Tile> {
+        assert_eq!(self.rank(), other.rank(), "tile ranks differ");
+        let mut bounds = Vec::with_capacity(self.rank());
+        for (&(s1, e1), &(s2, e2)) in self.bounds.iter().zip(&other.bounds) {
+            let s = s1.max(s2);
+            let e = e1.min(e2);
+            if s >= e {
+                return None;
+            }
+            bounds.push((s, e));
+        }
+        Some(Tile { bounds })
+    }
+
+    /// True if `self` fully contains `other` (empty tiles are contained in
+    /// everything of equal rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks differ.
+    pub fn contains(&self, other: &Tile) -> bool {
+        assert_eq!(self.rank(), other.rank(), "tile ranks differ");
+        other.is_empty()
+            || self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .all(|(&(s1, e1), &(s2, e2))| s1 <= s2 && e2 <= e1)
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, &(s, e)) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}..{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_emptiness() {
+        let t = Tile::new([0..2, 1..4]);
+        assert_eq!(t.volume(), 6);
+        assert!(!t.is_empty());
+        let e = Tile::new([0..0, 1..4]);
+        assert_eq!(e.volume(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn full_covers_shape() {
+        let t = Tile::full(&[3, 4, 5]);
+        assert_eq!(t.volume(), 60);
+        assert_eq!(t.range(1), 0..4);
+    }
+
+    #[test]
+    fn intersection_overlapping() {
+        let a = Tile::new([0..4, 0..2]);
+        let b = Tile::new([2..6, 1..3]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Tile::new([2..4, 1..2]));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_none() {
+        let a = Tile::new([0..2]);
+        let b = Tile::new([2..4]);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn touching_tiles_do_not_intersect() {
+        let a = Tile::new([0..2, 0..4]);
+        let b = Tile::new([2..4, 0..4]);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Tile::new([0..4, 0..4]);
+        let inner = Tile::new([1..3, 0..4]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&Tile::new([0..0, 0..0])));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Tile::new([0..2, 3..7]);
+        assert_eq!(t.to_string(), "[0..2, 3..7]");
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks differ")]
+    fn rank_mismatch_panics() {
+        let a = Tile::new([0..2]);
+        let b = Tile::new([0..2, 0..2]);
+        let _ = a.intersect(&b);
+    }
+}

@@ -1,0 +1,320 @@
+//! GPT-3-style stacked transformer cost model (Table 3, "GPT case1/2").
+
+use crate::job::{ModelJob, ParallelConfig, Precision};
+use crossmesh_mesh::{DeviceMesh, MeshError};
+use crossmesh_netsim::{ClusterSpec, DeviceId, HostId};
+use crossmesh_pipeline::{EdgeTensor, Stage, StageGraph};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a GPT-like model and its parallelization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GptConfig {
+    /// Number of transformer layers.
+    pub num_layers: usize,
+    /// Hidden size `H`.
+    pub hidden: u64,
+    /// Sequence length `S`.
+    pub seq_len: u64,
+    /// Global batch size per iteration.
+    pub global_batch: u64,
+    /// Number of pipeline microbatches per iteration.
+    pub num_microbatches: usize,
+    /// Training precision.
+    pub precision: Precision,
+    /// `(dp, op, pp)` parallel degrees.
+    pub parallel: ParallelConfig,
+    /// Per-device memory budget; stages whose worst-case footprint exceeds
+    /// it enable activation rematerialization (keep only the boundary
+    /// tensor, recompute the rest in the backward — §5.2). V100 16 GB by
+    /// default.
+    pub device_memory_bytes: Option<f64>,
+}
+
+impl GptConfig {
+    /// Table 3, "GPT case1": 2.6 B parameters, batch 1024, FP16,
+    /// parallel config (2, 2, 2).
+    pub fn case1() -> Self {
+        GptConfig {
+            num_layers: 32,
+            hidden: 2560,
+            seq_len: 1024,
+            global_batch: 1024,
+            num_microbatches: 32,
+            precision: Precision::Fp16,
+            parallel: ParallelConfig::new(2, 2, 2),
+            device_memory_bytes: Some(16e9),
+        }
+    }
+
+    /// Table 3, "GPT case2": same model, parallel config (4, 1, 2).
+    pub fn case2() -> Self {
+        GptConfig {
+            parallel: ParallelConfig::new(4, 1, 2),
+            ..GptConfig::case1()
+        }
+    }
+
+    /// Approximate parameter count (`12 L H²`, embeddings ignored).
+    pub fn num_params(&self) -> u64 {
+        12 * self.num_layers as u64 * self.hidden * self.hidden
+    }
+
+    /// Forward FLOPs of one layer over a batch of `b` sequences:
+    /// `24 b s H² + 4 b s² H` (dense matmuls plus attention scores).
+    pub fn layer_forward_flops(&self, b: u64) -> f64 {
+        let (s, h) = (self.seq_len as f64, self.hidden as f64);
+        let b = b as f64;
+        24.0 * b * s * h * h + 4.0 * b * s * s * h
+    }
+
+    /// Total model FLOPs per iteration: forward plus a 2× backward, all
+    /// layers, whole global batch.
+    pub fn total_flops(&self) -> f64 {
+        3.0 * self.num_layers as f64 * self.layer_forward_flops(self.global_batch)
+    }
+
+    /// Microbatch size (sequences per microbatch across the whole stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not divide by the microbatch count.
+    pub fn microbatch_size(&self) -> u64 {
+        let m = self.num_microbatches as u64;
+        assert!(
+            self.global_batch.is_multiple_of(m),
+            "batch {} not divisible into {m} microbatches",
+            self.global_batch
+        );
+        self.global_batch / m
+    }
+
+    /// Builds the pipeline job on `cluster`: `pp` stages of
+    /// `num_layers / pp` layers, each on a `(dp, op)` mesh drawn from
+    /// consecutive hosts, connected by `S^0 R R` activation edges (batch
+    /// sharded over the data-parallel axis, replicated over the operator-
+    /// parallel axis — §5.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh errors when `cluster` cannot fit the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pp` does not divide the layer count or the cluster's
+    /// host size does not divide the per-stage device count.
+    pub fn build(&self, cluster: &ClusterSpec) -> Result<ModelJob, MeshError> {
+        let p = &self.parallel;
+        assert!(
+            self.num_layers.is_multiple_of(p.pp),
+            "{} layers do not split into {} stages",
+            self.num_layers,
+            p.pp
+        );
+        let layers_per_stage = self.num_layers / p.pp;
+        let mb = self.microbatch_size();
+
+        let mut graph = StageGraph::new(self.num_microbatches);
+        let mut stage_ids = Vec::with_capacity(p.pp);
+        let mut next_device = 0u32;
+        for stage_idx in 0..p.pp {
+            let mesh = mesh_from_devices(
+                cluster,
+                &mut next_device,
+                (p.dp, p.op),
+                format!("gpt-stage{stage_idx}"),
+            )?;
+            // Per-device forward time: the stage's layers over the whole
+            // microbatch, split over dp (batch) and op (hidden) devices.
+            let flops = self.layer_forward_flops(mb) * layers_per_stage as f64
+                / (p.dp * p.op) as f64;
+            let fwd = flops / self.precision.effective_device_flops();
+            // Each of the stage's layers stashes one ~BSH activation per
+            // in-flight microbatch (Table 1's 2BSH per layer at fp16).
+            let boundary_bytes = (self.precision.elem_bytes() * (mb / p.dp as u64)
+                * self.seq_len
+                * self.hidden) as f64;
+            let act_bytes = boundary_bytes * layers_per_stage as f64;
+            // ZeRO-1-style optimizer-state sharding over dp replicas —
+            // without it, Table 3's (4,1,2) config cannot fit 16 GB V100s.
+            let weight_bytes = self.precision.zero1_state_bytes_per_param(p.dp)
+                * (12 * layers_per_stage as u64 * self.hidden * self.hidden) as f64
+                / p.op as f64;
+            let mut stage = Stage::new(format!("gpt-stage{stage_idx}"), mesh, fwd)
+                .with_backward(fwd, fwd)
+                .with_memory(act_bytes, weight_bytes);
+            if let Some(budget) = self.device_memory_bytes {
+                // Worst-case in-flight microbatches under eager-1F1B.
+                let worst_live = (2 * (p.pp - stage_idx) - 1).min(self.num_microbatches) as f64;
+                if weight_bytes + worst_live * act_bytes > budget {
+                    stage = stage.with_remat(boundary_bytes);
+                }
+            }
+            if p.dp > 1 {
+                // Data-parallel replicas (mesh axis 0) all-reduce their
+                // weight gradients at the end of the iteration.
+                let grad_bytes = self.precision.elem_bytes() as f64
+                    * (12 * layers_per_stage as u64 * self.hidden * self.hidden) as f64
+                    / p.op as f64;
+                stage = stage.with_grad_sync(0, grad_bytes);
+            }
+            stage_ids.push(graph.add_stage(stage));
+        }
+        for w in stage_ids.windows(2) {
+            graph.connect(
+                w[0],
+                w[1],
+                EdgeTensor {
+                    shape: vec![mb, self.seq_len, self.hidden],
+                    elem_bytes: self.precision.elem_bytes(),
+                    src_spec: "S0RR".parse().expect("static spec"),
+                    dst_spec: "S0RR".parse().expect("static spec"),
+                },
+            )?;
+        }
+        Ok(ModelJob {
+            graph,
+            total_flops: self.total_flops(),
+            num_devices: p.num_devices(),
+        })
+    }
+}
+
+/// Builds a `(rows, cols)` mesh over the next `rows*cols` devices of the
+/// cluster in global device order (stages claim devices consecutively, so
+/// a 4-device stage lands on one p3.8xlarge host).
+fn mesh_from_devices(
+    cluster: &ClusterSpec,
+    next_device: &mut u32,
+    shape: (usize, usize),
+    name: String,
+) -> Result<DeviceMesh, MeshError> {
+    let n = (shape.0 * shape.1) as u32;
+    if *next_device + n > cluster.num_devices() {
+        return Err(MeshError::ClusterOutOfRange {
+            what: format!(
+                "devices {}..{} of {}",
+                *next_device,
+                *next_device + n,
+                cluster.num_devices()
+            ),
+        });
+    }
+    let devices: Vec<DeviceId> = (*next_device..*next_device + n).map(DeviceId).collect();
+    let hosts: Vec<HostId> = devices.iter().map(|&d| cluster.host_of(d)).collect();
+    *next_device += n;
+    DeviceMesh::new(name, shape, devices, hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::aws_p3_8xlarge;
+
+    #[test]
+    fn case1_is_2_6b_params() {
+        let c = GptConfig::case1();
+        let b = c.num_params() as f64 / 1e9;
+        assert!((b - 2.5).abs() < 0.3, "got {b}B params");
+    }
+
+    #[test]
+    fn build_produces_two_stages_on_two_hosts() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let job = GptConfig::case1().build(&cluster).unwrap();
+        assert_eq!(job.graph.stages().len(), 2);
+        assert_eq!(job.graph.edges().len(), 1);
+        assert_eq!(job.num_devices, 8);
+        // Stage 0 entirely on host 0.
+        let s0 = &job.graph.stages()[0];
+        assert_eq!(s0.mesh.distinct_hosts(), vec![HostId(0)]);
+        assert_eq!(s0.mesh.shape(), (2, 2));
+    }
+
+    #[test]
+    fn case2_mesh_shape() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let job = GptConfig::case2().build(&cluster).unwrap();
+        assert_eq!(job.graph.stages()[0].mesh.shape(), (4, 1));
+    }
+
+    #[test]
+    fn boundary_tensor_bytes() {
+        // mb=32 sequences x 1024 x 2560 x 2 bytes.
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let job = GptConfig::case1().build(&cluster).unwrap();
+        let edge = &job.graph.edges()[0];
+        assert_eq!(edge.forward.total_bytes(), 32 * 1024 * 2560 * 2);
+    }
+
+    #[test]
+    fn too_small_cluster_is_an_error() {
+        let cluster = aws_p3_8xlarge(1, Precision::Fp16);
+        assert!(GptConfig::case1().build(&cluster).is_err());
+    }
+
+    #[test]
+    fn throughput_metric_sane() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let job = GptConfig::case1().build(&cluster).unwrap();
+        // If the cluster ran at 100% efficiency the iteration would take
+        // total_flops / (8 * 50 TFLOPS).
+        let ideal = job.total_flops / (8.0 * 50e12);
+        let tflops = job.per_gpu_tflops(ideal);
+        assert!((tflops - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn case1_fits_v100_memory_without_remat() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let job = GptConfig::case1().build(&cluster).unwrap();
+        for s in job.graph.stages() {
+            assert!(s.remat_keep_bytes.is_none(), "case1 should fit 16 GB");
+            let worst = s.weight_bytes + 4.0 * s.activation_bytes;
+            assert!(worst < 16e9, "footprint {worst}");
+        }
+    }
+
+    #[test]
+    fn tight_memory_budget_triggers_remat_on_early_stages() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let mut cfg = GptConfig::case1();
+        // Squeeze the budget until the worst-case footprint breaks it.
+        cfg.device_memory_bytes = Some(7e9);
+        let job = cfg.build(&cluster).unwrap();
+        let s0 = &job.graph.stages()[0];
+        assert!(s0.remat_keep_bytes.is_some(), "stage 0 must rematerialize");
+        // Remat makes the backward pay a forward recomputation.
+        assert!(
+            s0.effective_backward_act_seconds() > s0.backward_act_seconds,
+        );
+        // The kept bytes are the single boundary tensor, far below the
+        // full per-layer stash.
+        assert!(s0.remat_keep_bytes.unwrap() < s0.activation_bytes / 2.0);
+    }
+
+    #[test]
+    fn later_stages_rematerialize_less() {
+        // §5.2: later stages have fewer in-flight microbatches, so a budget
+        // can force remat on stage 0 while stage 1 stays remat-free and
+        // its backward stays faster.
+        let cluster = aws_p3_8xlarge(2, Precision::Fp16);
+        let mut cfg = GptConfig::case1();
+        cfg.device_memory_bytes = Some(8e9);
+        let job = cfg.build(&cluster).unwrap();
+        let stages = job.graph.stages();
+        assert!(stages[0].remat_keep_bytes.is_some());
+        assert!(stages[1].remat_keep_bytes.is_none());
+        assert!(
+            stages[1].effective_backward_act_seconds()
+                < stages[0].effective_backward_act_seconds()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_microbatch_split_panics() {
+        let mut c = GptConfig::case1();
+        c.num_microbatches = 7;
+        let _ = c.microbatch_size();
+    }
+}

@@ -1,0 +1,96 @@
+//! Table 1: per-GPU memory of one GPT-3 layer in mixed-precision training.
+
+use serde::{Deserialize, Serialize};
+
+/// The sizes Table 1 reports for one transformer layer under tensor model
+/// parallelism, mixed precision. Element counts use the expressions from
+/// the paper; byte sizes use the 14-bytes-per-parameter mixed-precision
+/// training state (`168 H² / TMP`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// `12 H² / TMP` parameters per GPU.
+    pub num_parameters: f64,
+    /// `24 H² / TMP` optimizer-state parameters per GPU (fp32 Adam m and v
+    /// over the layer's `12 H²` parameters, sharded).
+    pub optimizer_state_parameters: f64,
+    /// `B·S·H` activation elements per GPU.
+    pub activation_elements: f64,
+    /// `168 H² / TMP` bytes of weights + optimizer state per GPU.
+    pub weights_and_optimizer_bytes: f64,
+    /// `2·B·S·H` bytes of activations per GPU (fp16).
+    pub activation_bytes: f64,
+}
+
+/// Computes Table 1 for a GPT-3 layer: hidden size `h`, sequence length
+/// `s`, per-GPU microbatch size `b`, tensor-model-parallel degree `tmp`.
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_models::memory::{gpt3_layer_memory, GI};
+///
+/// // Table 1's setting: S=1024, H=12288, B=2, TMP=8 -> 2.95 GB of
+/// // weights and optimizer state per GPU.
+/// let m = gpt3_layer_memory(12288, 1024, 2, 8);
+/// assert!((m.weights_and_optimizer_bytes / GI - 2.95).abs() < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn gpt3_layer_memory(h: u64, s: u64, b: u64, tmp: u64) -> MemoryBreakdown {
+    assert!(h > 0 && s > 0 && b > 0 && tmp > 0, "arguments must be positive");
+    let h2 = (h * h) as f64;
+    let bsh = (b * s * h) as f64;
+    MemoryBreakdown {
+        num_parameters: 12.0 * h2 / tmp as f64,
+        optimizer_state_parameters: 24.0 * h2 / tmp as f64,
+        activation_elements: bsh,
+        weights_and_optimizer_bytes: 168.0 * h2 / tmp as f64,
+        activation_bytes: 2.0 * bsh,
+    }
+}
+
+/// Binary mega (Mi) — Table 1 reports element counts in binary units.
+pub const MI: f64 = 1024.0 * 1024.0;
+
+/// Binary giga (Gi).
+pub const GI: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's exact setting: S=1024, H=12288, B=2, TMP=8.
+    #[test]
+    fn table1_values() {
+        let m = gpt3_layer_memory(12288, 1024, 2, 8);
+        assert!((m.num_parameters / MI - 216.0).abs() < 1.0, "216M params");
+        assert!(
+            (m.optimizer_state_parameters / MI - 432.0).abs() < 1.0,
+            "432M optimizer params"
+        );
+        assert!((m.activation_elements / MI - 24.0).abs() < 0.1, "24M activations");
+        assert!(
+            (m.weights_and_optimizer_bytes / GI - 2.95).abs() < 0.01,
+            "2.95 GB weights+optimizer, got {}",
+            m.weights_and_optimizer_bytes / GI
+        );
+        assert!((m.activation_bytes / MI - 48.0).abs() < 0.1, "48 MB activations");
+    }
+
+    #[test]
+    fn scales_inversely_with_tmp() {
+        let a = gpt3_layer_memory(1024, 512, 2, 1);
+        let b = gpt3_layer_memory(1024, 512, 2, 4);
+        assert!((a.num_parameters / b.num_parameters - 4.0).abs() < 1e-12);
+        // Activations do not shard with TMP in this accounting.
+        assert_eq!(a.activation_bytes, b.activation_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_arg_panics() {
+        gpt3_layer_memory(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cluster presets matching the paper's testbed.
+
+use crate::Precision;
+use crossmesh_core::CostParams;
+use crossmesh_netsim::{ClusterSpec, LinkParams};
+
+/// Per-device NVLink-class bandwidth inside a p3.8xlarge host, bytes/s.
+pub const P3_INTRA_HOST_BW: f64 = 100e9;
+
+/// Cross-node bandwidth within the paper's placement group: 10 Gbps.
+pub const P3_INTER_HOST_BW: f64 = 1.25e9;
+
+/// The paper's evaluation cluster class: `n_hosts` AWS p3.8xlarge
+/// instances — 4 NVIDIA V100 (16 GB) GPUs per host connected by NVLink,
+/// hosts connected at 10 Gbps — with the per-device compute rate picked for
+/// `precision`.
+///
+/// # Panics
+///
+/// Panics if `n_hosts` is zero.
+pub fn aws_p3_8xlarge(n_hosts: u32, precision: Precision) -> ClusterSpec {
+    ClusterSpec::homogeneous(
+        n_hosts,
+        4,
+        LinkParams::new(P3_INTRA_HOST_BW, P3_INTER_HOST_BW).with_latencies(5e-6, 25e-6),
+    )
+    .with_device_flops(precision.effective_device_flops())
+}
+
+/// Cost parameters matching [`aws_p3_8xlarge`], for planners.
+pub fn p3_cost_params() -> CostParams {
+    CostParams {
+        inter_bw: P3_INTER_HOST_BW,
+        intra_bw: P3_INTRA_HOST_BW,
+        inter_latency: 25e-6,
+        intra_latency: 5e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_netsim::HostId;
+
+    #[test]
+    fn preset_shape() {
+        let c = aws_p3_8xlarge(2, Precision::Fp16);
+        assert_eq!(c.num_hosts(), 2);
+        assert_eq!(c.num_devices(), 8);
+        let h = c.host(HostId(0));
+        assert_eq!(h.links.inter_host_bw, 1.25e9);
+        assert_eq!(h.device_flops, Precision::Fp16.effective_device_flops());
+    }
+
+    #[test]
+    fn cost_params_match_preset() {
+        let p = p3_cost_params();
+        assert_eq!(p.inter_bw, P3_INTER_HOST_BW);
+        assert_eq!(p.intra_bw, P3_INTRA_HOST_BW);
+    }
+}

@@ -1,0 +1,283 @@
+//! U-Transformer cost model (Table 3, "U-Trans case1"): a U-Net with
+//! attention blocks and long skip connections, split into two pipeline
+//! stages — the workload whose skip connections make cross-mesh resharding
+//! the bottleneck (§5.2).
+
+use crate::job::{ModelJob, ParallelConfig, Precision};
+use crossmesh_mesh::{DeviceMesh, MeshError};
+use crossmesh_netsim::ClusterSpec;
+use crossmesh_pipeline::{EdgeTensor, Stage, StageGraph};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the U-Transformer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UTransformerConfig {
+    /// Number of resolution levels on each side of the U (excluding the
+    /// bottleneck).
+    pub levels: usize,
+    /// Channels at the top level; level `i` has `base_channels << i`.
+    pub base_channels: u64,
+    /// Convolution/attention blocks per level per side.
+    pub blocks_per_level: usize,
+    /// Input spatial resolution (square images).
+    pub image_size: u64,
+    /// Global batch size per iteration.
+    pub global_batch: u64,
+    /// Number of pipeline microbatches.
+    pub num_microbatches: usize,
+    /// Training precision (the paper uses FP32 for this model).
+    pub precision: Precision,
+}
+
+impl UTransformerConfig {
+    /// Table 3, "U-Trans case1": 2.1 B parameters, batch 2048, FP32, two
+    /// pipeline stages with intra-op parallelism inside each.
+    pub fn case1() -> Self {
+        UTransformerConfig {
+            levels: 4,
+            base_channels: 400,
+            blocks_per_level: 2,
+            image_size: 64,
+            global_batch: 2048,
+            num_microbatches: 32,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Channels at level `i`.
+    pub fn channels(&self, level: usize) -> u64 {
+        self.base_channels << level
+    }
+
+    /// Spatial side length at level `i`.
+    pub fn spatial(&self, level: usize) -> u64 {
+        self.image_size >> level
+    }
+
+    /// Bottleneck channels (one level deeper than the last).
+    pub fn bottleneck_channels(&self) -> u64 {
+        self.base_channels << self.levels
+    }
+
+    /// Parameters of one block at `c` channels: two 3×3 convolutions
+    /// (`18 c²`) plus an attention block (`4 c²`).
+    fn block_params(c: u64) -> u64 {
+        22 * c * c
+    }
+
+    /// Approximate total parameter count.
+    pub fn num_params(&self) -> u64 {
+        let per_side: u64 = (0..self.levels)
+            .map(|l| self.blocks_per_level as u64 * Self::block_params(self.channels(l)))
+            .sum();
+        2 * per_side + Self::block_params(self.bottleneck_channels())
+    }
+
+    /// Forward FLOPs of one block at `c` channels and `hw` spatial
+    /// elements over `b` samples: convolutions (`36 c² hw`), attention
+    /// projections (`8 c² hw`), and attention scores (`4 hw² c`).
+    fn block_forward_flops(c: u64, hw: u64, b: u64) -> f64 {
+        let (c, hw, b) = (c as f64, hw as f64, b as f64);
+        b * (44.0 * c * c * hw + 4.0 * hw * hw * c)
+    }
+
+    /// Forward FLOPs of one side of the U (down or up path) for `b`
+    /// samples.
+    fn side_forward_flops(&self, b: u64) -> f64 {
+        (0..self.levels)
+            .map(|l| {
+                let hw = self.spatial(l) * self.spatial(l);
+                self.blocks_per_level as f64
+                    * Self::block_forward_flops(self.channels(l), hw, b)
+            })
+            .sum()
+    }
+
+    /// Forward FLOPs of the bottleneck for `b` samples.
+    fn bottleneck_forward_flops(&self, b: u64) -> f64 {
+        let s = self.spatial(self.levels);
+        Self::block_forward_flops(self.bottleneck_channels(), s * s, b)
+    }
+
+    /// Total model FLOPs per iteration (forward + 2× backward, full batch).
+    pub fn total_flops(&self) -> f64 {
+        let fwd = 2.0 * self.side_forward_flops(self.global_batch)
+            + self.bottleneck_forward_flops(self.global_batch);
+        3.0 * fwd
+    }
+
+    /// Microbatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not divide by the microbatch count.
+    pub fn microbatch_size(&self) -> u64 {
+        let m = self.num_microbatches as u64;
+        assert!(
+            self.global_batch.is_multiple_of(m),
+            "batch {} not divisible into {m} microbatches",
+            self.global_batch
+        );
+        self.global_batch / m
+    }
+
+    /// Builds the two-stage pipeline on `cluster`: stage 0 is the down
+    /// path plus bottleneck on host 0, stage 1 the up path on host 1. The
+    /// i-th down block's output feeds both the next down block (inside
+    /// stage 0) and the mirror up block (a long skip connection — a
+    /// cross-mesh resharding edge), so `levels + 1` edges cross the mesh
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh errors when `cluster` cannot fit two 4-GPU stages.
+    pub fn build(&self, cluster: &ClusterSpec) -> Result<ModelJob, MeshError> {
+        let mb = self.microbatch_size();
+        let flops_rate = self.precision.effective_device_flops();
+        let devices_per_stage = 4usize;
+
+        let mesh0 = DeviceMesh::from_cluster(cluster, 0, (1, devices_per_stage), "utrans-down")?;
+        let mesh1 = DeviceMesh::from_cluster(cluster, 1, (1, devices_per_stage), "utrans-up")?;
+
+        let down_flops =
+            self.side_forward_flops(mb) + self.bottleneck_forward_flops(mb);
+        let up_flops = self.side_forward_flops(mb);
+        let fwd0 = down_flops / devices_per_stage as f64 / flops_rate;
+        let fwd1 = up_flops / devices_per_stage as f64 / flops_rate;
+
+        // Peak activations: the level-0 feature map dominates.
+        let act0 = (self.precision.elem_bytes()
+            * mb
+            * self.channels(0)
+            * self.image_size
+            * self.image_size) as f64
+            / devices_per_stage as f64;
+        // The 4-way batch-sharded intra-op parallelism is data parallelism
+        // from the optimizer's perspective: shard its state ZeRO-1 style.
+        let state = self.precision.zero1_state_bytes_per_param(devices_per_stage);
+        let params_side = self.num_params() as f64 / 2.0;
+
+        // Batch-sharded intra-op parallelism replicates the weights over
+        // the stage's 4-device axis: gradients all-reduce over axis 1.
+        let grad_bytes = self.precision.elem_bytes() as f64 * params_side;
+        let mut graph = StageGraph::new(self.num_microbatches);
+        let s0 = graph.add_stage(
+            Stage::new("down", mesh0, fwd0)
+                .with_backward(fwd0, fwd0)
+                .with_memory(act0, state * params_side)
+                .with_grad_sync(1, grad_bytes),
+        );
+        let s1 = graph.add_stage(
+            Stage::new("up", mesh1, fwd1)
+                .with_backward(fwd1, fwd1)
+                .with_memory(act0, state * params_side)
+                .with_grad_sync(1, grad_bytes),
+        );
+
+        // Bottleneck output: the "trunk" edge into the up path.
+        let sb = self.spatial(self.levels);
+        graph.connect(
+            s0,
+            s1,
+            self.edge_tensor(mb, self.bottleneck_channels(), sb),
+        )?;
+        // One skip connection per level.
+        for l in 0..self.levels {
+            graph.connect(s0, s1, self.edge_tensor(mb, self.channels(l), self.spatial(l)))?;
+        }
+
+        Ok(ModelJob {
+            graph,
+            total_flops: self.total_flops(),
+            num_devices: 2 * devices_per_stage,
+        })
+    }
+
+    /// A `[batch, C, H, W]` activation edge, batch-sharded over the
+    /// stage's 4-device axis on both sides.
+    fn edge_tensor(&self, mb: u64, c: u64, spatial: u64) -> EdgeTensor {
+        EdgeTensor {
+            shape: vec![mb, c, spatial, spatial],
+            elem_bytes: self.precision.elem_bytes(),
+            src_spec: "S1RRR".parse().expect("static spec"),
+            dst_spec: "S1RRR".parse().expect("static spec"),
+        }
+    }
+
+    /// The parallel config of Table 3 for reporting: intra-op degree 4 per
+    /// stage ("auto"), pipeline degree 2.
+    pub fn parallel(&self) -> ParallelConfig {
+        ParallelConfig::new(1, 4, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::aws_p3_8xlarge;
+
+    #[test]
+    fn case1_is_about_2_1b_params() {
+        let c = UTransformerConfig::case1();
+        let b = c.num_params() as f64 / 1e9;
+        assert!((b - 2.1).abs() < 0.25, "got {b}B params");
+    }
+
+    #[test]
+    fn build_creates_skip_edges() {
+        let cluster = aws_p3_8xlarge(2, Precision::Fp32);
+        let cfg = UTransformerConfig::case1();
+        let job = cfg.build(&cluster).unwrap();
+        assert_eq!(job.graph.stages().len(), 2);
+        // Bottleneck + one skip per level, all crossing the mesh boundary.
+        assert_eq!(job.graph.edges().len(), cfg.levels + 1);
+        assert_eq!(job.graph.in_edges(1).count(), cfg.levels + 1);
+    }
+
+    #[test]
+    fn skip_tensors_shrink_with_depth() {
+        let cfg = UTransformerConfig::case1();
+        let cluster = aws_p3_8xlarge(2, Precision::Fp32);
+        let job = cfg.build(&cluster).unwrap();
+        // Edge 1 is level 0 (largest spatial extent); later skip edges
+        // carry 2x fewer bytes each level (2x channels, 4x fewer pixels).
+        let bytes: Vec<u64> = job.graph.edges()[1..]
+            .iter()
+            .map(|e| e.forward.total_bytes())
+            .collect();
+        for w in bytes.windows(2) {
+            assert_eq!(w[0], 2 * w[1]);
+        }
+    }
+
+    #[test]
+    fn communication_is_heavy_relative_to_compute() {
+        // The defining property of the workload: per microbatch, the skip
+        // bytes over a 10 Gbps NIC take longer than a stage's compute.
+        let cfg = UTransformerConfig::case1();
+        let cluster = aws_p3_8xlarge(2, Precision::Fp32);
+        let job = cfg.build(&cluster).unwrap();
+        let comm_bytes: u64 = job
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.forward.total_bytes())
+            .sum();
+        let comm_seconds = comm_bytes as f64 / 1.25e9;
+        let compute_seconds = job.graph.stages()[0].forward_seconds;
+        assert!(
+            comm_seconds > 0.5 * compute_seconds,
+            "comm {comm_seconds} vs compute {compute_seconds}"
+        );
+    }
+
+    #[test]
+    fn spatial_and_channel_schedules() {
+        let cfg = UTransformerConfig::case1();
+        assert_eq!(cfg.channels(0), 400);
+        assert_eq!(cfg.channels(3), 3200);
+        assert_eq!(cfg.bottleneck_channels(), 6400);
+        assert_eq!(cfg.spatial(0), 64);
+        assert_eq!(cfg.spatial(4), 4);
+    }
+}

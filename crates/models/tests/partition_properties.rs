@@ -1,0 +1,79 @@
+//! Property-based tests of the FLOP-balanced pipeline partitioner.
+
+use crossmesh_models::partition::{partition_balanced, OpNode};
+use proptest::prelude::*;
+
+fn chain_strategy() -> impl Strategy<Value = Vec<OpNode>> {
+    prop::collection::vec(0.01f64..100.0, 1..12).prop_map(|flops| {
+        flops
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| OpNode::new(format!("op{i}"), f, 1, vec![4, 4]))
+            .collect()
+    })
+}
+
+/// Exponential-time reference optimum.
+fn brute_force(flops: &[f64], pp: usize) -> f64 {
+    if pp == 1 {
+        return flops.iter().sum();
+    }
+    (1..=flops.len() - pp + 1)
+        .map(|cut| {
+            let head: f64 = flops[..cut].iter().sum();
+            head.max(brute_force(&flops[cut..], pp - 1))
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The DP always returns a contiguous, complete, non-empty partition
+    /// achieving the brute-force optimum.
+    #[test]
+    fn dp_is_optimal(ops in chain_strategy(), pp_seed in 1usize..4) {
+        let pp = pp_seed.min(ops.len());
+        let ranges = partition_balanced(&ops, pp);
+        prop_assert_eq!(ranges.len(), pp);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, ops.len());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+            prop_assert!(!w[1].is_empty());
+        }
+        prop_assert!(!ranges[0].is_empty());
+
+        let flops: Vec<f64> = ops.iter().map(|o| o.forward_flops).collect();
+        let got = ranges
+            .iter()
+            .map(|r| flops[r.clone()].iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let want = brute_force(&flops, pp);
+        prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0), "dp {got} vs brute {want}");
+    }
+
+    /// More stages never increase the bottleneck cost, and one stage costs
+    /// exactly the total.
+    #[test]
+    fn monotone_in_stage_count(ops in chain_strategy()) {
+        let flops: Vec<f64> = ops.iter().map(|o| o.forward_flops).collect();
+        let total: f64 = flops.iter().sum();
+        let cost = |pp: usize| {
+            partition_balanced(&ops, pp)
+                .iter()
+                .map(|r| flops[r.clone()].iter().sum::<f64>())
+                .fold(0.0, f64::max)
+        };
+        prop_assert!((cost(1) - total).abs() < 1e-9);
+        let mut prev = f64::INFINITY;
+        for pp in 1..=ops.len().min(4) {
+            let c = cost(pp);
+            prop_assert!(c <= prev + 1e-9, "pp={pp}: {c} > {prev}");
+            // Never below the heaviest single op.
+            let heaviest = flops.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(c + 1e-9 >= heaviest);
+            prev = c;
+        }
+    }
+}

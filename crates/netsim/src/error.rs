@@ -1,0 +1,62 @@
+//! Simulator errors.
+
+use crate::{DeviceId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Engine::run`](crate::Engine::run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A task refers to a device not present in the cluster.
+    UnknownDevice {
+        /// The offending task.
+        task: TaskId,
+        /// The device id that is out of range.
+        device: DeviceId,
+    },
+    /// The run did not complete every task (cannot happen for graphs built
+    /// through [`TaskGraph::add`](crate::TaskGraph::add), which are acyclic
+    /// by construction; kept as a defensive invariant check).
+    Stalled {
+        /// Number of tasks that never became ready.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDevice { task, device } => {
+                write!(f, "task {task} uses device {device} not in the cluster")
+            }
+            SimError::Stalled { remaining } => {
+                write!(f, "simulation stalled with {remaining} tasks never ready")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnknownDevice {
+            task: TaskId(3),
+            device: DeviceId(9),
+        };
+        assert_eq!(e.to_string(), "task t3 uses device d9 not in the cluster");
+        let s = SimError::Stalled { remaining: 2 };
+        assert!(s.to_string().contains("2 tasks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,299 @@
+//! Task graphs: DAGs of compute tasks and network flows.
+
+use crate::topology::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task inside a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The work a task performs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Work {
+    /// Occupy `device` for a fixed duration (seconds). Devices execute
+    /// compute tasks one at a time, FIFO in ready order.
+    Compute {
+        /// Device the task runs on.
+        device: DeviceId,
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// Occupy `device` for `flops / device_flops` seconds, where
+    /// `device_flops` comes from the cluster spec.
+    ComputeFlops {
+        /// Device the task runs on.
+        device: DeviceId,
+        /// Amount of work in floating-point operations.
+        flops: f64,
+    },
+    /// Transfer `bytes` from `src` to `dst`. Concurrent flows share link
+    /// and NIC capacity with max–min fairness.
+    Flow {
+        /// Sending device.
+        src: DeviceId,
+        /// Receiving device.
+        dst: DeviceId,
+        /// Message size in bytes.
+        bytes: f64,
+    },
+    /// Completes instantly when its dependencies complete. Useful as a
+    /// barrier or join marker.
+    Marker,
+}
+
+impl Work {
+    /// A fixed-duration compute task.
+    pub fn compute(device: DeviceId, seconds: f64) -> Self {
+        Work::Compute { device, seconds }
+    }
+
+    /// A compute task sized in FLOPs.
+    pub fn compute_flops(device: DeviceId, flops: f64) -> Self {
+        Work::ComputeFlops { device, flops }
+    }
+
+    /// A network flow of `bytes` from `src` to `dst`.
+    pub fn flow(src: DeviceId, dst: DeviceId, bytes: f64) -> Self {
+        Work::Flow { src, dst, bytes }
+    }
+
+    /// The device this work occupies, if it is a compute task.
+    pub fn compute_device(&self) -> Option<DeviceId> {
+        match *self {
+            Work::Compute { device, .. } | Work::ComputeFlops { device, .. } => Some(device),
+            _ => None,
+        }
+    }
+}
+
+/// A node of the DAG: its work plus the tasks it depends on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The work performed.
+    pub work: Work,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskId>,
+    /// Optional human-readable label, surfaced in traces.
+    pub label: Option<String>,
+}
+
+/// A DAG of [`Task`]s, acyclic by construction: dependencies must refer to
+/// already-added tasks.
+///
+/// # Example
+///
+/// ```
+/// use crossmesh_netsim::{DeviceId, TaskGraph, Work};
+///
+/// let mut graph = TaskGraph::new();
+/// let produce = graph.add(Work::compute(DeviceId(0), 1.0), []);
+/// let send = graph.add(Work::flow(DeviceId(0), DeviceId(1), 1e6), [produce]);
+/// graph.add(Work::compute(DeviceId(1), 2.0), [send]);
+/// assert_eq!(graph.len(), 3);
+/// assert_eq!(graph.total_flow_bytes(), 1e6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a task with the given dependencies and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency refers to a task not yet added (this is what
+    /// keeps the graph acyclic by construction), or if a duration/byte count
+    /// is negative or non-finite.
+    pub fn add(&mut self, work: Work, deps: impl IntoIterator<Item = TaskId>) -> TaskId {
+        self.add_labeled(work, deps, None::<String>)
+    }
+
+    /// Adds a task with a label (see [`TaskGraph::add`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TaskGraph::add`].
+    pub fn add_labeled(
+        &mut self,
+        work: Work,
+        deps: impl IntoIterator<Item = TaskId>,
+        label: Option<impl Into<String>>,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        let deps: Vec<TaskId> = deps.into_iter().collect();
+        for d in &deps {
+            assert!(
+                d.0 < id.0,
+                "dependency {d} of task {id} must be added before it"
+            );
+        }
+        match work {
+            Work::Compute { seconds, .. } => assert!(
+                seconds >= 0.0 && seconds.is_finite(),
+                "compute duration must be non-negative and finite"
+            ),
+            Work::ComputeFlops { flops, .. } => assert!(
+                flops >= 0.0 && flops.is_finite(),
+                "compute flops must be non-negative and finite"
+            ),
+            Work::Flow { bytes, src, dst } => {
+                assert!(
+                    bytes >= 0.0 && bytes.is_finite(),
+                    "flow bytes must be non-negative and finite"
+                );
+                assert_ne!(src, dst, "flow source and destination must differ");
+            }
+            Work::Marker => {}
+        }
+        self.tasks.push(Task {
+            work,
+            deps,
+            label: label.map(Into::into),
+        });
+        id
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Iterates over `(id, task)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
+    }
+
+    /// Total bytes of all flows in the graph.
+    pub fn total_flow_bytes(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| match t.work {
+                Work::Flow { bytes, .. } => bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Merges `other` into `self`, offsetting its task ids. Returns a
+    /// function-like mapping of old ids to new ids (as a vector indexed by
+    /// old id).
+    pub fn extend_from(&mut self, other: &TaskGraph) -> Vec<TaskId> {
+        let offset = self.tasks.len() as u32;
+        let mut mapping = Vec::with_capacity(other.tasks.len());
+        for t in &other.tasks {
+            let mut t = t.clone();
+            for d in &mut t.deps {
+                *d = TaskId(d.0 + offset);
+            }
+            self.tasks.push(t);
+            mapping.push(TaskId(mapping.len() as u32 + offset));
+        }
+        mapping
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskGraph {
+    type Item = (TaskId, &'a Task);
+    type IntoIter = Box<dyn Iterator<Item = (TaskId, &'a Task)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_returns_sequential_ids() {
+        let mut g = TaskGraph::new();
+        let a = g.add(Work::compute(DeviceId(0), 1.0), []);
+        let b = g.add(Work::compute(DeviceId(0), 1.0), [a]);
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.task(b).deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        g.add(Work::Marker, [TaskId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_flow_panics() {
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(DeviceId(0), DeviceId(0), 1.0), []);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let mut g = TaskGraph::new();
+        g.add(Work::compute(DeviceId(0), -1.0), []);
+    }
+
+    #[test]
+    fn total_flow_bytes_sums_flows_only() {
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(DeviceId(0), DeviceId(1), 10.0), []);
+        g.add(Work::compute(DeviceId(0), 3.0), []);
+        g.add(Work::flow(DeviceId(1), DeviceId(2), 5.0), []);
+        assert_eq!(g.total_flow_bytes(), 15.0);
+    }
+
+    #[test]
+    fn extend_from_offsets_dependencies() {
+        let mut a = TaskGraph::new();
+        a.add(Work::Marker, []);
+
+        let mut b = TaskGraph::new();
+        let x = b.add(Work::Marker, []);
+        b.add(Work::compute(DeviceId(0), 1.0), [x]);
+
+        let mapping = a.extend_from(&b);
+        assert_eq!(mapping, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(a.task(TaskId(2)).deps, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn labels_are_preserved() {
+        let mut g = TaskGraph::new();
+        let id = g.add_labeled(Work::Marker, [], Some("barrier"));
+        assert_eq!(g.task(id).label.as_deref(), Some("barrier"));
+    }
+}

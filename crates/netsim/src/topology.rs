@@ -1,0 +1,349 @@
+//! Cluster topology: hosts, devices, and link parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a compute device (e.g., a GPU), global across the cluster.
+///
+/// Devices are numbered host by host: host 0 owns devices `0..d0`, host 1
+/// owns `d0..d0+d1`, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// Identifier of a host (a machine holding one or more devices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for DeviceId {
+    fn from(v: u32) -> Self {
+        DeviceId(v)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+/// Bandwidth and latency parameters of a homogeneous cluster.
+///
+/// Bandwidths are in bytes per second, latencies in seconds. Links are
+/// full duplex: sending and receiving draw on separate capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Per-device intra-host send bandwidth (NVLink-class), bytes/s.
+    pub intra_host_bw: f64,
+    /// Per-host NIC bandwidth for inter-host traffic, bytes/s (each
+    /// direction; the host is the bottleneck, per the paper's §3 setting).
+    pub inter_host_bw: f64,
+    /// Fixed latency added to every intra-host flow, seconds.
+    pub intra_host_latency: f64,
+    /// Fixed latency added to every inter-host flow, seconds.
+    pub inter_host_latency: f64,
+}
+
+impl LinkParams {
+    /// Creates link parameters with the given intra-host and inter-host
+    /// bandwidths (bytes/s) and small default latencies (5 µs intra-host,
+    /// 25 µs inter-host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bandwidth is not strictly positive and finite.
+    pub fn new(intra_host_bw: f64, inter_host_bw: f64) -> Self {
+        assert!(
+            intra_host_bw > 0.0 && intra_host_bw.is_finite(),
+            "intra-host bandwidth must be positive and finite"
+        );
+        assert!(
+            inter_host_bw > 0.0 && inter_host_bw.is_finite(),
+            "inter-host bandwidth must be positive and finite"
+        );
+        LinkParams {
+            intra_host_bw,
+            inter_host_bw,
+            intra_host_latency: 5e-6,
+            inter_host_latency: 25e-6,
+        }
+    }
+
+    /// Returns a copy with both latencies overridden.
+    #[must_use]
+    pub fn with_latencies(mut self, intra: f64, inter: f64) -> Self {
+        self.intra_host_latency = intra;
+        self.inter_host_latency = inter;
+        self
+    }
+}
+
+/// Per-host description: device count, link parameters, and compute rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Number of devices attached to this host.
+    pub devices: u32,
+    /// Link parameters used by flows touching this host.
+    pub links: LinkParams,
+    /// Peak compute rate of each device, FLOP/s. Used to convert
+    /// [`Work::compute_flops`](crate::Work::compute_flops) tasks to time.
+    pub device_flops: f64,
+}
+
+/// A cluster: an ordered list of hosts, each with a set of devices.
+///
+/// The inter-host topology is fully connected with equal pairwise bandwidth,
+/// bottlenecked at each host's NIC (the common cloud/datacenter setting the
+/// paper assumes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    hosts: Vec<HostSpec>,
+    /// `device_host[d]` is the host owning global device `d`.
+    device_host: Vec<HostId>,
+    /// `host_base[h]` is the global id of host `h`'s first device.
+    host_base: Vec<u32>,
+    /// Aggregate capacity of the inter-host fabric, bytes/s; `None` models
+    /// the full-bisection network the paper assumes.
+    fabric_capacity: Option<f64>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from per-host specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty or any host has zero devices.
+    pub fn new(hosts: Vec<HostSpec>) -> Self {
+        assert!(!hosts.is_empty(), "cluster must have at least one host");
+        let mut device_host = Vec::new();
+        let mut host_base = Vec::with_capacity(hosts.len());
+        for (h, spec) in hosts.iter().enumerate() {
+            assert!(spec.devices > 0, "host {h} must have at least one device");
+            host_base.push(device_host.len() as u32);
+            for _ in 0..spec.devices {
+                device_host.push(HostId(h as u32));
+            }
+        }
+        ClusterSpec {
+            hosts,
+            device_host,
+            host_base,
+            fabric_capacity: None,
+        }
+    }
+
+    /// Builds a homogeneous cluster: `n_hosts` hosts with `devices_per_host`
+    /// devices each, all sharing `links`, with a default compute rate of
+    /// 100 TFLOP/s per device (override with [`ClusterSpec::with_device_flops`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_hosts` or `devices_per_host` is zero.
+    pub fn homogeneous(n_hosts: u32, devices_per_host: u32, links: LinkParams) -> Self {
+        assert!(n_hosts > 0, "cluster must have at least one host");
+        let host = HostSpec {
+            devices: devices_per_host,
+            links,
+            device_flops: 100e12,
+        };
+        ClusterSpec::new(vec![host; n_hosts as usize])
+    }
+
+    /// Returns a copy with every device's compute rate set to `flops` FLOP/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flops` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_device_flops(mut self, flops: f64) -> Self {
+        assert!(
+            flops > 0.0 && flops.is_finite(),
+            "device FLOP/s must be positive and finite"
+        );
+        for h in &mut self.hosts {
+            h.device_flops = flops;
+        }
+        self
+    }
+
+    /// Returns a copy whose inter-host fabric is oversubscribed: the sum
+    /// of all concurrent cross-host traffic is capped at `bytes_per_sec`
+    /// (an extension beyond the paper's full-bisection assumption, for
+    /// studying congested datacenter cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_fabric_capacity(mut self, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "fabric capacity must be positive and finite"
+        );
+        self.fabric_capacity = Some(bytes_per_sec);
+        self
+    }
+
+    /// The aggregate inter-host fabric capacity, if the cluster models an
+    /// oversubscribed core (see [`ClusterSpec::with_fabric_capacity`]).
+    pub fn fabric_capacity(&self) -> Option<f64> {
+        self.fabric_capacity
+    }
+
+    /// Total number of devices in the cluster.
+    pub fn num_devices(&self) -> u32 {
+        self.device_host.len() as u32
+    }
+
+    /// Number of hosts in the cluster.
+    pub fn num_hosts(&self) -> u32 {
+        self.hosts.len() as u32
+    }
+
+    /// The host that owns `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn host_of(&self, device: DeviceId) -> HostId {
+        self.device_host[device.0 as usize]
+    }
+
+    /// The global id of the `local`-th device on host `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` or `local` is out of range.
+    pub fn device(&self, host: u32, local: u32) -> DeviceId {
+        let spec = &self.hosts[host as usize];
+        assert!(
+            local < spec.devices,
+            "host {host} has {} devices, asked for local index {local}",
+            spec.devices
+        );
+        DeviceId(self.host_base[host as usize] + local)
+    }
+
+    /// All global device ids on `host`, in order.
+    pub fn devices_on(&self, host: HostId) -> impl Iterator<Item = DeviceId> + '_ {
+        let base = self.host_base[host.0 as usize];
+        let n = self.hosts[host.0 as usize].devices;
+        (base..base + n).map(DeviceId)
+    }
+
+    /// The spec of `host`.
+    pub fn host(&self, host: HostId) -> &HostSpec {
+        &self.hosts[host.0 as usize]
+    }
+
+    /// Whether both devices sit on the same host.
+    pub fn same_host(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.host_of(a) == self.host_of(b)
+    }
+
+    /// True if `device` is a valid id for this cluster.
+    pub fn contains(&self, device: DeviceId) -> bool {
+        (device.0 as usize) < self.device_host.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(3, 4, LinkParams::new(100e9, 1.25e9))
+    }
+
+    #[test]
+    fn device_numbering_is_host_major() {
+        let c = cluster();
+        assert_eq!(c.num_devices(), 12);
+        assert_eq!(c.num_hosts(), 3);
+        assert_eq!(c.device(0, 0), DeviceId(0));
+        assert_eq!(c.device(1, 0), DeviceId(4));
+        assert_eq!(c.device(2, 3), DeviceId(11));
+    }
+
+    #[test]
+    fn host_of_inverts_device() {
+        let c = cluster();
+        for h in 0..3 {
+            for l in 0..4 {
+                assert_eq!(c.host_of(c.device(h, l)), HostId(h));
+            }
+        }
+    }
+
+    #[test]
+    fn devices_on_lists_local_devices() {
+        let c = cluster();
+        let on1: Vec<_> = c.devices_on(HostId(1)).collect();
+        assert_eq!(on1, vec![DeviceId(4), DeviceId(5), DeviceId(6), DeviceId(7)]);
+    }
+
+    #[test]
+    fn same_host_checks() {
+        let c = cluster();
+        assert!(c.same_host(DeviceId(0), DeviceId(3)));
+        assert!(!c.same_host(DeviceId(3), DeviceId(4)));
+    }
+
+    #[test]
+    fn heterogeneous_hosts() {
+        let links = LinkParams::new(10e9, 1e9);
+        let c = ClusterSpec::new(vec![
+            HostSpec {
+                devices: 1,
+                links,
+                device_flops: 1e12,
+            },
+            HostSpec {
+                devices: 3,
+                links,
+                device_flops: 2e12,
+            },
+        ]);
+        assert_eq!(c.num_devices(), 4);
+        assert_eq!(c.host_of(DeviceId(0)), HostId(0));
+        assert_eq!(c.host_of(DeviceId(1)), HostId(1));
+        assert_eq!(c.device(1, 2), DeviceId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_cluster_panics() {
+        ClusterSpec::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "local index")]
+    fn out_of_range_local_device_panics() {
+        cluster().device(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        LinkParams::new(0.0, 1e9);
+    }
+
+    #[test]
+    fn with_device_flops_overrides_all() {
+        let c = cluster().with_device_flops(5e12);
+        for h in 0..3 {
+            assert_eq!(c.host(HostId(h)).device_flops, 5e12);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Execution traces produced by the engine.
+
+use crate::graph::{TaskGraph, Work};
+use crate::topology::{ClusterSpec, DeviceId, HostId};
+use crate::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Start/finish interval of one task, in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInterval {
+    /// Time the task started executing (for flows: began transferring).
+    pub start: f64,
+    /// Time the task completed.
+    pub finish: f64,
+}
+
+impl TaskInterval {
+    /// Duration of the interval.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+
+    /// True if `self` and `other` overlap on a set of positive measure.
+    pub fn overlaps(&self, other: &TaskInterval) -> bool {
+        self.start < other.finish && other.start < self.finish
+    }
+}
+
+/// Bytes moved through each host NIC over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Bytes sent out of each host (inter-host flows only).
+    pub host_sent: BTreeMap<u32, f64>,
+    /// Bytes received by each host (inter-host flows only).
+    pub host_received: BTreeMap<u32, f64>,
+}
+
+impl ResourceUsage {
+    /// Bytes sent by `host` across the network.
+    pub fn sent_by(&self, host: HostId) -> f64 {
+        self.host_sent.get(&host.0).copied().unwrap_or(0.0)
+    }
+
+    /// Bytes received by `host` across the network.
+    pub fn received_by(&self, host: HostId) -> f64 {
+        self.host_received.get(&host.0).copied().unwrap_or(0.0)
+    }
+
+    /// Total inter-host traffic (sum over senders).
+    pub fn total_cross_host_bytes(&self) -> f64 {
+        self.host_sent.values().sum()
+    }
+
+    pub(crate) fn record(&mut self, src: HostId, dst: HostId, bytes: f64) {
+        *self.host_sent.entry(src.0).or_insert(0.0) += bytes;
+        *self.host_received.entry(dst.0).or_insert(0.0) += bytes;
+    }
+}
+
+/// The result of a simulation run: per-task intervals plus aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    intervals: Vec<TaskInterval>,
+    makespan: f64,
+    usage: ResourceUsage,
+}
+
+impl Trace {
+    pub(crate) fn new(intervals: Vec<TaskInterval>, usage: ResourceUsage) -> Self {
+        let makespan = intervals.iter().map(|i| i.finish).fold(0.0, f64::max);
+        Trace {
+            intervals,
+            makespan,
+            usage,
+        }
+    }
+
+    /// Completion time of the last task, in simulated seconds.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The execution interval of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not part of the executed graph.
+    pub fn interval(&self, task: TaskId) -> TaskInterval {
+        self.intervals[task.0 as usize]
+    }
+
+    /// All intervals, indexed by task id.
+    pub fn intervals(&self) -> &[TaskInterval] {
+        &self.intervals
+    }
+
+    /// Inter-host traffic accounting.
+    pub fn usage(&self) -> &ResourceUsage {
+        &self.usage
+    }
+
+    /// Fraction of the makespan each device spent computing (compute tasks
+    /// only — flows are attributed to the network, not the device).
+    /// Devices that never compute are absent.
+    pub fn device_utilization(&self, graph: &TaskGraph) -> BTreeMap<u32, f64> {
+        let mut busy: BTreeMap<u32, f64> = BTreeMap::new();
+        for (id, task) in graph.iter() {
+            if let Some(dev) = task.work.compute_device() {
+                *busy.entry(dev.0).or_insert(0.0) += self.interval(id).duration();
+            }
+        }
+        if self.makespan > 0.0 {
+            for v in busy.values_mut() {
+                *v /= self.makespan;
+            }
+        }
+        busy
+    }
+
+    /// Total seconds during which at least one flow between different
+    /// hosts was in progress ("exposed or overlapped communication time"),
+    /// computed by sweeping the merged flow intervals.
+    pub fn cross_host_comm_seconds(&self, graph: &TaskGraph, cluster: &ClusterSpec) -> f64 {
+        let mut intervals: Vec<TaskInterval> = graph
+            .iter()
+            .filter(|(_, t)| match t.work {
+                Work::Flow { src, dst, .. } => !cluster.same_host(src, dst),
+                _ => false,
+            })
+            .map(|(id, _)| self.interval(id))
+            .filter(|iv| iv.duration() > 0.0)
+            .collect();
+        intervals.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let mut total = 0.0;
+        let mut cur: Option<TaskInterval> = None;
+        for iv in intervals {
+            match &mut cur {
+                None => cur = Some(iv),
+                Some(c) if iv.start <= c.finish => c.finish = c.finish.max(iv.finish),
+                Some(c) => {
+                    total += c.duration();
+                    *c = iv;
+                }
+            }
+        }
+        if let Some(c) = cur {
+            total += c.duration();
+        }
+        total
+    }
+
+    /// Convenience: the busy seconds of one device (compute only).
+    pub fn device_busy_seconds(&self, graph: &TaskGraph, device: DeviceId) -> f64 {
+        graph
+            .iter()
+            .filter(|(_, t)| t.work.compute_device() == Some(device))
+            .map(|(id, _)| self.interval(id).duration())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSpec, Engine, LinkParams};
+
+    #[test]
+    fn utilization_and_comm_time_analysis() {
+        let c = ClusterSpec::homogeneous(2, 1, LinkParams::new(10.0, 1.0).with_latencies(0.0, 0.0));
+        let mut g = TaskGraph::new();
+        let d0 = c.device(0, 0);
+        let d1 = c.device(1, 0);
+        // 2 s compute on d0 overlapping a 4 s flow, then 1 s compute on d1.
+        g.add(Work::compute(d0, 2.0), []);
+        let f = g.add(Work::flow(d0, d1, 4.0), []);
+        g.add(Work::compute(d1, 1.0), [f]);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.makespan() - 5.0).abs() < 1e-9);
+        let util = t.device_utilization(&g);
+        assert!((util[&d0.0] - 2.0 / 5.0).abs() < 1e-9);
+        assert!((util[&d1.0] - 1.0 / 5.0).abs() < 1e-9);
+        assert!((t.cross_host_comm_seconds(&g, &c) - 4.0).abs() < 1e-9);
+        assert!((t.device_busy_seconds(&g, d0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_flow_intervals_merge() {
+        let c = ClusterSpec::homogeneous(2, 2, LinkParams::new(10.0, 1.0).with_latencies(0.0, 0.0));
+        let mut g = TaskGraph::new();
+        // Two concurrent flows sharing the NIC: both run [0, 4]; merged
+        // comm time is 4 s, not 8.
+        g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        g.add(Work::flow(c.device(0, 1), c.device(1, 1), 2.0), []);
+        // An intra-host flow must not count.
+        g.add(Work::flow(c.device(0, 0), c.device(0, 1), 100.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.cross_host_comm_seconds(&g, &c) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_is_last_finish() {
+        let t = Trace::new(
+            vec![
+                TaskInterval {
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                TaskInterval {
+                    start: 0.5,
+                    finish: 3.0,
+                },
+            ],
+            ResourceUsage::default(),
+        );
+        assert_eq!(t.makespan(), 3.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = TaskInterval {
+            start: 0.0,
+            finish: 1.0,
+        };
+        let b = TaskInterval {
+            start: 0.9,
+            finish: 2.0,
+        };
+        let c = TaskInterval {
+            start: 1.0,
+            finish: 2.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    fn usage_accumulates() {
+        let mut u = ResourceUsage::default();
+        u.record(HostId(0), HostId(1), 10.0);
+        u.record(HostId(0), HostId(2), 5.0);
+        assert_eq!(u.sent_by(HostId(0)), 15.0);
+        assert_eq!(u.received_by(HostId(1)), 10.0);
+        assert_eq!(u.received_by(HostId(3)), 0.0);
+        assert_eq!(u.total_cross_host_bytes(), 15.0);
+    }
+}

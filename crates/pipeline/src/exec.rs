@@ -1,0 +1,736 @@
+//! Lowering a scheduled pipeline onto the simulator.
+
+use crate::schedule::{build_schedule, Op, Schedule, ScheduleKind, WeightDelay};
+use crate::stage::StageGraph;
+use crossmesh_collectives::estimate_unit_task;
+use crossmesh_core::{CostParams, Plan, Planner};
+use crossmesh_netsim::{
+    ClusterSpec, DeviceId, Engine, SimError, TaskGraph, TaskId, Work,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How cross-mesh resharding interacts with stage compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Communication blocks the sending stage until delivery completes and
+    /// receivers wait for the whole transfer — the "Broadcast" baseline of
+    /// §5.2 (single-task optimization, no overlap).
+    Synchronous,
+    /// Sends are fire-and-forget; each receiving device waits only for its
+    /// own tiles. Combined with eager-1F1B this is the paper's full system.
+    Overlapped,
+    /// Every resharding is replaced by a single 1-byte flow: the paper's
+    /// hypothetical "Signal Send/Recv" upper bound, which keeps the data
+    /// dependencies but removes virtually all communication cost.
+    Signal,
+}
+
+/// Pipeline execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Which schedule shape to run.
+    pub schedule: ScheduleKind,
+    /// How communication interacts with compute.
+    pub comm: CommMode,
+    /// Placement of the weight-gradient halves.
+    pub weight_delay: WeightDelay,
+}
+
+impl PipelineConfig {
+    /// The paper's full system: eager-1F1B with overlapped communication.
+    pub fn ours() -> Self {
+        PipelineConfig {
+            schedule: ScheduleKind::Eager1F1B,
+            comm: CommMode::Overlapped,
+            weight_delay: WeightDelay::None,
+        }
+    }
+}
+
+/// Results of one simulated training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Time of the iteration (all microbatches, forward + backward).
+    pub iteration_seconds: f64,
+    /// Per stage: the peak number of in-flight activations.
+    pub peak_live_activations: Vec<usize>,
+    /// Per stage: peak memory per device (weights + live activations).
+    pub peak_memory_bytes: Vec<f64>,
+    /// Total bytes that crossed host NICs.
+    pub cross_host_bytes: f64,
+    /// Seconds during which cross-host communication was in flight
+    /// (merged intervals) — compare against `iteration_seconds` to see how
+    /// much communication the schedule exposed or hid.
+    pub comm_busy_seconds: f64,
+    /// Mean fraction of the iteration each participating device spent
+    /// computing.
+    pub mean_device_utilization: f64,
+    /// Number of simulator tasks lowered.
+    pub tasks_lowered: usize,
+}
+
+/// The least weight delay whose overlap window covers the slowest backward
+/// resharding edge, per the paper's cost-model heuristic ("we use a simple
+/// cost model to estimate the compute and communication time and delay the
+/// least to cover all communications").
+pub fn auto_weight_delay(graph: &StageGraph, params: &CostParams) -> WeightDelay {
+    let mut worst_comm = 0.0f64;
+    for edge in graph.edges() {
+        let comm: f64 = edge
+            .backward
+            .units()
+            .iter()
+            .map(|u| {
+                let h = u.senders[0].1;
+                estimate_unit_task(params, u, h, crossmesh_core::Strategy::broadcast())
+            })
+            .sum();
+        worst_comm = worst_comm.max(comm);
+    }
+    let min_bact = graph
+        .stages()
+        .iter()
+        .map(|s| s.backward_act_seconds)
+        .fold(f64::INFINITY, f64::min);
+    if worst_comm <= 0.0 || !min_bact.is_finite() || min_bact <= 0.0 {
+        return WeightDelay::None;
+    }
+    let d = (worst_comm / min_bact).ceil() as usize;
+    WeightDelay::Fixed(d.min(graph.stages().len()))
+}
+
+/// Handles of one lowered resharding instance.
+struct CommInstance {
+    /// Tasks each destination device must wait for (overlapped mode).
+    per_device: HashMap<DeviceId, Vec<TaskId>>,
+    /// Joins the whole transfer.
+    done: TaskId,
+}
+
+/// Simulates one training iteration of `graph` on `cluster`.
+///
+/// Cross-stage reshardings are planned once per edge and direction by
+/// `planner`, then lowered per microbatch according to `config.comm`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (stage meshes referencing devices outside
+/// `cluster`).
+///
+/// # Panics
+///
+/// Panics if the schedule deadlocks (impossible for the built-in schedule
+/// kinds) or the stage graph is empty.
+pub fn simulate(
+    graph: &StageGraph,
+    cluster: &ClusterSpec,
+    planner: &dyn Planner,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, SimError> {
+    let num_stages = graph.stages().len();
+    assert!(num_stages > 0, "pipeline needs at least one stage");
+    let schedule = build_schedule(
+        config.schedule,
+        num_stages,
+        graph.num_microbatches(),
+        config.weight_delay,
+    );
+    let mut lowering = Lowering::new(graph, &schedule, planner, config.comm);
+    lowering.run();
+    lowering.lower_grad_sync();
+    let Lowering { task_graph, .. } = lowering;
+
+    let trace = Engine::new(cluster).run(&task_graph)?;
+    let peak_live: Vec<usize> = (0..num_stages)
+        .map(|s| schedule.peak_live_activations(s))
+        .collect();
+    let peak_memory = graph
+        .stages()
+        .iter()
+        .zip(&peak_live)
+        .map(|(st, &live)| st.weight_bytes + live as f64 * st.stored_activation_bytes())
+        .collect();
+    let utilization = trace.device_utilization(&task_graph);
+    let mean_device_utilization = if utilization.is_empty() {
+        0.0
+    } else {
+        utilization.values().sum::<f64>() / utilization.len() as f64
+    };
+    Ok(PipelineReport {
+        iteration_seconds: trace.makespan(),
+        peak_live_activations: peak_live,
+        peak_memory_bytes: peak_memory,
+        cross_host_bytes: trace.usage().total_cross_host_bytes(),
+        comm_busy_seconds: trace.cross_host_comm_seconds(&task_graph, cluster),
+        mean_device_utilization,
+        tasks_lowered: task_graph.len(),
+    })
+}
+
+struct Lowering<'a> {
+    graph: &'a StageGraph,
+    schedule: &'a Schedule,
+    comm: CommMode,
+    task_graph: TaskGraph,
+    /// Per stage: next op index to lower.
+    op_ptr: Vec<usize>,
+    /// Per stage, per device (mesh order): last lowered task in the
+    /// device's serial chain.
+    last_on_device: Vec<Vec<Option<TaskId>>>,
+    /// Lowered forward comm per (edge, microbatch).
+    fwd_comm: HashMap<(usize, usize), CommInstance>,
+    /// Lowered backward (gradient) comm per (edge, microbatch).
+    bwd_comm: HashMap<(usize, usize), CommInstance>,
+    /// Per-edge plans, computed once.
+    fwd_plans: Vec<Option<Plan<'a>>>,
+    bwd_plans: Vec<Option<Plan<'a>>>,
+    /// One "communicator" per (source hosts, destination hosts) mesh pair:
+    /// resharding instances between the same meshes in the same direction
+    /// issue in order, like collectives on one NCCL communicator. Maps the
+    /// pair to the previous instance's completion.
+    comm_chain: HashMap<(Vec<crossmesh_netsim::HostId>, Vec<crossmesh_netsim::HostId>), TaskId>,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(
+        graph: &'a StageGraph,
+        schedule: &'a Schedule,
+        planner: &dyn Planner,
+        comm: CommMode,
+    ) -> Self {
+        let n = graph.stages().len();
+        let (fwd_plans, bwd_plans) = match comm {
+            CommMode::Signal => (
+                graph.edges().iter().map(|_| None).collect(),
+                graph.edges().iter().map(|_| None).collect(),
+            ),
+            _ => (
+                graph
+                    .edges()
+                    .iter()
+                    .map(|e| Some(planner.plan(&e.forward)))
+                    .collect(),
+                graph
+                    .edges()
+                    .iter()
+                    .map(|e| Some(planner.plan(&e.backward)))
+                    .collect(),
+            ),
+        };
+        Lowering {
+            graph,
+            schedule,
+            comm,
+            task_graph: TaskGraph::new(),
+            op_ptr: vec![0; n],
+            last_on_device: graph
+                .stages()
+                .iter()
+                .map(|s| vec![None; s.mesh.num_devices()])
+                .collect(),
+            fwd_comm: HashMap::new(),
+            bwd_comm: HashMap::new(),
+            fwd_plans,
+            bwd_plans,
+            comm_chain: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let mut progressed = false;
+            for s in 0..self.graph.stages().len() {
+                while self.try_advance(s) {
+                    progressed = true;
+                }
+            }
+            if self.op_ptr
+                .iter()
+                .enumerate()
+                .all(|(s, &p)| p == self.schedule.stage_ops(s).len())
+            {
+                return;
+            }
+            assert!(progressed, "pipeline schedule deadlocked");
+        }
+    }
+
+    /// Lowers the next op of stage `s` if its cross-stage inputs are ready.
+    fn try_advance(&mut self, s: usize) -> bool {
+        let ops = self.schedule.stage_ops(s);
+        let Some(&op) = ops.get(self.op_ptr[s]) else {
+            return false;
+        };
+        // Check and collect cross-stage dependencies.
+        let comm_keys: Vec<(bool, usize, usize)> = match op {
+            Op::Forward(mb) => self
+                .graph
+                .in_edges(s)
+                .map(|(e, _)| (true, e, mb))
+                .collect(),
+            Op::BackwardAct(mb) => self
+                .graph
+                .out_edges(s)
+                .map(|(e, _)| (false, e, mb))
+                .collect(),
+            Op::BackwardWeight(_) => Vec::new(),
+        };
+        for &(fwd, e, mb) in &comm_keys {
+            let store = if fwd { &self.fwd_comm } else { &self.bwd_comm };
+            if !store.contains_key(&(e, mb)) {
+                return false;
+            }
+        }
+
+        let stage = &self.graph.stages()[s];
+        let seconds = match op {
+            Op::Forward(_) => stage.forward_seconds,
+            Op::BackwardAct(_) => stage.effective_backward_act_seconds(),
+            Op::BackwardWeight(_) => stage.backward_weight_seconds,
+        };
+        let mut tasks = Vec::with_capacity(stage.mesh.num_devices());
+        for (d, &dev) in stage.mesh.devices().iter().enumerate() {
+            let mut deps: Vec<TaskId> = Vec::new();
+            if let Some(prev) = self.last_on_device[s][d] {
+                deps.push(prev);
+            }
+            for &(fwd, e, mb) in &comm_keys {
+                let store = if fwd { &self.fwd_comm } else { &self.bwd_comm };
+                let inst = &store[&(e, mb)];
+                match self.comm {
+                    CommMode::Overlapped => {
+                        if let Some(ids) = inst.per_device.get(&dev) {
+                            deps.extend(ids.iter().copied());
+                        }
+                    }
+                    CommMode::Synchronous | CommMode::Signal => deps.push(inst.done),
+                }
+            }
+            let t = self.task_graph.add_labeled(
+                Work::compute(dev, seconds),
+                deps,
+                Some(format!("{} {}", stage.name, op)),
+            );
+            self.last_on_device[s][d] = Some(t);
+            tasks.push(t);
+        }
+        self.op_ptr[s] += 1;
+
+        // Producing ops trigger outgoing communication immediately.
+        match op {
+            Op::Forward(mb) => {
+                let edges: Vec<usize> = self.graph.out_edges(s).map(|(e, _)| e).collect();
+                for e in edges {
+                    let inst = self.lower_comm(true, e, &tasks);
+                    self.after_comm(s, true, e, &inst);
+                    self.fwd_comm.insert((e, mb), inst);
+                }
+            }
+            Op::BackwardAct(mb) => {
+                let edges: Vec<usize> = self.graph.in_edges(s).map(|(e, _)| e).collect();
+                for e in edges {
+                    let inst = self.lower_comm(false, e, &tasks);
+                    self.after_comm(s, false, e, &inst);
+                    self.bwd_comm.insert((e, mb), inst);
+                }
+            }
+            Op::BackwardWeight(_) => {}
+        }
+        true
+    }
+
+    /// Lowers one resharding instance gated by the producing compute tasks.
+    fn lower_comm(&mut self, forward: bool, e: usize, producers: &[TaskId]) -> CommInstance {
+        let edge = &self.graph.edges()[e];
+        let resharding = if forward { &edge.forward } else { &edge.backward };
+        match self.comm {
+            CommMode::Signal => {
+                // Zero payload: the flow costs only link latency, keeping
+                // the data dependency while removing the communication
+                // cost (the paper's 1-byte signal on a 10 Gbps NIC).
+                let src = resharding.src_mesh().devices()[0];
+                let dst = resharding.dst_mesh().devices()[0];
+                let f = self.task_graph.add_labeled(
+                    Work::flow(src, dst, 0.0),
+                    producers.iter().copied(),
+                    Some("signal"),
+                );
+                CommInstance {
+                    per_device: HashMap::new(),
+                    done: f,
+                }
+            }
+            _ => {
+                let plan = if forward {
+                    self.fwd_plans[e].as_ref()
+                } else {
+                    self.bwd_plans[e].as_ref()
+                }
+                .expect("plans exist outside signal mode");
+                let chain_key = (
+                    resharding.src_mesh().distinct_hosts(),
+                    resharding.dst_mesh().distinct_hosts(),
+                );
+                let mut deps: Vec<TaskId> = producers.to_vec();
+                if let Some(&prev) = self.comm_chain.get(&chain_key) {
+                    deps.push(prev);
+                }
+                let lowered = plan.lower(&mut self.task_graph, &deps);
+                self.comm_chain.insert(chain_key, lowered.done);
+                let mut per_device: HashMap<DeviceId, Vec<TaskId>> = HashMap::new();
+                for unit in &lowered.per_unit {
+                    for &(dev, t) in &unit.receiver_done {
+                        per_device.entry(dev).or_default().push(t);
+                    }
+                }
+                CommInstance {
+                    per_device,
+                    done: lowered.done,
+                }
+            }
+        }
+    }
+
+    /// In synchronous mode the sending stage's devices are blocked until
+    /// the transfer completes.
+    fn after_comm(&mut self, s: usize, _forward: bool, _e: usize, inst: &CommInstance) {
+        if self.comm == CommMode::Synchronous {
+            for slot in &mut self.last_on_device[s] {
+                *slot = Some(inst.done);
+            }
+        }
+    }
+
+    /// Lowers each stage's end-of-iteration gradient all-reduce (data
+    /// parallelism), gated by the last op on every participating device.
+    fn lower_grad_sync(&mut self) {
+        for (s, stage) in self.graph.stages().iter().enumerate() {
+            let Some(sync) = stage.grad_sync else { continue };
+            for group in stage.grad_sync_groups() {
+                let ready: Vec<Vec<TaskId>> = group
+                    .iter()
+                    .map(|dev| {
+                        let idx = stage
+                            .mesh
+                            .devices()
+                            .iter()
+                            .position(|d| d == dev)
+                            .expect("group devices belong to the stage mesh");
+                        self.last_on_device[s][idx].into_iter().collect()
+                    })
+                    .collect();
+                crossmesh_collectives::ring_all_reduce(
+                    &mut self.task_graph,
+                    &group,
+                    sync.bytes,
+                    &ready,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{EdgeTensor, Stage};
+    use crossmesh_core::{EnsemblePlanner, PlannerConfig};
+    use crossmesh_mesh::DeviceMesh;
+    use crossmesh_netsim::LinkParams;
+
+    /// Two hosts x 2 devices; stage 0 on host 0, stage 1 on host 1.
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+    }
+
+    fn planner() -> EnsemblePlanner {
+        EnsemblePlanner::new(PlannerConfig::new(crossmesh_core::CostParams {
+            inter_bw: 1.0,
+            intra_bw: 100.0,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+        }))
+    }
+
+    /// A 2-stage pipeline with per-microbatch forward time `f` and an edge
+    /// carrying `bytes` (replicated -> replicated for simplicity).
+    fn two_stage(c: &ClusterSpec, m: usize, f: f64, bytes: u64) -> StageGraph {
+        let m0 = DeviceMesh::from_cluster(c, 0, (1, 2), "s0").unwrap();
+        let m1 = DeviceMesh::from_cluster(c, 1, (1, 2), "s1").unwrap();
+        let mut g = StageGraph::new(m);
+        let a = g.add_stage(Stage::new("s0", m0, f).with_backward(f, f));
+        let b = g.add_stage(Stage::new("s1", m1, f).with_backward(f, f));
+        g.connect(
+            a,
+            b,
+            EdgeTensor {
+                shape: vec![bytes],
+                elem_bytes: 1,
+                src_spec: "R".parse().unwrap(),
+                dst_spec: "R".parse().unwrap(),
+            },
+        )
+        .unwrap();
+        g
+    }
+
+    fn run(g: &StageGraph, c: &ClusterSpec, config: PipelineConfig) -> PipelineReport {
+        simulate(g, c, &planner(), &config).unwrap()
+    }
+
+    #[test]
+    fn zero_comm_makes_schedules_equal() {
+        // With (near) free communication, 1F1B and eager-1F1B have the
+        // same latency (paper §4).
+        let c = cluster();
+        let g = two_stage(&c, 6, 1.0, 1);
+        let t_1f1b = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::OneFOneB,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .iteration_seconds;
+        let t_eager = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::Eager1F1B,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .iteration_seconds;
+        assert!(
+            (t_1f1b - t_eager).abs() < 1e-6,
+            "1f1b {t_1f1b} vs eager {t_eager}"
+        );
+    }
+
+    #[test]
+    fn eager_hides_communication_that_1f1b_exposes() {
+        // Communication of 2s per microbatch boundary vs 1s compute ops.
+        let c = cluster();
+        let g = two_stage(&c, 8, 1.0, 2);
+        let mk = |schedule, comm| PipelineConfig {
+            schedule,
+            comm,
+            weight_delay: WeightDelay::None,
+        };
+        let signal = run(&g, &c, mk(ScheduleKind::OneFOneB, CommMode::Signal)).iteration_seconds;
+        let sync = run(&g, &c, mk(ScheduleKind::OneFOneB, CommMode::Synchronous)).iteration_seconds;
+        let overlap =
+            run(&g, &c, mk(ScheduleKind::OneFOneB, CommMode::Overlapped)).iteration_seconds;
+        let eager =
+            run(&g, &c, mk(ScheduleKind::Eager1F1B, CommMode::Overlapped)).iteration_seconds;
+        assert!(sync > overlap - 1e-9, "sync {sync} overlap {overlap}");
+        assert!(eager <= overlap + 1e-9, "eager {eager} overlap {overlap}");
+        assert!(eager < sync, "eager {eager} must beat sync {sync}");
+        assert!(signal <= eager + 1e-9, "signal is the lower bound");
+    }
+
+    #[test]
+    fn signal_matches_compute_bound() {
+        // Signal mode: iteration ~= (warmup + steady) * op seconds. For 2
+        // stages, M microbatches of (1f + 1b_act + 1b_w) each: the pipeline
+        // bound is 3M + warmup-ish; just check it is close to 3M.
+        let c = cluster();
+        let m = 16;
+        let g = two_stage(&c, m, 1.0, 1);
+        let t = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::OneFOneB,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .iteration_seconds;
+        let ideal = 3.0 * m as f64;
+        assert!(t >= ideal, "cannot beat the compute bound");
+        assert!(t <= ideal + 8.0, "bubble too large: {t} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn gpipe_peaks_at_all_microbatches() {
+        let c = cluster();
+        let g = two_stage(&c, 8, 1.0, 1);
+        let r = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::GPipe,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        );
+        assert_eq!(r.peak_live_activations, vec![8, 8]);
+    }
+
+    #[test]
+    fn memory_report_combines_weights_and_activations() {
+        let c = cluster();
+        let m0 = DeviceMesh::from_cluster(&c, 0, (1, 2), "s0").unwrap();
+        let m1 = DeviceMesh::from_cluster(&c, 1, (1, 2), "s1").unwrap();
+        let mut g = StageGraph::new(4);
+        g.add_stage(Stage::new("s0", m0, 1.0).with_memory(10.0, 1000.0));
+        g.add_stage(Stage::new("s1", m1, 1.0).with_memory(10.0, 1000.0));
+        let r = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::OneFOneB,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        );
+        // Stage 0 warms up 2 microbatches: 1000 + 2*10.
+        assert_eq!(r.peak_memory_bytes[0], 1020.0);
+        assert_eq!(r.peak_memory_bytes[1], 1010.0);
+    }
+
+    #[test]
+    fn weight_delay_does_not_change_totals() {
+        let c = cluster();
+        let g = two_stage(&c, 6, 1.0, 2);
+        let base = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::Eager1F1B,
+                comm: CommMode::Overlapped,
+                weight_delay: WeightDelay::None,
+            },
+        );
+        let delayed = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::Eager1F1B,
+                comm: CommMode::Overlapped,
+                weight_delay: WeightDelay::Fixed(1),
+            },
+        );
+        // Same number of ops lowered; delaying shifts weight-gradient work
+        // later but must not change the amount of work or move iteration
+        // time materially on this comm-light pipeline.
+        assert_eq!(base.tasks_lowered, delayed.tasks_lowered);
+        let rel = (delayed.iteration_seconds - base.iteration_seconds).abs()
+            / base.iteration_seconds;
+        assert!(
+            rel < 0.1,
+            "delayed {} vs base {}",
+            delayed.iteration_seconds,
+            base.iteration_seconds
+        );
+    }
+
+    #[test]
+    fn auto_weight_delay_scales_with_comm() {
+        let c = cluster();
+        let params = crossmesh_core::CostParams {
+            inter_bw: 1.0,
+            intra_bw: 100.0,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+        };
+        let cheap = two_stage(&c, 4, 1.0, 1);
+        let heavy = two_stage(&c, 4, 1.0, 50);
+        let d_cheap = match auto_weight_delay(&cheap, &params) {
+            WeightDelay::Fixed(d) => d,
+            WeightDelay::None => 0,
+        };
+        let d_heavy = match auto_weight_delay(&heavy, &params) {
+            WeightDelay::Fixed(d) => d,
+            WeightDelay::None => 0,
+        };
+        assert!(d_heavy >= d_cheap);
+        assert!(d_heavy >= 1);
+    }
+
+    #[test]
+    fn grad_sync_extends_the_iteration() {
+        let c = cluster();
+        let mut g = two_stage(&c, 4, 1.0, 1);
+        let base = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::OneFOneB,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .iteration_seconds;
+        // Add a 100-byte gradient all-reduce over each stage's 2-device
+        // axis (intra-host, 100 B/s): 2*(2-1)/2 * 100 / 100 = 1s extra.
+        for s in 0..2 {
+            let stage = g.stages()[s].clone().with_grad_sync(1, 100.0);
+            *g.stage_mut(s) = stage;
+        }
+        let synced = run(
+            &g,
+            &c,
+            PipelineConfig {
+                schedule: ScheduleKind::OneFOneB,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .iteration_seconds;
+        assert!(
+            (synced - base - 1.0).abs() < 1e-6,
+            "base {base} synced {synced}"
+        );
+    }
+
+    #[test]
+    fn trivial_dp_axis_has_no_sync_groups() {
+        let c = cluster();
+        let m0 = DeviceMesh::from_cluster(&c, 0, (1, 2), "s0").unwrap();
+        let s = Stage::new("s0", m0, 1.0).with_grad_sync(0, 100.0);
+        assert!(s.grad_sync_groups().is_empty(), "axis 0 has size 1");
+        let c2 = cluster();
+        let m1 = DeviceMesh::from_cluster(&c2, 0, (1, 2), "s1").unwrap();
+        let expected = vec![m1.devices().to_vec()];
+        let s = Stage::new("s1", m1, 1.0).with_grad_sync(1, 100.0);
+        assert_eq!(s.grad_sync_groups(), expected);
+    }
+
+    #[test]
+    fn skip_connection_grads_flow_back() {
+        // 3 stages on 3 hosts with a skip edge 0 -> 2; the iteration must
+        // complete (no deadlock) and move bytes across all hosts.
+        let c = ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+        let mut g = StageGraph::new(4);
+        let idx: Vec<usize> = (0..3)
+            .map(|i| {
+                let m = DeviceMesh::from_cluster(&c, i, (1, 2), format!("s{i}")).unwrap();
+                g.add_stage(Stage::new(format!("s{i}"), m, 1.0))
+            })
+            .collect();
+        let tensor = || EdgeTensor {
+            shape: vec![4],
+            elem_bytes: 1,
+            src_spec: "R".parse().unwrap(),
+            dst_spec: "R".parse().unwrap(),
+        };
+        g.connect(idx[0], idx[1], tensor()).unwrap();
+        g.connect(idx[1], idx[2], tensor()).unwrap();
+        g.connect(idx[0], idx[2], tensor()).unwrap();
+        let r = simulate(
+            &g,
+            &c,
+            &planner(),
+            &PipelineConfig::ours(),
+        )
+        .unwrap();
+        assert!(r.iteration_seconds > 0.0);
+        assert!(r.cross_host_bytes > 0.0);
+    }
+}

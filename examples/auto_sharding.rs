@@ -1,0 +1,77 @@
+//! Choosing boundary shardings automatically (the "auto" in Table 3's
+//! `(auto, auto, 2)` config): enumerate every valid GSPMD spec pair for a
+//! stage-boundary tensor and compare the best pair against common manual
+//! choices, with and without a per-device memory cap.
+//!
+//! Run with: `cargo run --release --example auto_sharding`
+
+use crossmesh::autoshard::{enumerate_specs, search, AutoShardProblem};
+use crossmesh::core::{LoadBalancePlanner, Planner, PlannerConfig, ReshardingTask};
+use crossmesh::mesh::DeviceMesh;
+use crossmesh::models::{presets, Precision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = presets::aws_p3_8xlarge(4, Precision::Fp16);
+    let src = DeviceMesh::from_cluster(&cluster, 0, (2, 4), "producer")?;
+    let dst = DeviceMesh::from_cluster(&cluster, 2, (2, 4), "consumer")?;
+    let shape = vec![64, 1024, 2560]; // a GPT-sized activation microbatch
+    let elem = 2u64;
+    let params = presets::p3_cost_params();
+
+    println!(
+        "boundary tensor {}x{}x{} fp16 ({} MB), meshes 2x4 -> 2x4",
+        shape[0],
+        shape[1],
+        shape[2],
+        shape.iter().product::<u64>() * elem / (1 << 20),
+    );
+    println!(
+        "{} candidate specs per side\n",
+        enumerate_specs(shape.len()).len()
+    );
+
+    // Manual baselines a practitioner might pick.
+    let planner = LoadBalancePlanner::new(PlannerConfig::new(params));
+    println!("{:<28} {:>12}", "spec pair", "estimate");
+    for (s, d) in [("RRR", "RRR"), ("S0RR", "S0RR"), ("S1RR", "S0RR")] {
+        let task = ReshardingTask::new(
+            src.clone(),
+            s.parse()?,
+            dst.clone(),
+            d.parse()?,
+            &shape,
+            elem,
+        )?;
+        println!(
+            "{:<28} {:>11.4}s",
+            format!("{s} -> {d} (manual)"),
+            planner.plan(&task).estimate()
+        );
+    }
+
+    // Unconstrained search.
+    let best = search(&AutoShardProblem::new(src.clone(), dst.clone(), shape.clone(), elem), &params)?;
+    println!(
+        "{:<28} {:>11.4}s   <- searched, {} candidates",
+        format!("{} -> {} (auto)", best.src_spec, best.dst_spec),
+        best.estimated_seconds,
+        best.candidates_evaluated,
+    );
+
+    // With the consumer pinned (say its operator demands S0RR) and a
+    // memory cap that rules out replicated layouts.
+    let cap = shape.iter().product::<u64>() * elem / 2;
+    let pinned = search(
+        &AutoShardProblem::new(src, dst, shape, elem)
+            .with_fixed_dst("S0RR".parse()?)
+            .with_memory_cap(cap),
+        &params,
+    )?;
+    println!(
+        "{:<28} {:>11.4}s   <- dst pinned S0RR, cap {} MB",
+        format!("{} -> {} (auto)", pinned.src_spec, pinned.dst_spec),
+        pinned.estimated_seconds,
+        cap / (1 << 20),
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! End-to-end GPT-2.6B pipeline training (Table 3, GPT case1) under the
+//! paper's five communication configurations, on a simulated 2-node AWS
+//! p3.8xlarge cluster.
+//!
+//! Run with: `cargo run --release --example gpt_training`
+
+use crossmesh::core::{
+    EnsemblePlanner, LoadBalancePlanner, Planner, PlannerConfig, Strategy, StrategyChoice,
+};
+use crossmesh::models::gpt::GptConfig;
+use crossmesh::models::{presets, Precision};
+use crossmesh::pipeline::{
+    simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = presets::aws_p3_8xlarge(2, Precision::Fp16);
+    let config = GptConfig::case1();
+    println!(
+        "GPT: {} layers, hidden {}, batch {}, {} microbatches, {:.1}B params, parallel {}",
+        config.num_layers,
+        config.hidden,
+        config.global_batch,
+        config.num_microbatches,
+        config.num_params() as f64 / 1e9,
+        config.parallel,
+    );
+    let job = config.build(&cluster)?;
+    println!(
+        "boundary tensor per microbatch: {} MB\n",
+        job.graph.edges()[0].forward.total_bytes() / (1 << 20)
+    );
+
+    let params = presets::p3_cost_params();
+    let variants: Vec<(&str, Box<dyn Planner>, ScheduleKind, CommMode)> = vec![
+        (
+            "send_recv (sync 1F1B)",
+            Box::new(LoadBalancePlanner::new(
+                PlannerConfig::new(params)
+                    .with_strategy(StrategyChoice::Fixed(Strategy::SendRecv)),
+            )),
+            ScheduleKind::OneFOneB,
+            CommMode::Synchronous,
+        ),
+        (
+            "alpa (sync 1F1B)",
+            Box::new(LoadBalancePlanner::new(
+                PlannerConfig::new(params).with_strategy(StrategyChoice::AlpaAuto),
+            )),
+            ScheduleKind::OneFOneB,
+            CommMode::Synchronous,
+        ),
+        (
+            "broadcast (sync 1F1B)",
+            Box::new(EnsemblePlanner::new(PlannerConfig::new(params))),
+            ScheduleKind::OneFOneB,
+            CommMode::Synchronous,
+        ),
+        (
+            "ours (eager-1F1B)",
+            Box::new(EnsemblePlanner::new(PlannerConfig::new(params))),
+            ScheduleKind::Eager1F1B,
+            CommMode::Overlapped,
+        ),
+        (
+            "signal upper bound",
+            Box::new(EnsemblePlanner::new(PlannerConfig::new(params))),
+            ScheduleKind::OneFOneB,
+            CommMode::Signal,
+        ),
+    ];
+
+    println!("{:<24} {:>10} {:>12} {:>14}", "variant", "iteration", "TFLOPS", "peak mem/GPU");
+    for (name, planner, schedule, comm) in variants {
+        let report = simulate(
+            &job.graph,
+            &cluster,
+            planner.as_ref(),
+            &PipelineConfig {
+                schedule,
+                comm,
+                weight_delay: WeightDelay::None,
+            },
+        )?;
+        println!(
+            "{:<24} {:>9.2}s {:>12.1} {:>11.2} GB",
+            name,
+            report.iteration_seconds,
+            job.aggregate_tflops(report.iteration_seconds),
+            report.peak_memory_bytes[0] / 1e9,
+        );
+    }
+    Ok(())
+}

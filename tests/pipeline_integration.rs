@@ -1,0 +1,239 @@
+//! Cross-crate integration tests for the pipeline layer: schedules,
+//! overlap modes, and the end-to-end model builders.
+
+use crossmesh::core::{EnsemblePlanner, PlannerConfig};
+use crossmesh::mesh::DeviceMesh;
+use crossmesh::models::gpt::GptConfig;
+use crossmesh::models::utransformer::UTransformerConfig;
+use crossmesh::models::{presets, Precision};
+use crossmesh::netsim::{ClusterSpec, LinkParams};
+use crossmesh::pipeline::{
+    simulate, CommMode, EdgeTensor, PipelineConfig, ScheduleKind, Stage, StageGraph, WeightDelay,
+};
+
+fn planner() -> EnsemblePlanner {
+    EnsemblePlanner::new(PlannerConfig::new(crossmesh::core::CostParams {
+        inter_bw: 1.0,
+        intra_bw: 100.0,
+        inter_latency: 0.0,
+        intra_latency: 0.0,
+    }))
+}
+
+/// An `n`-stage linear pipeline over `n` hosts with uniform compute and
+/// boundary tensors of `bytes`.
+fn linear_pipeline(
+    cluster: &ClusterSpec,
+    stages: usize,
+    microbatches: usize,
+    compute: f64,
+    bytes: u64,
+) -> StageGraph {
+    let mut g = StageGraph::new(microbatches);
+    let ids: Vec<usize> = (0..stages)
+        .map(|i| {
+            let mesh =
+                DeviceMesh::from_cluster(cluster, i, (1, 2), format!("s{i}")).unwrap();
+            g.add_stage(Stage::new(format!("s{i}"), mesh, compute))
+        })
+        .collect();
+    for w in ids.windows(2) {
+        g.connect(
+            w[0],
+            w[1],
+            EdgeTensor {
+                shape: vec![bytes],
+                elem_bytes: 1,
+                src_spec: "S1".parse().unwrap(),
+                dst_spec: "S1".parse().unwrap(),
+            },
+        )
+        .unwrap();
+    }
+    g
+}
+
+fn run(g: &StageGraph, c: &ClusterSpec, schedule: ScheduleKind, comm: CommMode) -> f64 {
+    simulate(
+        g,
+        c,
+        &planner(),
+        &PipelineConfig {
+            schedule,
+            comm,
+            weight_delay: WeightDelay::None,
+        },
+    )
+    .unwrap()
+    .iteration_seconds
+}
+
+#[test]
+fn ordering_holds_across_depths_and_microbatch_counts() {
+    for stages in [2usize, 3, 4] {
+        let c = ClusterSpec::homogeneous(
+            stages as u32,
+            2,
+            LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+        );
+        for m in [2usize, 4, 8] {
+            let g = linear_pipeline(&c, stages, m, 1.0, 2);
+            let signal = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Signal);
+            let eager = run(&g, &c, ScheduleKind::Eager1F1B, CommMode::Overlapped);
+            let overlap = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Overlapped);
+            let sync = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Synchronous);
+            assert!(
+                signal <= eager + 1e-9 && eager <= overlap + 1e-9 && overlap <= sync + 1e-9,
+                "stages={stages} m={m}: {signal} {eager} {overlap} {sync}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpipe_matches_1f1b_time_at_zero_comm() {
+    // Same compute, same bubble structure: GPipe and 1F1B have equal
+    // iteration time when communication is free (they differ in memory).
+    let c = ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let g = linear_pipeline(&c, 3, 6, 1.0, 1);
+    let gpipe = run(&g, &c, ScheduleKind::GPipe, CommMode::Signal);
+    let one = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Signal);
+    assert!(
+        (gpipe - one).abs() < 1e-6,
+        "gpipe {gpipe} vs 1f1b {one}"
+    );
+}
+
+#[test]
+fn pipeline_bubble_shrinks_with_more_microbatches() {
+    // Efficiency = ideal/actual rises toward 1 as microbatches grow.
+    let c = ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let eff = |m: usize| {
+        let g = linear_pipeline(&c, 3, m, 1.0, 1);
+        let t = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Signal);
+        3.0 * m as f64 / t
+    };
+    let (e2, e8, e32) = (eff(2), eff(8), eff(32));
+    assert!(e2 < e8 && e8 < e32, "{e2} {e8} {e32}");
+    assert!(e32 > 0.85, "32 microbatches should be >85% efficient: {e32}");
+}
+
+#[test]
+fn eager_memory_overhead_is_bounded_by_stage_count() {
+    // §4's claim: eager-1F1B adds at most #stages extra in-flight
+    // activations per stage relative to 1F1B.
+    let c = ClusterSpec::homogeneous(4, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let g = linear_pipeline(&c, 4, 16, 1.0, 1);
+    let report = |kind| {
+        simulate(
+            &g,
+            &c,
+            &planner(),
+            &PipelineConfig {
+                schedule: kind,
+                comm: CommMode::Signal,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .unwrap()
+    };
+    let base = report(ScheduleKind::OneFOneB);
+    let eager = report(ScheduleKind::Eager1F1B);
+    for (b, e) in base
+        .peak_live_activations
+        .iter()
+        .zip(&eager.peak_live_activations)
+    {
+        assert!(e >= b);
+        assert!(e - b <= 4, "eager stores {e} vs 1f1b {b}");
+    }
+}
+
+#[test]
+fn full_models_build_and_simulate_on_the_paper_cluster() {
+    let fp16 = presets::aws_p3_8xlarge(2, Precision::Fp16);
+    let gpt = GptConfig {
+        num_microbatches: 8,
+        global_batch: 256,
+        num_layers: 8,
+        ..GptConfig::case1()
+    };
+    let job = gpt.build(&fp16).unwrap();
+    let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
+    let r = simulate(&job.graph, &fp16, &planner, &PipelineConfig::ours()).unwrap();
+    assert!(r.iteration_seconds > 0.0);
+    assert!(job.aggregate_tflops(r.iteration_seconds) > 0.0);
+
+    let fp32 = presets::aws_p3_8xlarge(2, Precision::Fp32);
+    let utrans = UTransformerConfig {
+        num_microbatches: 4,
+        global_batch: 256,
+        ..UTransformerConfig::case1()
+    };
+    let job = utrans.build(&fp32).unwrap();
+    let r = simulate(&job.graph, &fp32, &planner, &PipelineConfig::ours()).unwrap();
+    assert!(r.cross_host_bytes > 0.0, "skip connections cross the NIC");
+}
+
+#[test]
+fn inference_pipeline_latency_is_m_plus_s_minus_1() {
+    // Forward-only pipelined inference with free communication: the last
+    // of M microbatches leaves stage S-1 after (M + S - 1) forward slots.
+    let c = ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let g = linear_pipeline(&c, 3, 8, 1.0, 1);
+    let t = run(&g, &c, ScheduleKind::Inference, CommMode::Signal);
+    assert!((t - 10.0).abs() < 1e-6, "expected 10 slots, got {t}");
+}
+
+#[test]
+fn report_exposes_overlap_accounting() {
+    let c = ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let g = linear_pipeline(&c, 2, 6, 1.0, 2);
+    let report = |comm| {
+        simulate(
+            &g,
+            &c,
+            &planner(),
+            &PipelineConfig {
+                schedule: ScheduleKind::Eager1F1B,
+                comm,
+                weight_delay: WeightDelay::None,
+            },
+        )
+        .unwrap()
+    };
+    let overlapped = report(CommMode::Overlapped);
+    let sync = report(CommMode::Synchronous);
+    // Both move the same bytes for the same comm-busy duration, but the
+    // overlapped schedule keeps devices busier.
+    assert!(overlapped.comm_busy_seconds > 0.0);
+    assert!((overlapped.cross_host_bytes - sync.cross_host_bytes).abs() < 1e-6);
+    assert!(
+        overlapped.mean_device_utilization >= sync.mean_device_utilization - 1e-9,
+        "overlap {} vs sync {}",
+        overlapped.mean_device_utilization,
+        sync.mean_device_utilization
+    );
+}
+
+#[test]
+fn weight_delay_variants_complete_with_identical_op_counts() {
+    let c = ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let g = linear_pipeline(&c, 2, 6, 1.0, 2);
+    let mut counts = Vec::new();
+    for d in [WeightDelay::None, WeightDelay::Fixed(1), WeightDelay::Fixed(2)] {
+        let r = simulate(
+            &g,
+            &c,
+            &planner(),
+            &PipelineConfig {
+                schedule: ScheduleKind::Eager1F1B,
+                comm: CommMode::Overlapped,
+                weight_delay: d,
+            },
+        )
+        .unwrap();
+        counts.push(r.tasks_lowered);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}

@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: sharding specs → unit tasks → planner →
+//! flow-level simulation, checked against the paper's analytic claims.
+
+use crossmesh::core::{
+    DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner, PlannerConfig,
+    RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
+};
+use crossmesh::mesh::DeviceMesh;
+use crossmesh::netsim::{ClusterSpec, LinkParams};
+
+/// Byte-scale bandwidths (NVLink 100 B/s, NIC 1 B/s) with zero latency so
+/// results are exact multiples of `t`.
+fn cluster(hosts: u32) -> ClusterSpec {
+    ClusterSpec::homogeneous(hosts, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+}
+
+fn config() -> PlannerConfig {
+    PlannerConfig::new(crossmesh::core::CostParams {
+        inter_bw: 1.0,
+        intra_bw: 100.0,
+        inter_latency: 0.0,
+        intra_latency: 0.0,
+    })
+}
+
+fn task(c: &ClusterSpec, src: &str, dst: &str, shape: &[u64]) -> ReshardingTask {
+    let a = DeviceMesh::from_cluster(c, 0, (2, 4), "A").unwrap();
+    let b = DeviceMesh::from_cluster(c, 2, (2, 4), "B").unwrap();
+    ReshardingTask::new(a, src.parse().unwrap(), b, dst.parse().unwrap(), shape, 1).unwrap()
+}
+
+/// Spec pairs covering every sharding family: replication, single-axis,
+/// multi-axis, transposition, and mixtures.
+const SPEC_PAIRS: &[(&str, &str)] = &[
+    ("RRR", "RRR"),
+    ("RRR", "S0RR"),
+    ("S0RR", "RRR"),
+    ("S0RR", "S0RR"),
+    ("S0RR", "S1RR"),
+    ("S1RR", "S0RR"),
+    ("RS0R", "S0RR"),
+    ("RS01R", "S01RR"),
+    ("S01RR", "S01RR"),
+    ("S0S1R", "S1S0R"),
+    ("RS0R", "RRS0"),
+    ("RRS1", "S0RR"),
+];
+
+#[test]
+fn every_plan_beats_its_bandwidth_lower_bound() {
+    let c = cluster(4);
+    for &(src, dst) in SPEC_PAIRS {
+        let t = task(&c, src, dst, &[32, 16, 8]);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let sim = plan.execute(&c).unwrap().simulated_seconds;
+        assert!(
+            sim + 1e-9 >= plan.lower_bound(),
+            "{src}->{dst}: simulated {sim} below bound {}",
+            plan.lower_bound()
+        );
+    }
+}
+
+#[test]
+fn estimates_track_simulation() {
+    // The analytic list-schedule estimate should stay within 35% of the
+    // simulated time for all spec pairs (it ignores flow interleaving).
+    let c = cluster(4);
+    for &(src, dst) in SPEC_PAIRS {
+        let t = task(&c, src, dst, &[32, 16, 8]);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let sim = plan.execute(&c).unwrap().simulated_seconds;
+        let est = plan.estimate();
+        let rel = (est - sim).abs() / sim.max(1e-12);
+        assert!(
+            rel < 0.35,
+            "{src}->{dst}: estimate {est} vs simulated {sim}"
+        );
+    }
+}
+
+#[test]
+fn broadcast_never_loses_to_the_other_strategies() {
+    // §3.1's claim: broadcast is optimal among the four strategies, for
+    // every layout pair (same planner, same schedule).
+    let c = cluster(4);
+    for &(src, dst) in SPEC_PAIRS {
+        let t = task(&c, src, dst, &[32, 16, 8]);
+        let run = |strategy: Strategy| {
+            LoadBalancePlanner::new(config().with_strategy(StrategyChoice::Fixed(strategy)))
+                .plan(&t)
+                .execute(&c)
+                .unwrap()
+                .simulated_seconds
+        };
+        let bc = run(Strategy::broadcast());
+        for s in [
+            Strategy::SendRecv,
+            Strategy::LocalAllGather,
+            Strategy::GlobalAllGather,
+        ] {
+            let other = run(s);
+            assert!(
+                bc <= other * 1.07,
+                "{src}->{dst}: broadcast {bc} vs {s} {other}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ensemble_never_loses_to_simpler_planners() {
+    let c = cluster(4);
+    for &(src, dst) in SPEC_PAIRS {
+        let t = task(&c, src, dst, &[32, 16, 8]);
+        let ours = EnsemblePlanner::new(config())
+            .plan(&t)
+            .execute(&c)
+            .unwrap()
+            .simulated_seconds;
+        for planner in [
+            Box::new(NaivePlanner::new(config())) as Box<dyn Planner>,
+            Box::new(LoadBalancePlanner::new(config())),
+            Box::new(DfsPlanner::new(config())),
+            Box::new(RandomizedGreedyPlanner::new(config())),
+        ] {
+            let other = planner.plan(&t).execute(&c).unwrap().simulated_seconds;
+            assert!(
+                ours <= other * 1.05,
+                "{src}->{dst}: ours {ours} vs {} {other}",
+                planner.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_host_traffic_meets_the_section22_lower_bound() {
+    // §2.2: the message volume between two meshes on disjoint hosts is
+    // lower-bounded by the tensor size; broadcast should be close to it.
+    let c = cluster(4);
+    for &(src, dst) in SPEC_PAIRS {
+        let t = task(&c, src, dst, &[32, 16, 8]);
+        let report = EnsemblePlanner::new(config()).plan(&t).execute(&c).unwrap();
+        let tensor_bytes = (32 * 16 * 8) as f64;
+        assert!(
+            report.cross_host_bytes + 1e-9 >= tensor_bytes,
+            "{src}->{dst}: moved {} < tensor {}",
+            report.cross_host_bytes,
+            tensor_bytes
+        );
+        // Broadcast sends each slice once per receiver host (2 dst hosts
+        // at worst): never more than 2x the lower bound here.
+        assert!(
+            report.cross_host_bytes <= 2.0 * tensor_bytes + 1e-9,
+            "{src}->{dst}: moved {}",
+            report.cross_host_bytes
+        );
+    }
+}
+
+#[test]
+fn plans_are_deterministic() {
+    let c = cluster(4);
+    let t = task(&c, "RS01R", "S01RR", &[32, 16, 8]);
+    let p1 = EnsemblePlanner::new(config()).plan(&t);
+    let p2 = EnsemblePlanner::new(config()).plan(&t);
+    assert_eq!(p1.assignments(), p2.assignments());
+    let r1 = p1.execute(&c).unwrap();
+    let r2 = p2.execute(&c).unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn meshes_sharing_hosts_but_not_devices_work() {
+    // Source and destination meshes on the SAME hosts (different devices):
+    // resharding should use only fast intra-host links.
+    let c = cluster(2);
+    let src = DeviceMesh::new(
+        "src",
+        (2, 2),
+        vec![c.device(0, 0), c.device(0, 1), c.device(1, 0), c.device(1, 1)],
+        vec![
+            c.host_of(c.device(0, 0)),
+            c.host_of(c.device(0, 1)),
+            c.host_of(c.device(1, 0)),
+            c.host_of(c.device(1, 1)),
+        ],
+    )
+    .unwrap();
+    let dst = DeviceMesh::new(
+        "dst",
+        (2, 2),
+        vec![c.device(0, 2), c.device(0, 3), c.device(1, 2), c.device(1, 3)],
+        vec![
+            c.host_of(c.device(0, 2)),
+            c.host_of(c.device(0, 3)),
+            c.host_of(c.device(1, 2)),
+            c.host_of(c.device(1, 3)),
+        ],
+    )
+    .unwrap();
+    let t = ReshardingTask::new(
+        src,
+        "S0R".parse().unwrap(),
+        dst,
+        "S0R".parse().unwrap(),
+        &[64, 64],
+        1,
+    )
+    .unwrap();
+    let report = EnsemblePlanner::new(config()).plan(&t).execute(&c).unwrap();
+    assert_eq!(report.cross_host_bytes, 0.0, "no NIC traffic expected");
+    // 2048 bytes per host-local slice at 100 B/s NVLink: tens of seconds,
+    // far less than the 4096 s the NIC would need.
+    assert!(report.simulated_seconds < 100.0);
+}
