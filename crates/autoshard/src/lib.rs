@@ -35,9 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use crossmesh_core::{
-    CostParams, LoadBalancePlanner, Planner, PlannerConfig, ReshardingTask,
-};
+use crossmesh_core::{CostParams, LoadBalancePlanner, Planner, PlannerConfig, ReshardingTask};
 use crossmesh_mesh::{DeviceMesh, DimSharding, Layout, MeshError, ShardingSpec};
 use serde::{Deserialize, Serialize};
 
@@ -193,8 +191,12 @@ pub fn search(
     let mut evaluated = 0usize;
     for src_spec in &src_candidates {
         if let Some(cap) = problem.max_bytes_per_device {
-            if peak_tile_bytes(&problem.src_mesh, src_spec, &problem.shape, problem.elem_bytes)?
-                > cap
+            if peak_tile_bytes(
+                &problem.src_mesh,
+                src_spec,
+                &problem.shape,
+                problem.elem_bytes,
+            )? > cap
             {
                 continue;
             }
@@ -221,8 +223,9 @@ pub fn search(
             )?;
             let estimate = planner.plan(&task).estimate();
             evaluated += 1;
-            let replication =
-                |a: &ShardingSpec, b: &ShardingSpec| a.replicated_axes().len() + b.replicated_axes().len();
+            let replication = |a: &ShardingSpec, b: &ShardingSpec| {
+                a.replicated_axes().len() + b.replicated_axes().len()
+            };
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -297,11 +300,7 @@ mod tests {
     #[test]
     fn search_avoids_full_replication() {
         let (src, dst) = meshes();
-        let best = search(
-            &AutoShardProblem::new(src, dst, vec![64, 64], 1),
-            &params(),
-        )
-        .unwrap();
+        let best = search(&AutoShardProblem::new(src, dst, vec![64, 64], 1), &params()).unwrap();
         assert!(!best.src_spec.is_fully_replicated());
         assert!(!best.dst_spec.is_fully_replicated());
         // The winner cannot be worse than the all-replicated baseline.

@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("chunk_sweep", |b| b.iter(ablations::chunk_sweep));
-    g.bench_function("permutation_sweep", |b| b.iter(ablations::permutation_sweep));
+    g.bench_function("permutation_sweep", |b| {
+        b.iter(ablations::permutation_sweep)
+    });
     g.bench_function("scale_sweep", |b| b.iter(ablations::scale_sweep));
     g.finish();
 }

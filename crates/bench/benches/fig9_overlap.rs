@@ -9,9 +9,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for m in [4usize, 32] {
         for v in ScheduleVariant::all() {
-            g.bench_function(format!("mb{m}/{}", v.name()), |b| {
-                b.iter(|| measure(m, v))
-            });
+            g.bench_function(format!("mb{m}/{}", v.name()), |b| b.iter(|| measure(m, v)));
         }
     }
     g.finish();

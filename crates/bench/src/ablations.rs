@@ -159,8 +159,7 @@ pub fn scale_sweep() -> Vec<ScalePoint> {
         .map(|hosts| {
             let cluster = presets::aws_p3_8xlarge(1 + hosts as u32, Precision::Fp32);
             let src = DeviceMesh::from_cluster(&cluster, 0, (1, 1), "src").expect("fits");
-            let dst =
-                DeviceMesh::from_cluster(&cluster, 1, (hosts, 4), "dst").expect("fits");
+            let dst = DeviceMesh::from_cluster(&cluster, 1, (hosts, 4), "dst").expect("fits");
             let task = ReshardingTask::new(
                 src,
                 "RRR".parse().expect("valid"),

@@ -5,7 +5,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let a = crossmesh_bench::ablations::run();
     if json {
-        println!("{}", serde_json::to_string_pretty(&a).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&a).expect("serializable")
+        );
     } else {
         println!("{}", crossmesh_bench::ablations::render(&a));
     }

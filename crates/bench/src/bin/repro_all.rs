@@ -1,10 +1,28 @@
 //! Runs every reproduction harness in sequence (Table 1, Figures 5-9).
 
 fn main() {
-    println!("{}", crossmesh_bench::table1::render(&crossmesh_bench::table1::run()));
-    println!("{}", crossmesh_bench::fig5::render(&crossmesh_bench::fig5::run()));
-    println!("{}", crossmesh_bench::fig6::render(&crossmesh_bench::fig6::run()));
-    println!("{}", crossmesh_bench::fig7::render(&crossmesh_bench::fig7::run()));
-    println!("{}", crossmesh_bench::fig8::render(&crossmesh_bench::fig8::run()));
-    println!("{}", crossmesh_bench::fig9::render(&crossmesh_bench::fig9::run()));
+    println!(
+        "{}",
+        crossmesh_bench::table1::render(&crossmesh_bench::table1::run())
+    );
+    println!(
+        "{}",
+        crossmesh_bench::fig5::render(&crossmesh_bench::fig5::run())
+    );
+    println!(
+        "{}",
+        crossmesh_bench::fig6::render(&crossmesh_bench::fig6::run())
+    );
+    println!(
+        "{}",
+        crossmesh_bench::fig7::render(&crossmesh_bench::fig7::run())
+    );
+    println!(
+        "{}",
+        crossmesh_bench::fig8::render(&crossmesh_bench::fig8::run())
+    );
+    println!(
+        "{}",
+        crossmesh_bench::fig9::render(&crossmesh_bench::fig9::run())
+    );
 }

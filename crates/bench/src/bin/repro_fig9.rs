@@ -5,7 +5,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let rows = crossmesh_bench::fig9::run();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
     } else {
         println!("{}", crossmesh_bench::fig9::render(&rows));
     }

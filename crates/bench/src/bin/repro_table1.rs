@@ -5,7 +5,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let m = crossmesh_bench::table1::run();
     if json {
-        println!("{}", serde_json::to_string_pretty(&m).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&m).expect("serializable")
+        );
     } else {
         println!("{}", crossmesh_bench::table1::render(&m));
     }

@@ -31,15 +31,69 @@ pub struct Case {
 /// Table 2 verbatim. (Case 5's receiver spec is printed `S_0RR` in the
 /// paper — a typeset variant of `S^0RR`.)
 pub const TABLE2: [Case; 9] = [
-    Case { name: "case1", send_spec: "S0RR", recv_spec: "S0RR", send_mesh: (2, 4), recv_mesh: (2, 4) },
-    Case { name: "case2", send_spec: "RRR", recv_spec: "S0RR", send_mesh: (2, 4), recv_mesh: (2, 4) },
-    Case { name: "case3", send_spec: "RS0R", recv_spec: "S0RR", send_mesh: (2, 4), recv_mesh: (2, 4) },
-    Case { name: "case4", send_spec: "RS01R", recv_spec: "S01RR", send_mesh: (2, 4), recv_mesh: (2, 4) },
-    Case { name: "case5", send_spec: "S1RR", recv_spec: "S0RR", send_mesh: (2, 4), recv_mesh: (2, 4) },
-    Case { name: "case6", send_spec: "S0RR", recv_spec: "S0RR", send_mesh: (2, 4), recv_mesh: (3, 4) },
-    Case { name: "case7", send_spec: "S1RR", recv_spec: "RRR", send_mesh: (1, 4), recv_mesh: (2, 4) },
-    Case { name: "case8", send_spec: "RRR", recv_spec: "RRR", send_mesh: (2, 3), recv_mesh: (3, 2) },
-    Case { name: "case9", send_spec: "RS0R", recv_spec: "RRS0", send_mesh: (2, 4), recv_mesh: (2, 4) },
+    Case {
+        name: "case1",
+        send_spec: "S0RR",
+        recv_spec: "S0RR",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case2",
+        send_spec: "RRR",
+        recv_spec: "S0RR",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case3",
+        send_spec: "RS0R",
+        recv_spec: "S0RR",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case4",
+        send_spec: "RS01R",
+        recv_spec: "S01RR",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case5",
+        send_spec: "S1RR",
+        recv_spec: "S0RR",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case6",
+        send_spec: "S0RR",
+        recv_spec: "S0RR",
+        send_mesh: (2, 4),
+        recv_mesh: (3, 4),
+    },
+    Case {
+        name: "case7",
+        send_spec: "S1RR",
+        recv_spec: "RRR",
+        send_mesh: (1, 4),
+        recv_mesh: (2, 4),
+    },
+    Case {
+        name: "case8",
+        send_spec: "RRR",
+        recv_spec: "RRR",
+        send_mesh: (2, 3),
+        recv_mesh: (3, 2),
+    },
+    Case {
+        name: "case9",
+        send_spec: "RS0R",
+        recv_spec: "RRS0",
+        send_mesh: (2, 4),
+        recv_mesh: (2, 4),
+    },
 ];
 
 impl Case {

@@ -34,27 +34,22 @@ pub struct Point {
 /// The three strategy configurations the figure compares.
 pub fn strategies() -> Vec<(&'static str, StrategyChoice, bool)> {
     vec![
-        ("send_recv", StrategyChoice::Fixed(Strategy::SendRecv), false),
+        (
+            "send_recv",
+            StrategyChoice::Fixed(Strategy::SendRecv),
+            false,
+        ),
         ("alpa", StrategyChoice::AlpaAuto, false),
         ("ours", StrategyChoice::Fixed(Strategy::broadcast()), true),
     ]
 }
 
-fn build_task(
-    receiver_shape: (usize, usize),
-) -> Result<(ClusterSpec, ReshardingTask), MeshError> {
+fn build_task(receiver_shape: (usize, usize)) -> Result<(ClusterSpec, ReshardingTask), MeshError> {
     let hosts = 1 + receiver_shape.0 as u32;
     let cluster = presets::aws_p3_8xlarge(hosts, Precision::Fp32);
     let src = DeviceMesh::from_cluster(&cluster, 0, (1, 1), "send")?;
     let dst = DeviceMesh::from_cluster(&cluster, 1, receiver_shape, "recv")?;
-    let task = ReshardingTask::new(
-        src,
-        "RRR".parse()?,
-        dst,
-        "RRR".parse()?,
-        &MESSAGE_SHAPE,
-        4,
-    )?;
+    let task = ReshardingTask::new(src, "RRR".parse()?, dst, "RRR".parse()?, &MESSAGE_SHAPE, 4)?;
     Ok((cluster, task))
 }
 
@@ -170,8 +165,14 @@ mod tests {
         // Alpa is flat on one node except the uneven #gpu=3 point, where
         // it falls back and jumps.
         let alpa = series(&points, ga, "alpa");
-        assert!(alpa[2] > 1.5 * alpa[1], "no uneven-partition jump: {alpa:?}");
-        assert!(alpa[3] < 1.3 * alpa[0], "alpa not flat at even points: {alpa:?}");
+        assert!(
+            alpa[2] > 1.5 * alpa[1],
+            "no uneven-partition jump: {alpa:?}"
+        );
+        assert!(
+            alpa[3] < 1.3 * alpa[0],
+            "alpa not flat at even points: {alpa:?}"
+        );
 
         // Multi-node: Alpa's all-gather crosses nodes, ours stays near t.
         let alpa_b = series(&points, gb, "alpa");

@@ -125,14 +125,15 @@ pub fn workloads() -> Vec<(&'static str, ModelJob, crossmesh_netsim::ClusterSpec
 /// # Panics
 ///
 /// Panics if the simulation fails (harness bug).
-pub fn measure(
-    job: &ModelJob,
-    cluster: &crossmesh_netsim::ClusterSpec,
-    variant: Variant,
-) -> Row {
+pub fn measure(job: &ModelJob, cluster: &crossmesh_netsim::ClusterSpec, variant: Variant) -> Row {
     let planner = variant.planner();
-    let report = simulate(&job.graph, cluster, planner.as_ref(), &variant.pipeline_config())
-        .expect("pipeline simulates");
+    let report = simulate(
+        &job.graph,
+        cluster,
+        planner.as_ref(),
+        &variant.pipeline_config(),
+    )
+    .expect("pipeline simulates");
     Row {
         model: "",
         variant: variant.name(),
@@ -213,13 +214,19 @@ mod tests {
         let broadcast = t(Variant::Broadcast);
         let send_recv = t(Variant::SendRecv);
         assert!(signal <= ours * 1.001, "signal {signal} vs ours {ours}");
-        assert!(ours <= broadcast * 1.001, "ours {ours} vs broadcast {broadcast}");
+        assert!(
+            ours <= broadcast * 1.001,
+            "ours {ours} vs broadcast {broadcast}"
+        );
         assert!(
             broadcast <= send_recv * 1.001,
             "broadcast {broadcast} vs send_recv {send_recv}"
         );
         // Ours should land close to the upper bound (the paper reports
         // >= 97% on the real cluster; allow slack on the tiny config).
-        assert!(ours <= signal * 1.35, "ours {ours} too far from signal {signal}");
+        assert!(
+            ours <= signal * 1.35,
+            "ours {ours} too far from signal {signal}"
+        );
     }
 }

@@ -88,7 +88,9 @@ pub fn workload(microbatches: usize) -> UTransformerConfig {
 /// Panics if the workload fails to build or simulate (harness bug).
 pub fn measure(microbatches: usize, variant: ScheduleVariant) -> Row {
     let cluster = presets::aws_p3_8xlarge(2, Precision::Fp32);
-    let job = workload(microbatches).build(&cluster).expect("utrans builds");
+    let job = workload(microbatches)
+        .build(&cluster)
+        .expect("utrans builds");
     let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
     let report = simulate(&job.graph, &cluster, &planner, &variant.pipeline_config())
         .expect("pipeline simulates");

@@ -18,17 +18,18 @@
 mod args;
 
 use args::{parse_mesh, parse_shape, Args};
+use crossmesh_autoshard::{search, AutoShardProblem};
 use crossmesh_core::{
-    dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner,
-    Planner, PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
+    dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner,
+    PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
 };
 use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::gpt::GptConfig;
 use crossmesh_models::utransformer::UTransformerConfig;
 use crossmesh_models::{presets, ModelJob, Precision};
-use crossmesh_netsim::{ClusterSpec, LinkParams};
-use crossmesh_pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
-use crossmesh_autoshard::{search, AutoShardProblem};
+use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
+use crossmesh_pipeline::{simulate_with, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
+use crossmesh_runtime::ThreadedBackend;
 use std::error::Error;
 use std::process::ExitCode;
 
@@ -38,16 +39,20 @@ crossmesh — cross-mesh resharding planner/simulator (MLSys 2023 reproduction)
 USAGE:
   crossmesh reshard  --src-spec <SPEC> --dst-spec <SPEC> --src-mesh <RxC> --dst-mesh <RxC>
                      --shape <AxBxC> [--elem-bytes N] [--strategy S] [--planner P]
-                     [--inter-bw B] [--intra-bw B] [--verify] [--json]
+                     [--backend B] [--seed N] [--inter-bw B] [--intra-bw B]
+                     [--verify] [--json]
   crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
-                     [--comm overlap|sync|signal] [--microbatches N] [--json]
+                     [--comm overlap|sync|signal] [--microbatches N] [--backend B] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
 
   strategies: broadcast (default) | send_recv | local_allgather | global_allgather
               | tree_broadcast | alpa
   planners:   ours (default) | naive | lpt | dfs | greedy
-  specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR";
+  backends:   sim (default, flow-level simulator) | threads (real multi-threaded
+              execution) | tcp (threads + TCP loopback for inter-host flows)
+  specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR
+  --seed:     RNG seed for the randomized-greedy planner (ours/greedy)";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -131,26 +136,40 @@ fn strategy_choice(name: &str) -> Result<StrategyChoice, Box<dyn Error>> {
     })
 }
 
-fn planner_for(name: &str, config: PlannerConfig) -> Result<Box<dyn Planner>, Box<dyn Error>> {
+fn planner_for(
+    name: &str,
+    config: PlannerConfig,
+    seed: Option<u64>,
+) -> Result<Box<dyn Planner>, Box<dyn Error>> {
+    let greedy = || {
+        let p = RandomizedGreedyPlanner::new(config);
+        match seed {
+            Some(s) => p.with_seed(s),
+            None => p,
+        }
+    };
     Ok(match name {
-        "ours" => Box::new(EnsemblePlanner::new(config)),
+        "ours" => Box::new(EnsemblePlanner::new(config).with_greedy(greedy())),
         "naive" => Box::new(NaivePlanner::new(config)),
         "lpt" => Box::new(LoadBalancePlanner::new(config)),
         "dfs" => Box::new(DfsPlanner::new(config)),
-        "greedy" => Box::new(RandomizedGreedyPlanner::new(config)),
+        "greedy" => Box::new(greedy()),
         other => return Err(format!("unknown planner {other:?}").into()),
     })
 }
 
+fn backend_for(name: &str) -> Result<Box<dyn Backend>, Box<dyn Error>> {
+    Ok(match name {
+        "sim" => Box::new(SimBackend),
+        "threads" => Box::new(ThreadedBackend::threads()),
+        "tcp" => Box::new(ThreadedBackend::tcp()),
+        other => return Err(format!("unknown backend {other:?}").into()),
+    })
+}
+
 fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
-    let src_spec = args
-        .get("src-spec")
-        .ok_or("missing --src-spec")?
-        .parse()?;
-    let dst_spec = args
-        .get("dst-spec")
-        .ok_or("missing --dst-spec")?
-        .parse()?;
+    let src_spec = args.get("src-spec").ok_or("missing --src-spec")?.parse()?;
+    let dst_spec = args.get("dst-spec").ok_or("missing --dst-spec")?.parse()?;
     let src_mesh_shape = parse_mesh(args.get("src-mesh").ok_or("missing --src-mesh")?)?;
     let dst_mesh_shape = parse_mesh(args.get("dst-mesh").ok_or("missing --dst-mesh")?)?;
     let shape = parse_shape(args.get("shape").ok_or("missing --shape")?)?;
@@ -169,17 +188,23 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     let dst = DeviceMesh::from_cluster(&cluster, src_mesh_shape.0, dst_mesh_shape, "dst")?;
     let task = ReshardingTask::new(src, src_spec, dst, dst_spec, &shape, elem_bytes)?;
 
+    let seed = match args.get("seed") {
+        Some(s) => Some(s.parse::<u64>().map_err(|_| "bad --seed")?),
+        None => None,
+    };
     let config = PlannerConfig::new(params)
         .with_strategy(strategy_choice(args.get_or("strategy", "broadcast"))?);
-    let planner = planner_for(args.get_or("planner", "ours"), config)?;
+    let planner = planner_for(args.get_or("planner", "ours"), config, seed)?;
+    let backend = backend_for(args.get_or("backend", "sim"))?;
     let plan = planner.plan(&task);
-    let report = plan.execute(&cluster)?;
+    let report = plan.execute_with(&*backend, &cluster)?;
 
     if let Some(path) = args.get("trace") {
-        // Re-run the lowering to export a Chrome trace of the transfer.
+        // Re-run the lowering to export a Chrome trace of the transfer
+        // through the selected backend.
         let mut graph = crossmesh_netsim::TaskGraph::new();
         plan.lower(&mut graph, &[]);
-        let trace = crossmesh_netsim::Engine::new(&cluster).run(&graph)?;
+        let trace = backend.execute(&cluster, &graph)?;
         std::fs::write(path, crossmesh_netsim::to_chrome_trace(&graph, &trace))?;
     }
 
@@ -206,6 +231,7 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
             "unit_tasks": task.units().len(),
             "total_bytes": task.total_bytes(),
             "planner": planner.name(),
+            "backend": backend.name(),
             "estimate_seconds": plan.estimate(),
             "lower_bound_seconds": plan.lower_bound(),
             "simulated_seconds": report.simulated_seconds,
@@ -215,12 +241,13 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
         return Ok(serde_json::to_string_pretty(&out)?);
     }
     let mut out = format!(
-        "task: {task}\n{} unit tasks, {:.1} MB tensor\nplanner: {}\n\
+        "task: {task}\n{} unit tasks, {:.1} MB tensor\nplanner: {} (backend {})\n\
          simulated: {:.6}s (estimate {:.6}s, bandwidth bound {:.6}s)\n\
          cross-host traffic: {:.1} MB",
         task.units().len(),
         task.total_bytes() as f64 / 1e6,
         planner.name(),
+        backend.name(),
         report.simulated_seconds,
         plan.estimate(),
         plan.lower_bound(),
@@ -272,8 +299,9 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
         "signal" => CommMode::Signal,
         other => return Err(format!("unknown comm mode {other:?}").into()),
     };
+    let backend = backend_for(args.get_or("backend", "sim"))?;
     let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
-    let report = simulate(
+    let report = simulate_with(
         &job.graph,
         &cluster,
         &planner,
@@ -282,11 +310,13 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
             comm,
             weight_delay: WeightDelay::None,
         },
+        &*backend,
     )?;
 
     if args.has_flag("json") {
         let out = serde_json::json!({
             "model": name,
+            "backend": backend.name(),
             "schedule": schedule.to_string(),
             "microbatches": job.graph.num_microbatches(),
             "iteration_seconds": report.iteration_seconds,
@@ -395,12 +425,55 @@ mod tests {
 
     #[test]
     fn strategies_and_planners_resolve() {
-        for s in ["broadcast", "send_recv", "local_allgather", "global_allgather", "alpa"] {
+        for s in [
+            "broadcast",
+            "send_recv",
+            "local_allgather",
+            "global_allgather",
+            "alpa",
+        ] {
             strategy_choice(s).unwrap();
         }
         let cfg = PlannerConfig::new(presets::p3_cost_params());
         for p in ["ours", "naive", "lpt", "dfs", "greedy"] {
-            planner_for(p, cfg).unwrap();
+            planner_for(p, cfg, None).unwrap();
+            planner_for(p, cfg, Some(42)).unwrap();
         }
+        for b in ["sim", "threads", "tcp"] {
+            backend_for(b).unwrap();
+        }
+        assert!(backend_for("nope").is_err());
+    }
+
+    #[test]
+    fn reshard_runs_on_the_threaded_backend() {
+        for backend in ["threads", "tcp"] {
+            let out = run(toks(&format!(
+                "reshard --src-spec S0R --dst-spec RS1 --src-mesh 1x4 --dst-mesh 2x2 \
+                 --shape 32x32 --backend {backend} --json"
+            )))
+            .unwrap();
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert_eq!(v["backend"].as_str().unwrap(), backend);
+            // Wall-clock execution: the transfer takes real, positive time.
+            assert!(v["simulated_seconds"].as_f64().unwrap() > 0.0);
+            assert_eq!(v["total_bytes"].as_u64().unwrap(), 32 * 32 * 4);
+        }
+    }
+
+    #[test]
+    fn seed_changes_are_deterministic() {
+        let cmd = "reshard --src-spec RS0R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+                   --shape 64x64x8 --planner greedy --seed 7 --json";
+        let a = run(toks(cmd)).unwrap();
+        let b = run(toks(cmd)).unwrap();
+        let va: serde_json::Value = serde_json::from_str(&a).unwrap();
+        let vb: serde_json::Value = serde_json::from_str(&b).unwrap();
+        assert_eq!(va["estimate_seconds"], vb["estimate_seconds"]);
+        assert!(run(toks(
+            "reshard --src-spec S0R --dst-spec S0R --src-mesh 1x2 \
+                          --dst-mesh 1x2 --shape 8x8 --seed nope"
+        ))
+        .is_err());
     }
 }

@@ -117,8 +117,7 @@ pub fn estimate_unit_task(
             let k = chunks.max(1) as f64;
             if remote_hosts == 0.0 {
                 let hops = task.receivers.len() as f64;
-                bytes / params.intra_bw * (1.0 + (hops - 1.0).max(0.0) / k)
-                    + params.intra_latency
+                bytes / params.intra_bw * (1.0 + (hops - 1.0).max(0.0) / k) + params.intra_latency
             } else {
                 t_inter * (1.0 + (remote_hosts - 1.0) / k) + params.inter_latency
             }
@@ -130,8 +129,7 @@ pub fn estimate_unit_task(
             let k = chunks.max(1) as f64;
             if remote_hosts == 0.0 {
                 let hops = task.receivers.len() as f64;
-                bytes / params.intra_bw * (1.0 + (hops - 1.0).max(0.0) / k)
-                    + params.intra_latency
+                bytes / params.intra_bw * (1.0 + (hops - 1.0).max(0.0) / k) + params.intra_latency
             } else {
                 let fanout = remote_hosts.min(2.0);
                 let depth = (remote_hosts + 1.0).log2().ceil();
@@ -208,16 +206,15 @@ mod tests {
         t.receivers[0].needed = Tile::new([0..50]);
         t.receivers[1].needed = Tile::new([50..100]);
         let sr = estimate_unit_task(&p, &t, HostId(0), Strategy::SendRecv);
-        assert!((sr - 100.0).abs() < 1.0, "halves sum to the slice, got {sr}");
+        assert!(
+            (sr - 100.0).abs() < 1.0,
+            "halves sum to the slice, got {sr}"
+        );
     }
 
     #[test]
     fn from_cluster_reads_link_params() {
-        let c = ClusterSpec::homogeneous(
-            2,
-            2,
-            crossmesh_netsim::LinkParams::new(100e9, 1.25e9),
-        );
+        let c = ClusterSpec::homogeneous(2, 2, crossmesh_netsim::LinkParams::new(100e9, 1.25e9));
         let p = CostParams::from_cluster(&c);
         assert_eq!(p.inter_bw, 1.25e9);
         assert_eq!(p.intra_bw, 100e9);

@@ -57,8 +57,7 @@ pub fn lower_intra_mesh_resharding(
             }
             let bytes = inter.volume() * elem_bytes;
             // Nearest holder: same host first, then round-robin.
-            let holder_devices: Vec<DeviceId> =
-                holders.iter().map(|&c| mesh.device(c)).collect();
+            let holder_devices: Vec<DeviceId> = holders.iter().map(|&c| mesh.device(c)).collect();
             let local = holders
                 .iter()
                 .position(|&c| mesh.host(c) == host && mesh.device(c) != device);

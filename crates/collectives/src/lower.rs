@@ -262,7 +262,11 @@ fn lower_tree_broadcast(
                 remote[node - 1].1[0]
             };
             let parent_arrived: Vec<TaskId> = if node == 0 {
-                if j == 0 { deps.to_vec() } else { Vec::new() }
+                if j == 0 {
+                    deps.to_vec()
+                } else {
+                    Vec::new()
+                }
             } else {
                 arrival[node].into_iter().collect()
             };
@@ -332,9 +336,7 @@ mod tests {
     /// receiver devices starting at host 1, all needing the full slice.
     fn multicast_task(cluster: &ClusterSpec, volume: u64, a: u32, b: u32) -> UnitTask {
         let receivers = (1..=a)
-            .flat_map(|h| {
-                (0..b).map(move |l| (h, l))
-            })
+            .flat_map(|h| (0..b).map(move |l| (h, l)))
             .map(|(h, l)| Receiver {
                 device: cluster.device(h, l),
                 host: HostId(h),
@@ -359,7 +361,11 @@ mod tests {
 
     fn cluster(hosts: u32, devs: u32) -> ClusterSpec {
         // NVLink 100 B/s, NIC 1 B/s, zero latency: t = bytes seconds.
-        ClusterSpec::homogeneous(hosts, devs, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+        ClusterSpec::homogeneous(
+            hosts,
+            devs,
+            LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+        )
     }
 
     #[test]
@@ -403,10 +409,7 @@ mod tests {
         let task = multicast_task(&c, 32, 3, 2);
         let d = run(&c, &task, Strategy::Broadcast { chunks: 32 });
         let t_unit = 32.0;
-        assert!(
-            d < 1.2 * t_unit,
-            "expected close to t = {t_unit}, got {d}"
-        );
+        assert!(d < 1.2 * t_unit, "expected close to t = {t_unit}, got {d}");
         assert!(d >= t_unit - 1e-6, "cannot beat the bandwidth bound");
     }
 
@@ -527,7 +530,13 @@ mod tests {
         let task = multicast_task(&c, 10, 1, 1);
         let mut g = TaskGraph::new();
         let gate = g.add(Work::compute(c.device(0, 0), 5.0), []);
-        let lowered = lower_unit_task(&mut g, &task, task.senders[0].0, Strategy::broadcast(), &[gate]);
+        let lowered = lower_unit_task(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::broadcast(),
+            &[gate],
+        );
         let t = Engine::new(&c).run(&g).unwrap();
         assert!(t.interval(lowered.done).finish >= 15.0 - 1e-6);
     }
@@ -537,7 +546,13 @@ mod tests {
         let c = cluster(2, 1);
         let task = multicast_task(&c, 3, 1, 1);
         let mut g = TaskGraph::new();
-        lower_unit_task(&mut g, &task, task.senders[0].0, Strategy::Broadcast { chunks: 64 }, &[]);
+        lower_unit_task(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::Broadcast { chunks: 64 },
+            &[],
+        );
         // 3-byte slice: at most 3 chunks (plus the join marker).
         assert!(g.len() <= 4, "graph has {} tasks", g.len());
     }

@@ -89,7 +89,10 @@ pub fn ring_all_gather(
             let flow = graph.add_labeled(
                 Work::flow(participants[i], participants[next], part_bytes[part]),
                 deps,
-                Some(format!("ag[s{s}] {}->{}", participants[i], participants[next])),
+                Some(format!(
+                    "ag[s{s}] {}->{}",
+                    participants[i], participants[next]
+                )),
             );
             received[next].push(flow);
             this_step.push(flow);
@@ -200,10 +203,7 @@ pub fn all_to_all(
     }
     let done_per_device: Vec<TaskId> = (0..n)
         .map(|i| {
-            let deps = received[i]
-                .iter()
-                .copied()
-                .chain(ready[i].iter().copied());
+            let deps = received[i].iter().copied().chain(ready[i].iter().copied());
             graph.add(Work::Marker, deps)
         })
         .collect();

@@ -99,8 +99,8 @@ pub fn alpa_effective_strategy(task: &UnitTask) -> Strategy {
 #[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
-    use crossmesh_mesh::{Receiver, UnitTask};
     use crossmesh_mesh::Tile;
+    use crossmesh_mesh::{Receiver, UnitTask};
     use crossmesh_netsim::{DeviceId, HostId};
 
     fn task(volume: u64, receivers: usize) -> UnitTask {

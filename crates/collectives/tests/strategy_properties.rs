@@ -11,7 +11,11 @@ const INTRA_BW: f64 = 100.0;
 const INTER_BW: f64 = 1.0;
 
 fn cluster() -> ClusterSpec {
-    ClusterSpec::homogeneous(5, 4, LinkParams::new(INTRA_BW, INTER_BW).with_latencies(0.0, 0.0))
+    ClusterSpec::homogeneous(
+        5,
+        4,
+        LinkParams::new(INTRA_BW, INTER_BW).with_latencies(0.0, 0.0),
+    )
 }
 
 /// A random unit task: senders on hosts 0..2, receivers on hosts 2..5,

@@ -141,7 +141,10 @@ impl TileBuffer {
     ///
     /// Panics if `elem_bytes` is 0 or exceeds 8.
     pub fn materialize(tile: &Tile, shape: &[u64], elem_bytes: usize) -> Self {
-        assert!((1..=8).contains(&elem_bytes), "element width must be 1-8 bytes");
+        assert!(
+            (1..=8).contains(&elem_bytes),
+            "element width must be 1-8 bytes"
+        );
         let mut data = Vec::with_capacity(tile.volume() as usize * elem_bytes);
         for idx in tile_indices(tile) {
             encode(linear_index(shape, &idx), elem_bytes, &mut data);
@@ -198,24 +201,23 @@ impl TileBuffer {
 }
 
 /// Per-destination-device assembly buffer with coverage tracking.
+///
+/// Public so execution backends outside this crate (e.g. the threaded
+/// runtime) can assemble destination tiles from delivered pieces and then
+/// share [`verify_destination`] with the in-process data plane.
 #[derive(Debug)]
-struct Assembler {
-    device: DeviceId,
-    buffer: TileBufferMut,
-}
-
-#[derive(Debug)]
-struct TileBufferMut {
+pub struct DestinationBuffer {
     tile: Tile,
     elem_bytes: usize,
     data: Vec<u8>,
     written: Vec<bool>,
 }
 
-impl TileBufferMut {
-    fn new(tile: Tile, elem_bytes: usize) -> Self {
+impl DestinationBuffer {
+    /// An all-zero, nothing-written-yet buffer covering `tile`.
+    pub fn new(tile: Tile, elem_bytes: usize) -> Self {
         let n = tile.volume() as usize;
-        TileBufferMut {
+        DestinationBuffer {
             tile,
             elem_bytes,
             data: vec![0; n * elem_bytes],
@@ -223,7 +225,29 @@ impl TileBufferMut {
         }
     }
 
-    fn write(&mut self, piece: &TileBuffer, device: DeviceId) -> Result<(), DataPlaneError> {
+    /// The region this buffer covers.
+    pub fn tile(&self) -> &Tile {
+        &self.tile
+    }
+
+    /// Writes a delivered piece into the buffer. `device` is only used to
+    /// attribute errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataPlaneError::Conflict`] if an element written twice
+    /// disagrees with its earlier value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece.tile` is not contained in this buffer's tile.
+    pub fn write(&mut self, piece: &TileBuffer, device: DeviceId) -> Result<(), DataPlaneError> {
+        assert!(
+            piece.tile.is_empty() || self.tile.contains(&piece.tile),
+            "piece {} not contained in destination tile {}",
+            piece.tile,
+            self.tile
+        );
         let rank = self.tile.rank();
         let mut strides = vec![1u64; rank];
         for d in (0..rank.saturating_sub(1)).rev() {
@@ -264,6 +288,61 @@ pub struct DataPlaneReport {
     pub destination: BTreeMap<u32, TileBuffer>,
 }
 
+/// Checks that every assembled destination buffer is fully covered and
+/// holds exactly its tile of the ground-truth tensor (every element equal
+/// to its linear index, truncated to the element width). Returns the final
+/// immutable buffers keyed by device id; empty tiles are skipped.
+///
+/// This is the shared back half of [`execute_and_verify`]; real execution
+/// backends (the threaded runtime) assemble [`DestinationBuffer`]s their
+/// own way and then call this to assert byte-exact placement.
+///
+/// # Errors
+///
+/// Returns [`DataPlaneError::Uncovered`] for an element never written and
+/// [`DataPlaneError::Corrupted`] for an element holding a wrong value.
+pub fn verify_destination(
+    shape: &[u64],
+    buffers: impl IntoIterator<Item = (DeviceId, DestinationBuffer)>,
+) -> Result<BTreeMap<u32, TileBuffer>, DataPlaneError> {
+    let mut destination = BTreeMap::new();
+    for (device, buf) in buffers {
+        let tile = buf.tile.clone();
+        let elem_bytes = buf.elem_bytes;
+        if tile.is_empty() {
+            continue;
+        }
+        for (i, idx) in tile_indices(&tile).enumerate() {
+            let lin = linear_index(shape, &idx);
+            if !buf.written[i] {
+                return Err(DataPlaneError::Uncovered {
+                    device,
+                    linear_index: lin,
+                });
+            }
+        }
+        let got = TileBuffer {
+            tile: tile.clone(),
+            elem_bytes,
+            data: Bytes::from(buf.data),
+        };
+        let want = TileBuffer::materialize(&tile, shape, elem_bytes);
+        if got.data != want.data {
+            // Locate the first differing element for the error message.
+            let bad = (0..tile.volume() as usize)
+                .find(|&i| got.element(i) != want.element(i))
+                .unwrap_or(0);
+            let idx = tile_indices(&tile).nth(bad).expect("index exists");
+            return Err(DataPlaneError::Corrupted {
+                device,
+                linear_index: linear_index(shape, &idx),
+            });
+        }
+        destination.insert(device.0, got);
+    }
+    Ok(destination)
+}
+
 /// Executes `plan` on materialized buffers and verifies every destination
 /// device ends up holding exactly its layout tile of the tensor.
 ///
@@ -292,17 +371,11 @@ pub fn execute_and_verify(plan: &Plan<'_>) -> Result<DataPlaneReport, DataPlaneE
     }
 
     // Destination assemblers.
-    let mut assemblers: BTreeMap<DeviceId, Assembler> = BTreeMap::new();
+    let mut assemblers: BTreeMap<DeviceId, DestinationBuffer> = BTreeMap::new();
     for coord in task.dst_mesh().coords() {
         let device = task.dst_mesh().device(coord);
         let tile = dst_layout.tile_at(coord).clone();
-        assemblers.insert(
-            device,
-            Assembler {
-                device,
-                buffer: TileBufferMut::new(tile, elem_bytes),
-            },
-        );
+        assemblers.insert(device, DestinationBuffer::new(tile, elem_bytes));
     }
 
     // Execute unit tasks in plan order.
@@ -325,45 +398,12 @@ pub fn execute_and_verify(plan: &Plan<'_>) -> Result<DataPlaneReport, DataPlaneE
             let asm = assemblers
                 .get_mut(&r.device)
                 .expect("receivers live on the destination mesh");
-            asm.buffer.write(&piece, asm.device)?;
+            asm.write(&piece, r.device)?;
         }
     }
 
     // Verify coverage and contents against ground truth.
-    let mut destination = BTreeMap::new();
-    for (device, asm) in assemblers {
-        let tile = asm.buffer.tile.clone();
-        if tile.is_empty() {
-            continue;
-        }
-        for (i, idx) in tile_indices(&tile).enumerate() {
-            let lin = linear_index(shape, &idx);
-            if !asm.buffer.written[i] {
-                return Err(DataPlaneError::Uncovered {
-                    device,
-                    linear_index: lin,
-                });
-            }
-        }
-        let got = TileBuffer {
-            tile: tile.clone(),
-            elem_bytes,
-            data: Bytes::from(asm.buffer.data),
-        };
-        let want = TileBuffer::materialize(&tile, shape, elem_bytes);
-        if got.data != want.data {
-            // Locate the first differing element for the error message.
-            let bad = (0..tile.volume() as usize)
-                .find(|&i| got.element(i) != want.element(i))
-                .unwrap_or(0);
-            let idx = tile_indices(&tile).nth(bad).expect("index exists");
-            return Err(DataPlaneError::Corrupted {
-                device,
-                linear_index: linear_index(shape, &idx),
-            });
-        }
-        destination.insert(device.0, got);
-    }
+    let destination = verify_destination(shape, assemblers)?;
 
     Ok(DataPlaneReport {
         delivered_bytes: delivered,
@@ -394,18 +434,22 @@ mod tests {
         let c = ClusterSpec::homogeneous(4, 4, LinkParams::new(100.0, 1.0));
         let a = DeviceMesh::from_cluster(&c, 0, (2, 4), "A").unwrap();
         let b = DeviceMesh::from_cluster(&c, 2, (2, 4), "B").unwrap();
-        ReshardingTask::new(a, src.parse().unwrap(), b, dst.parse().unwrap(), shape, elem)
-            .unwrap()
+        ReshardingTask::new(
+            a,
+            src.parse().unwrap(),
+            b,
+            dst.parse().unwrap(),
+            shape,
+            elem,
+        )
+        .unwrap()
     }
 
     #[test]
     fn tile_indices_are_row_major() {
         let t = Tile::new([1..3, 0..2]);
         let idx: Vec<Vec<u64>> = tile_indices(&t).collect();
-        assert_eq!(
-            idx,
-            vec![vec![1, 0], vec![1, 1], vec![2, 0], vec![2, 1]]
-        );
+        assert_eq!(idx, vec![vec![1, 0], vec![1, 1], vec![2, 0], vec![2, 1]]);
     }
 
     #[test]
@@ -440,8 +484,7 @@ mod tests {
         ] {
             let t = task(src, dst, &[8, 6], 4);
             let plan = EnsemblePlanner::new(config()).plan(&t);
-            let report = execute_and_verify(&plan)
-                .unwrap_or_else(|e| panic!("{src}->{dst}: {e}"));
+            let report = execute_and_verify(&plan).unwrap_or_else(|e| panic!("{src}->{dst}: {e}"));
             assert!(report.delivered_bytes >= t.total_bytes());
         }
     }
@@ -461,6 +504,34 @@ mod tests {
         let t = task("S0R", "S1R", &[32, 32], 1);
         let plan = EnsemblePlanner::new(config()).plan(&t);
         execute_and_verify(&plan).unwrap();
+    }
+
+    #[test]
+    fn verify_destination_flags_uncovered_and_corrupted() {
+        let tile = Tile::new([0..2, 0..2]);
+        // Nothing written: the first element is uncovered.
+        let empty = DestinationBuffer::new(tile.clone(), 1);
+        let err = verify_destination(&[2, 2], [(DeviceId(0), empty)]).unwrap_err();
+        assert!(matches!(err, DataPlaneError::Uncovered { .. }));
+        // Fully covered with ground truth: passes and returns the buffer.
+        let truth = TileBuffer::materialize(&tile, &[2, 2], 1);
+        let mut ok = DestinationBuffer::new(tile.clone(), 1);
+        ok.write(&truth, DeviceId(1)).unwrap();
+        let out = verify_destination(&[2, 2], [(DeviceId(1), ok)]).unwrap();
+        assert_eq!(out[&1].data, truth.data);
+        // Covered but with wrong contents: corrupted.
+        let mut bad = DestinationBuffer::new(tile.clone(), 1);
+        bad.write(
+            &TileBuffer {
+                tile: tile.clone(),
+                elem_bytes: 1,
+                data: Bytes::from(vec![9u8; 4]),
+            },
+            DeviceId(2),
+        )
+        .unwrap();
+        let err = verify_destination(&[2, 2], [(DeviceId(2), bad)]).unwrap_err();
+        assert!(matches!(err, DataPlaneError::Corrupted { .. }));
     }
 
     #[test]

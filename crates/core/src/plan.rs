@@ -2,8 +2,12 @@
 //! and simulated execution.
 
 use crate::task::ReshardingTask;
-use crossmesh_collectives::{estimate_unit_task, lower_unit_task, CostParams, LoweredComm, Strategy};
-use crossmesh_netsim::{ClusterSpec, DeviceId, Engine, HostId, SimError, TaskGraph, TaskId, Work};
+use crossmesh_collectives::{
+    estimate_unit_task, lower_unit_task, CostParams, LoweredComm, Strategy,
+};
+use crossmesh_netsim::{
+    Backend, ClusterSpec, DeviceId, HostId, SimBackend, SimError, TaskGraph, TaskId, Work,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -70,7 +74,9 @@ impl<'t> Plan<'t> {
             seen[a.unit] = true;
             let unit = &task.units()[a.unit];
             assert!(
-                unit.senders.iter().any(|&(d, h)| d == a.sender && h == a.sender_host),
+                unit.senders
+                    .iter()
+                    .any(|&(d, h)| d == a.sender && h == a.sender_host),
                 "sender {} is not a replica holder of unit {}",
                 a.sender,
                 a.unit
@@ -153,11 +159,7 @@ impl<'t> Plan<'t> {
                 }
             }
         }
-        recv_load
-            .values()
-            .copied()
-            .fold(0.0, f64::max)
-            .max(longest)
+        recv_load.values().copied().fold(0.0, f64::max).max(longest)
     }
 
     /// Lowers the plan into `graph`. Host-level serialization is enforced
@@ -185,17 +187,33 @@ impl<'t> Plan<'t> {
         LoweredPlan { per_unit, done }
     }
 
-    /// Executes the plan alone on `cluster` and reports the simulated
-    /// completion time.
+    /// Executes the plan alone on `cluster` with the simulator backend and
+    /// reports the simulated completion time.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors (e.g. the plan references devices not in
     /// `cluster`).
     pub fn execute(&self, cluster: &ClusterSpec) -> Result<ExecutionReport, SimError> {
+        self.execute_with(&SimBackend, cluster)
+    }
+
+    /// Executes the plan alone on `cluster` through an arbitrary
+    /// [`Backend`] — the flow-level simulator, or a real execution backend
+    /// such as the threaded runtime. `simulated_seconds` then reports
+    /// whatever clock the backend uses (wall seconds for real backends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn execute_with(
+        &self,
+        backend: &dyn Backend,
+        cluster: &ClusterSpec,
+    ) -> Result<ExecutionReport, SimError> {
         let mut graph = TaskGraph::new();
         let lowered = self.lower(&mut graph, &[]);
-        let trace = Engine::new(cluster).run(&graph)?;
+        let trace = backend.execute(cluster, &graph)?;
         Ok(ExecutionReport {
             simulated_seconds: trace.interval(lowered.done).finish,
             cross_host_bytes: trace.usage().total_cross_host_bytes(),
@@ -206,10 +224,7 @@ impl<'t> Plan<'t> {
 
 /// The hosts a unit task occupies while executing: its sender host plus all
 /// receiver hosts.
-pub(crate) fn involved_hosts(
-    unit: &crossmesh_mesh::UnitTask,
-    sender_host: HostId,
-) -> Vec<HostId> {
+pub(crate) fn involved_hosts(unit: &crossmesh_mesh::UnitTask, sender_host: HostId) -> Vec<HostId> {
     let mut hosts = unit.receiver_hosts();
     if let Err(pos) = hosts.binary_search(&sender_host) {
         hosts.insert(pos, sender_host);
@@ -221,14 +236,11 @@ pub(crate) fn involved_hosts(
 mod tests {
     use super::*;
     use crossmesh_mesh::DeviceMesh;
-    use crossmesh_netsim::LinkParams;
+    use crossmesh_netsim::{Engine, LinkParams};
 
     fn setup() -> (ClusterSpec, ReshardingTask) {
-        let c = ClusterSpec::homogeneous(
-            4,
-            2,
-            LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
-        );
+        let c =
+            ClusterSpec::homogeneous(4, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
         let a = DeviceMesh::from_cluster(&c, 0, (2, 2), "A").unwrap();
         let b = DeviceMesh::from_cluster(&c, 2, (2, 2), "B").unwrap();
         let t = ReshardingTask::new(

@@ -165,7 +165,12 @@ impl Planner for DfsPlanner {
                 let cands = unit
                     .sender_hosts()
                     .into_iter()
-                    .map(|h| (h, estimate_unit_task(&self.config.params, unit, h, strategy)))
+                    .map(|h| {
+                        (
+                            h,
+                            estimate_unit_task(&self.config.params, unit, h, strategy),
+                        )
+                    })
                     .collect();
                 (i, cands)
             })

@@ -96,7 +96,10 @@ mod tests {
             let e = EnsemblePlanner::new(config()).plan(&t).estimate();
             let d = DfsPlanner::new(config()).plan(&t).estimate();
             let g = RandomizedGreedyPlanner::new(config()).plan(&t).estimate();
-            assert!(e <= d.min(g) + 1e-9, "{src}->{dst}: {e} vs dfs {d} / greedy {g}");
+            assert!(
+                e <= d.min(g) + 1e-9,
+                "{src}->{dst}: {e} vs dfs {d} / greedy {g}"
+            );
         }
     }
 

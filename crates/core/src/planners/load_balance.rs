@@ -132,9 +132,7 @@ mod tests {
         let durations: Vec<f64> = plan
             .assignments()
             .iter()
-            .map(|a| {
-                estimate_unit_task(&params, &t.units()[a.unit], a.sender_host, a.strategy)
-            })
+            .map(|a| estimate_unit_task(&params, &t.units()[a.unit], a.sender_host, a.strategy))
             .collect();
         assert!(durations.windows(2).all(|w| w[0] >= w[1] - 1e-12));
     }

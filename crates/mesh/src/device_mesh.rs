@@ -244,11 +244,7 @@ impl DeviceMesh {
 
 impl fmt::Display for DeviceMesh {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}({}x{})",
-            self.name, self.shape.0, self.shape.1
-        )
+        write!(f, "{}({}x{})", self.name, self.shape.0, self.shape.1)
     }
 }
 

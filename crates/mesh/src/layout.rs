@@ -247,7 +247,10 @@ mod tests {
     fn rank_mismatch_is_error() {
         let m = mesh_2x2();
         let err = Layout::new(&m, &"S0R".parse().unwrap(), &[4]).unwrap_err();
-        assert!(matches!(err, MeshError::RankMismatch { spec: 2, tensor: 1 }));
+        assert!(matches!(
+            err,
+            MeshError::RankMismatch { spec: 2, tensor: 1 }
+        ));
     }
 
     #[test]

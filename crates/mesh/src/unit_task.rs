@@ -281,8 +281,7 @@ mod tests {
         let c = ClusterSpec::homogeneous(4, 4, LinkParams::new(10e9, 1e9));
         let a = DeviceMesh::from_cluster(&c, 0, (2, 4), "A").unwrap();
         let b = DeviceMesh::from_cluster(&c, 2, (2, 4), "B").unwrap();
-        let tasks =
-            unit_tasks(&a, &spec("RS01R"), &b, &spec("S01RR"), &[64, 64, 8], 1).unwrap();
+        let tasks = unit_tasks(&a, &spec("RS01R"), &b, &spec("S01RR"), &[64, 64, 8], 1).unwrap();
         assert_eq!(tasks.len(), 64);
     }
 

@@ -125,14 +125,14 @@ impl GptConfig {
             )?;
             // Per-device forward time: the stage's layers over the whole
             // microbatch, split over dp (batch) and op (hidden) devices.
-            let flops = self.layer_forward_flops(mb) * layers_per_stage as f64
-                / (p.dp * p.op) as f64;
+            let flops =
+                self.layer_forward_flops(mb) * layers_per_stage as f64 / (p.dp * p.op) as f64;
             let fwd = flops / self.precision.effective_device_flops();
             // Each of the stage's layers stashes one ~BSH activation per
             // in-flight microbatch (Table 1's 2BSH per layer at fp16).
-            let boundary_bytes = (self.precision.elem_bytes() * (mb / p.dp as u64)
-                * self.seq_len
-                * self.hidden) as f64;
+            let boundary_bytes =
+                (self.precision.elem_bytes() * (mb / p.dp as u64) * self.seq_len * self.hidden)
+                    as f64;
             let act_bytes = boundary_bytes * layers_per_stage as f64;
             // ZeRO-1-style optimizer-state sharding over dp replicas —
             // without it, Table 3's (4,1,2) config cannot fit 16 GB V100s.
@@ -284,9 +284,7 @@ mod tests {
         let s0 = &job.graph.stages()[0];
         assert!(s0.remat_keep_bytes.is_some(), "stage 0 must rematerialize");
         // Remat makes the backward pay a forward recomputation.
-        assert!(
-            s0.effective_backward_act_seconds() > s0.backward_act_seconds,
-        );
+        assert!(s0.effective_backward_act_seconds() > s0.backward_act_seconds,);
         // The kept bytes are the single boundary tensor, far below the
         // full per-layer stash.
         assert!(s0.remat_keep_bytes.unwrap() < s0.activation_bytes / 2.0);
@@ -305,8 +303,7 @@ mod tests {
         assert!(stages[0].remat_keep_bytes.is_some());
         assert!(stages[1].remat_keep_bytes.is_none());
         assert!(
-            stages[1].effective_backward_act_seconds()
-                < stages[0].effective_backward_act_seconds()
+            stages[1].effective_backward_act_seconds() < stages[0].effective_backward_act_seconds()
         );
     }
 

@@ -81,7 +81,10 @@ impl ParallelConfig {
     ///
     /// Panics if any degree is zero.
     pub fn new(dp: usize, op: usize, pp: usize) -> Self {
-        assert!(dp > 0 && op > 0 && pp > 0, "parallel degrees must be positive");
+        assert!(
+            dp > 0 && op > 0 && pp > 0,
+            "parallel degrees must be positive"
+        );
         ParallelConfig { dp, op, pp }
     }
 
@@ -145,7 +148,9 @@ mod tests {
     fn precision_properties() {
         assert_eq!(Precision::Fp16.elem_bytes(), 2);
         assert_eq!(Precision::Fp32.elem_bytes(), 4);
-        assert!(Precision::Fp16.effective_device_flops() > Precision::Fp32.effective_device_flops());
+        assert!(
+            Precision::Fp16.effective_device_flops() > Precision::Fp32.effective_device_flops()
+        );
         assert_eq!(Precision::Fp16.train_state_bytes_per_param(), 14.0);
     }
 

@@ -39,7 +39,10 @@ pub struct MemoryBreakdown {
 ///
 /// Panics if any argument is zero.
 pub fn gpt3_layer_memory(h: u64, s: u64, b: u64, tmp: u64) -> MemoryBreakdown {
-    assert!(h > 0 && s > 0 && b > 0 && tmp > 0, "arguments must be positive");
+    assert!(
+        h > 0 && s > 0 && b > 0 && tmp > 0,
+        "arguments must be positive"
+    );
     let h2 = (h * h) as f64;
     let bsh = (b * s * h) as f64;
     MemoryBreakdown {
@@ -70,13 +73,19 @@ mod tests {
             (m.optimizer_state_parameters / MI - 432.0).abs() < 1.0,
             "432M optimizer params"
         );
-        assert!((m.activation_elements / MI - 24.0).abs() < 0.1, "24M activations");
+        assert!(
+            (m.activation_elements / MI - 24.0).abs() < 0.1,
+            "24M activations"
+        );
         assert!(
             (m.weights_and_optimizer_bytes / GI - 2.95).abs() < 0.01,
             "2.95 GB weights+optimizer, got {}",
             m.weights_and_optimizer_bytes / GI
         );
-        assert!((m.activation_bytes / MI - 48.0).abs() < 0.1, "48 MB activations");
+        assert!(
+            (m.activation_bytes / MI - 48.0).abs() < 0.1,
+            "48 MB activations"
+        );
     }
 
     #[test]

@@ -179,8 +179,8 @@ impl OpChain {
             let stage_params: u64 = self.ops[range.clone()].iter().map(|o| o.params).sum();
             let fwd = flops / devices as f64 / rate;
             let last_out = &self.ops[range.end - 1].output_shape;
-            let act_bytes = (last_out.iter().product::<u64>() * self.elem_bytes) as f64
-                / devices as f64;
+            let act_bytes =
+                (last_out.iter().product::<u64>() * self.elem_bytes) as f64 / devices as f64;
             let stage = Stage::new(format!("stage{i}"), mesh.clone(), fwd)
                 .with_backward(fwd, fwd)
                 .with_memory(act_bytes, state * stage_params as f64 / devices as f64);
@@ -351,7 +351,9 @@ mod tests {
         };
         let planner = EnsemblePlanner::new(PlannerConfig::new(p3_cost_params()));
         let run = |sharding: &BoundarySharding| {
-            let job = chain.build(&cluster, 2, sharding, &p3_cost_params()).unwrap();
+            let job = chain
+                .build(&cluster, 2, sharding, &p3_cost_params())
+                .unwrap();
             simulate(&job.graph, &cluster, &planner, &PipelineConfig::ours())
                 .unwrap()
                 .iteration_seconds

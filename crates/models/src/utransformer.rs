@@ -87,8 +87,7 @@ impl UTransformerConfig {
         (0..self.levels)
             .map(|l| {
                 let hw = self.spatial(l) * self.spatial(l);
-                self.blocks_per_level as f64
-                    * Self::block_forward_flops(self.channels(l), hw, b)
+                self.blocks_per_level as f64 * Self::block_forward_flops(self.channels(l), hw, b)
             })
             .sum()
     }
@@ -139,8 +138,7 @@ impl UTransformerConfig {
         let mesh0 = DeviceMesh::from_cluster(cluster, 0, (1, devices_per_stage), "utrans-down")?;
         let mesh1 = DeviceMesh::from_cluster(cluster, 1, (1, devices_per_stage), "utrans-up")?;
 
-        let down_flops =
-            self.side_forward_flops(mb) + self.bottleneck_forward_flops(mb);
+        let down_flops = self.side_forward_flops(mb) + self.bottleneck_forward_flops(mb);
         let up_flops = self.side_forward_flops(mb);
         let fwd0 = down_flops / devices_per_stage as f64 / flops_rate;
         let fwd1 = up_flops / devices_per_stage as f64 / flops_rate;
@@ -154,7 +152,9 @@ impl UTransformerConfig {
             / devices_per_stage as f64;
         // The 4-way batch-sharded intra-op parallelism is data parallelism
         // from the optimizer's perspective: shard its state ZeRO-1 style.
-        let state = self.precision.zero1_state_bytes_per_param(devices_per_stage);
+        let state = self
+            .precision
+            .zero1_state_bytes_per_param(devices_per_stage);
         let params_side = self.num_params() as f64 / 2.0;
 
         // Batch-sharded intra-op parallelism replicates the weights over
@@ -176,14 +176,14 @@ impl UTransformerConfig {
 
         // Bottleneck output: the "trunk" edge into the up path.
         let sb = self.spatial(self.levels);
-        graph.connect(
-            s0,
-            s1,
-            self.edge_tensor(mb, self.bottleneck_channels(), sb),
-        )?;
+        graph.connect(s0, s1, self.edge_tensor(mb, self.bottleneck_channels(), sb))?;
         // One skip connection per level.
         for l in 0..self.levels {
-            graph.connect(s0, s1, self.edge_tensor(mb, self.channels(l), self.spatial(l)))?;
+            graph.connect(
+                s0,
+                s1,
+                self.edge_tensor(mb, self.channels(l), self.spatial(l)),
+            )?;
         }
 
         Ok(ModelJob {

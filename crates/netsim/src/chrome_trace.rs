@@ -39,11 +39,9 @@ pub fn to_chrome_trace(graph: &TaskGraph, trace: &Trace) -> String {
             Work::Compute { device, .. } | Work::ComputeFlops { device, .. } => {
                 ("compute", device.0, format!("compute {id}"))
             }
-            Work::Flow { src, dst, bytes } => (
-                "comm",
-                src.0,
-                format!("flow {id} -> {dst} ({bytes:.0} B)"),
-            ),
+            Work::Flow { src, dst, bytes } => {
+                ("comm", src.0, format!("flow {id} -> {dst} ({bytes:.0} B)"))
+            }
             Work::Marker => continue,
         };
         events.push(ChromeEvent {
@@ -94,8 +92,7 @@ mod tests {
         g.add(Work::compute(c.device(0, 0), 0.5), []);
         g.add(Work::flow(c.device(0, 0), c.device(0, 1), 1.0), []);
         let trace = Engine::new(&c).run(&g).unwrap();
-        let parsed: serde_json::Value =
-            serde_json::from_str(&to_chrome_trace(&g, &trace)).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&to_chrome_trace(&g, &trace)).unwrap();
         for e in parsed.as_array().unwrap() {
             assert!(e["dur"].as_f64().unwrap() >= 0.0);
         }

@@ -350,9 +350,9 @@ impl<'a> Run<'a> {
                 if frozen[i] {
                     continue;
                 }
-                let saturated = f.resources[..f.n_resources].iter().any(|&r| {
-                    self.capacities[r] - used[r] <= REL_EPS * self.capacities[r]
-                });
+                let saturated = f.resources[..f.n_resources]
+                    .iter()
+                    .any(|&r| self.capacities[r] - used[r] <= REL_EPS * self.capacities[r]);
                 if saturated {
                     frozen[i] = true;
                     f.rate = fill;
@@ -660,7 +660,8 @@ mod tests {
 
     #[test]
     fn latency_adds_to_transfer_time() {
-        let c = ClusterSpec::homogeneous(2, 1, LinkParams::new(10.0, 1.0).with_latencies(0.0, 0.25));
+        let c =
+            ClusterSpec::homogeneous(2, 1, LinkParams::new(10.0, 1.0).with_latencies(0.0, 0.25));
         let mut g = TaskGraph::new();
         g.add(Work::flow(c.device(0, 0), c.device(1, 0), 1.0), []);
         let t = Engine::new(&c).run(&g).unwrap();
@@ -734,9 +735,21 @@ mod tests {
         let links_fast = LinkParams::new(100.0, 4.0).with_latencies(0.0, 0.0);
         let links_slow = LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0);
         let c = ClusterSpec::new(vec![
-            HostSpec { devices: 1, links: links_fast, device_flops: 1e12 },
-            HostSpec { devices: 1, links: links_slow, device_flops: 1e12 },
-            HostSpec { devices: 1, links: links_fast, device_flops: 1e12 },
+            HostSpec {
+                devices: 1,
+                links: links_fast,
+                device_flops: 1e12,
+            },
+            HostSpec {
+                devices: 1,
+                links: links_slow,
+                device_flops: 1e12,
+            },
+            HostSpec {
+                devices: 1,
+                links: links_fast,
+                device_flops: 1e12,
+            },
         ]);
         let mut g = TaskGraph::new();
         // Fast host 0 -> fast host 2: 4 B/s. Slow host 1 -> fast host 2:
@@ -746,7 +759,10 @@ mod tests {
         let t = Engine::new(&c).run(&g).unwrap();
         // Receiver NIC is 4 B/s total: fair share gives the slow flow its
         // full 1 B/s and the fast flow 3 B/s until it finishes.
-        assert!((t.interval(slow).finish - 8.0).abs() < 1e-9, "slow NIC limits");
+        assert!(
+            (t.interval(slow).finish - 8.0).abs() < 1e-9,
+            "slow NIC limits"
+        );
         assert!(
             t.interval(fast).finish < 8.0,
             "fast flow must finish earlier: {:?}",
@@ -767,7 +783,11 @@ mod tests {
         let t_full = Engine::new(&full).run(&g).unwrap();
         let t_capped = Engine::new(&capped).run(&g).unwrap();
         assert!((t_full.makespan() - 3.0).abs() < 1e-9);
-        assert!((t_capped.makespan() - 4.0).abs() < 1e-9, "got {}", t_capped.makespan());
+        assert!(
+            (t_capped.makespan() - 4.0).abs() < 1e-9,
+            "got {}",
+            t_capped.makespan()
+        );
     }
 
     #[test]

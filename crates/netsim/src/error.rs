@@ -22,6 +22,14 @@ pub enum SimError {
         /// Number of tasks that never became ready.
         remaining: usize,
     },
+    /// A real-execution backend failed outside the simulated model (thread
+    /// panic, socket error, payload mismatch, ...).
+    Backend {
+        /// Which backend failed (see [`Backend::name`](crate::Backend::name)).
+        backend: &'static str,
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +40,9 @@ impl fmt::Display for SimError {
             }
             SimError::Stalled { remaining } => {
                 write!(f, "simulation stalled with {remaining} tasks never ready")
+            }
+            SimError::Backend { backend, message } => {
+                write!(f, "{backend} backend failed: {message}")
             }
         }
     }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod chrome_trace;
 mod engine;
 mod error;
@@ -49,9 +50,10 @@ mod graph;
 mod topology;
 mod trace;
 
+pub use backend::{Backend, SimBackend};
 pub use chrome_trace::to_chrome_trace;
 pub use engine::Engine;
 pub use error::SimError;
 pub use graph::{Task, TaskGraph, TaskId, Work};
 pub use topology::{ClusterSpec, DeviceId, HostId, HostSpec, LinkParams};
-pub use trace::{ResourceUsage, TaskInterval, Trace};
+pub use trace::{ResourceUsage, TaskInterval, Trace, TraceBuilder};

@@ -290,7 +290,10 @@ mod tests {
     fn devices_on_lists_local_devices() {
         let c = cluster();
         let on1: Vec<_> = c.devices_on(HostId(1)).collect();
-        assert_eq!(on1, vec![DeviceId(4), DeviceId(5), DeviceId(6), DeviceId(7)]);
+        assert_eq!(
+            on1,
+            vec![DeviceId(4), DeviceId(5), DeviceId(6), DeviceId(7)]
+        );
     }
 
     #[test]

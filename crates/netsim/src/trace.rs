@@ -66,6 +66,54 @@ pub struct Trace {
     usage: ResourceUsage,
 }
 
+/// Incrementally assembles a [`Trace`] from per-task timings, for execution
+/// backends living outside this crate (see [`crate::Backend`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    intervals: Vec<TaskInterval>,
+    usage: ResourceUsage,
+}
+
+impl TraceBuilder {
+    /// A builder pre-sized for a graph of `tasks` tasks.
+    pub fn with_capacity(tasks: usize) -> Self {
+        TraceBuilder {
+            intervals: Vec::with_capacity(tasks),
+            usage: ResourceUsage::default(),
+        }
+    }
+
+    /// Records the execution interval of `task`, in seconds. Tasks may be
+    /// recorded in any order; gaps are zero-length intervals at t=0 until
+    /// recorded.
+    pub fn record_interval(&mut self, task: TaskId, start: f64, finish: f64) {
+        let idx = task.0 as usize;
+        if idx >= self.intervals.len() {
+            self.intervals.resize(
+                idx + 1,
+                TaskInterval {
+                    start: 0.0,
+                    finish: 0.0,
+                },
+            );
+        }
+        self.intervals[idx] = TaskInterval { start, finish };
+    }
+
+    /// Accounts `bytes` of traffic from `src` to `dst` if they differ
+    /// (intra-host traffic is not NIC traffic).
+    pub fn record_flow(&mut self, src: HostId, dst: HostId, bytes: f64) {
+        if src != dst {
+            self.usage.record(src, dst, bytes);
+        }
+    }
+
+    /// Finalizes the trace; the makespan is the latest recorded finish.
+    pub fn build(self) -> Trace {
+        Trace::new(self.intervals, self.usage)
+    }
+}
+
 impl Trace {
     pub(crate) fn new(intervals: Vec<TaskInterval>, usage: ResourceUsage) -> Self {
         let makespan = intervals.iter().map(|i| i.finish).fold(0.0, f64::max);

@@ -7,8 +7,12 @@ const INTRA_BW: f64 = 50.0;
 const INTER_BW: f64 = 2.0;
 
 fn cluster() -> ClusterSpec {
-    ClusterSpec::homogeneous(3, 2, LinkParams::new(INTRA_BW, INTER_BW).with_latencies(0.0, 0.0))
-        .with_device_flops(10.0)
+    ClusterSpec::homogeneous(
+        3,
+        2,
+        LinkParams::new(INTRA_BW, INTER_BW).with_latencies(0.0, 0.0),
+    )
+    .with_device_flops(10.0)
 }
 
 /// One random task: its work and a dependency bitmask over earlier tasks.

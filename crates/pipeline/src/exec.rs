@@ -5,7 +5,7 @@ use crate::stage::StageGraph;
 use crossmesh_collectives::estimate_unit_task;
 use crossmesh_core::{CostParams, Plan, Planner};
 use crossmesh_netsim::{
-    ClusterSpec, DeviceId, Engine, SimError, TaskGraph, TaskId, Work,
+    Backend, ClusterSpec, DeviceId, SimBackend, SimError, TaskGraph, TaskId, Work,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -128,6 +128,29 @@ pub fn simulate(
     planner: &dyn Planner,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, SimError> {
+    simulate_with(graph, cluster, planner, config, &SimBackend)
+}
+
+/// Like [`simulate`], but runs the lowered iteration graph through an
+/// arbitrary [`Backend`] — the flow-level simulator or a real execution
+/// backend (e.g. the threaded runtime). Timing fields of the report then
+/// carry that backend's clock.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+///
+/// # Panics
+///
+/// Panics if the schedule deadlocks (impossible for the built-in schedule
+/// kinds) or the stage graph is empty.
+pub fn simulate_with(
+    graph: &StageGraph,
+    cluster: &ClusterSpec,
+    planner: &dyn Planner,
+    config: &PipelineConfig,
+    backend: &dyn Backend,
+) -> Result<PipelineReport, SimError> {
     let num_stages = graph.stages().len();
     assert!(num_stages > 0, "pipeline needs at least one stage");
     let schedule = build_schedule(
@@ -141,7 +164,7 @@ pub fn simulate(
     lowering.lower_grad_sync();
     let Lowering { task_graph, .. } = lowering;
 
-    let trace = Engine::new(cluster).run(&task_graph)?;
+    let trace = backend.execute(cluster, &task_graph)?;
     let peak_live: Vec<usize> = (0..num_stages)
         .map(|s| schedule.peak_live_activations(s))
         .collect();
@@ -245,7 +268,8 @@ impl<'a> Lowering<'a> {
                     progressed = true;
                 }
             }
-            if self.op_ptr
+            if self
+                .op_ptr
                 .iter()
                 .enumerate()
                 .all(|(s, &p)| p == self.schedule.stage_ops(s).len())
@@ -264,11 +288,7 @@ impl<'a> Lowering<'a> {
         };
         // Check and collect cross-stage dependencies.
         let comm_keys: Vec<(bool, usize, usize)> = match op {
-            Op::Forward(mb) => self
-                .graph
-                .in_edges(s)
-                .map(|(e, _)| (true, e, mb))
-                .collect(),
+            Op::Forward(mb) => self.graph.in_edges(s).map(|(e, _)| (true, e, mb)).collect(),
             Op::BackwardAct(mb) => self
                 .graph
                 .out_edges(s)
@@ -343,7 +363,11 @@ impl<'a> Lowering<'a> {
     /// Lowers one resharding instance gated by the producing compute tasks.
     fn lower_comm(&mut self, forward: bool, e: usize, producers: &[TaskId]) -> CommInstance {
         let edge = &self.graph.edges()[e];
-        let resharding = if forward { &edge.forward } else { &edge.backward };
+        let resharding = if forward {
+            &edge.forward
+        } else {
+            &edge.backward
+        };
         match self.comm {
             CommMode::Signal => {
                 // Zero payload: the flow costs only link latency, keeping
@@ -406,7 +430,9 @@ impl<'a> Lowering<'a> {
     /// parallelism), gated by the last op on every participating device.
     fn lower_grad_sync(&mut self) {
         for (s, stage) in self.graph.stages().iter().enumerate() {
-            let Some(sync) = stage.grad_sync else { continue };
+            let Some(sync) = stage.grad_sync else {
+                continue;
+            };
             for group in stage.grad_sync_groups() {
                 let ready: Vec<Vec<TaskId>> = group
                     .iter()
@@ -620,8 +646,8 @@ mod tests {
         // later but must not change the amount of work or move iteration
         // time materially on this comm-light pipeline.
         assert_eq!(base.tasks_lowered, delayed.tasks_lowered);
-        let rel = (delayed.iteration_seconds - base.iteration_seconds).abs()
-            / base.iteration_seconds;
+        let rel =
+            (delayed.iteration_seconds - base.iteration_seconds).abs() / base.iteration_seconds;
         assert!(
             rel < 0.1,
             "delayed {} vs base {}",
@@ -706,7 +732,8 @@ mod tests {
     fn skip_connection_grads_flow_back() {
         // 3 stages on 3 hosts with a skip edge 0 -> 2; the iteration must
         // complete (no deadlock) and move bytes across all hosts.
-        let c = ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+        let c =
+            ClusterSpec::homogeneous(3, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
         let mut g = StageGraph::new(4);
         let idx: Vec<usize> = (0..3)
             .map(|i| {
@@ -723,13 +750,7 @@ mod tests {
         g.connect(idx[0], idx[1], tensor()).unwrap();
         g.connect(idx[1], idx[2], tensor()).unwrap();
         g.connect(idx[0], idx[2], tensor()).unwrap();
-        let r = simulate(
-            &g,
-            &c,
-            &planner(),
-            &PipelineConfig::ours(),
-        )
-        .unwrap();
+        let r = simulate(&g, &c, &planner(), &PipelineConfig::ours()).unwrap();
         assert!(r.iteration_seconds > 0.0);
         assert!(r.cross_host_bytes > 0.0);
     }

@@ -41,7 +41,9 @@ mod exec;
 mod schedule;
 mod stage;
 
-pub use exec::{auto_weight_delay, simulate, CommMode, PipelineConfig, PipelineReport};
+pub use exec::{
+    auto_weight_delay, simulate, simulate_with, CommMode, PipelineConfig, PipelineReport,
+};
 pub use schedule::{build_schedule, Op, Schedule, ScheduleKind, WeightDelay};
 pub use stage::{CommEdge, EdgeTensor, GradSync, Stage, StageGraph};
 

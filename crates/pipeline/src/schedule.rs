@@ -246,10 +246,18 @@ mod tests {
 
     #[test]
     fn all_schedules_are_valid_permutations() {
-        for kind in [ScheduleKind::GPipe, ScheduleKind::OneFOneB, ScheduleKind::Eager1F1B] {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Eager1F1B,
+        ] {
             for stages in 1..=4 {
                 for m in 1..=8 {
-                    for d in [WeightDelay::None, WeightDelay::Fixed(1), WeightDelay::Fixed(3)] {
+                    for d in [
+                        WeightDelay::None,
+                        WeightDelay::Fixed(1),
+                        WeightDelay::Fixed(3),
+                    ] {
                         assert_valid(&build_schedule(kind, stages, m, d));
                     }
                 }

@@ -234,7 +234,12 @@ impl StageGraph {
     /// # Panics
     ///
     /// Panics if `from >= to` or either index is out of range.
-    pub fn connect(&mut self, from: usize, to: usize, tensor: EdgeTensor) -> Result<usize, MeshError> {
+    pub fn connect(
+        &mut self,
+        from: usize,
+        to: usize,
+        tensor: EdgeTensor,
+    ) -> Result<usize, MeshError> {
         assert!(from < to, "edges must go forward in the pipeline");
         assert!(to < self.stages.len(), "stage index {to} out of range");
         let src_mesh = self.stages[from].mesh.clone();

@@ -1,0 +1,1034 @@
+//! The threaded wall-clock executor behind [`Backend`].
+//!
+//! Execution model:
+//!
+//! * one **compute thread** per device runs `Compute`/`ComputeFlops` tasks
+//!   serially (FIFO in ready order, like the simulator's device queues),
+//!   occupying wall time with a calibrated sleep+spin;
+//! * one **send thread** per device chunks each `Flow` into framed
+//!   [`Bytes`] payloads and pushes them to the destination device —
+//!   through a bounded in-process channel (intra-host, zero-copy) or a
+//!   real TCP loopback socket (inter-host, when the transport is
+//!   [`TransportKind::Tcp`]);
+//! * one **receive thread** per device counts delivered bytes per flow and
+//!   completes the flow task when its final frame arrives;
+//! * `Marker` tasks complete inline, instantly, on whichever thread
+//!   releases their last dependency.
+//!
+//! Dependency release is the happens-before edge: a task's finish
+//! timestamp is stored **before** any dependent's pending count is
+//! decremented, and timestamps come from a single monotonic clock, so
+//! `finish(dep) <= start(task)` holds in the emitted [`Trace`] exactly as
+//! it does in the simulator.
+
+use bytes::Bytes;
+use crossmesh_netsim::{
+    Backend, ClusterSpec, DeviceId, SimError, TaskGraph, Trace, TraceBuilder, Work,
+};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How inter-host flows move their bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Everything in-process: bounded channels for every edge.
+    Channels,
+    /// Inter-host flows cross real TCP loopback sockets (one connection
+    /// per host pair on `127.0.0.1`); intra-host flows stay on channels,
+    /// mirroring NVLink-vs-NIC locality.
+    Tcp,
+}
+
+/// A [`Backend`] that executes task graphs for real on OS threads.
+///
+/// Construct with [`ThreadedBackend::threads`] or
+/// [`ThreadedBackend::tcp`], then tune with the `with_*` builders.
+#[derive(Debug, Clone)]
+pub struct ThreadedBackend {
+    transport: TransportKind,
+    time_scale: f64,
+    chunk_bytes: usize,
+    channel_depth: usize,
+    deadline: Duration,
+}
+
+impl ThreadedBackend {
+    /// A channels-only backend (no sockets involved).
+    pub fn threads() -> Self {
+        ThreadedBackend {
+            transport: TransportKind::Channels,
+            time_scale: 1e-3,
+            chunk_bytes: 1 << 20,
+            channel_depth: 256,
+            deadline: Duration::from_secs(120),
+        }
+    }
+
+    /// A backend that carries inter-host flows over TCP loopback sockets.
+    pub fn tcp() -> Self {
+        ThreadedBackend {
+            transport: TransportKind::Tcp,
+            ..ThreadedBackend::threads()
+        }
+    }
+
+    /// The transport this backend uses for inter-host flows.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// Sets the wall seconds one *simulated* compute second occupies
+    /// (default `1e-3`: a 2 s simulated kernel spins for 2 ms). Flows are
+    /// unaffected — they take however long the bytes take to move.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    #[must_use]
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "time scale must be positive and finite"
+        );
+        self.time_scale = scale;
+        self
+    }
+
+    /// Sets the maximum payload bytes per frame (default 1 MiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    #[must_use]
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-device inbound frame queue depth (default 256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "channel depth must be positive");
+        self.channel_depth = depth;
+        self
+    }
+
+    /// Sets the wall-clock deadline after which a run is aborted with a
+    /// [`SimError::Backend`] error (default 120 s).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+impl Backend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        match self.transport {
+            TransportKind::Channels => "threads",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    fn execute(&self, cluster: &ClusterSpec, graph: &TaskGraph) -> Result<Trace, SimError> {
+        // The same up-front validation the simulator performs.
+        for (id, task) in graph.iter() {
+            let bad = match task.work {
+                Work::Compute { device, .. } | Work::ComputeFlops { device, .. } => {
+                    (!cluster.contains(device)).then_some(device)
+                }
+                Work::Flow { src, dst, .. } => {
+                    [src, dst].into_iter().find(|&d| !cluster.contains(d))
+                }
+                Work::Marker => None,
+            };
+            if let Some(device) = bad {
+                return Err(SimError::UnknownDevice { task: id, device });
+            }
+        }
+        if graph.is_empty() {
+            return Ok(TraceBuilder::with_capacity(0).build());
+        }
+
+        let (start_ns, finish_ns) =
+            run(self, cluster, graph).map_err(|message| SimError::Backend {
+                backend: self.name(),
+                message,
+            })?;
+
+        let mut tb = TraceBuilder::with_capacity(graph.len());
+        for (id, task) in graph.iter() {
+            let start = start_ns[id.0 as usize].load(Ordering::Acquire);
+            let finish = finish_ns[id.0 as usize].load(Ordering::Acquire);
+            tb.record_interval(id, start as f64 / 1e9, finish as f64 / 1e9);
+            if let Work::Flow { src, dst, bytes } = task.work {
+                tb.record_flow(cluster.host_of(src), cluster.host_of(dst), bytes);
+            }
+        }
+        Ok(tb.build())
+    }
+}
+
+/// Commands for compute and send threads.
+enum Cmd {
+    Run(u32),
+    Quit,
+}
+
+/// Messages on a device's inbound frame queue.
+enum Inbound {
+    Data {
+        flow: u32,
+        payload: Bytes,
+        last: bool,
+    },
+    Quit,
+}
+
+/// What a task does, resolved against the cluster.
+#[derive(Clone, Copy)]
+enum Kind {
+    Compute { wall: Duration },
+    Flow { dst: u32, bytes: u64 },
+    Marker,
+}
+
+/// Completion bookkeeping shared by every worker.
+#[derive(Debug, Default)]
+struct RunState {
+    finished: bool,
+    error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Monitor {
+    remaining: AtomicUsize,
+    state: Mutex<RunState>,
+    cv: Condvar,
+}
+
+impl Monitor {
+    fn new(tasks: usize) -> Self {
+        Monitor {
+            remaining: AtomicUsize::new(tasks),
+            state: Mutex::new(RunState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called exactly once per task; the last one flips `finished`.
+    fn task_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut st = self.state.lock().unwrap();
+            st.finished = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Records the first failure and aborts the run.
+    fn fail(&self, message: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.error.is_none() {
+            st.error = Some(message);
+        }
+        st.finished = true;
+        self.cv.notify_all();
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().finished
+    }
+
+    /// Blocks until the run finishes or `deadline` elapses (which marks
+    /// the run failed so stuck workers bail out on their next check).
+    fn wait(&self, deadline: Duration) {
+        let t0 = Instant::now();
+        let mut st = self.state.lock().unwrap();
+        while !st.finished {
+            match deadline.checked_sub(t0.elapsed()) {
+                None => {
+                    st.error.get_or_insert_with(|| {
+                        format!("run exceeded the {deadline:?} wall-clock deadline")
+                    });
+                    st.finished = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                Some(left) => {
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, left.min(Duration::from_millis(100)))
+                        .unwrap();
+                    st = guard;
+                }
+            }
+        }
+    }
+
+    fn take_error(&self) -> Option<String> {
+        self.state.lock().unwrap().error.take()
+    }
+}
+
+/// Everything workers share for one run.
+struct Shared {
+    monitor: Monitor,
+    t0: Instant,
+    kinds: Vec<Kind>,
+    /// Per task: the device whose worker executes it (flow source for
+    /// flows; unused for markers).
+    task_device: Vec<u32>,
+    /// Tasks with no dependencies, dispatched once at run start.
+    roots: Vec<u32>,
+    /// Per task: unmet dependency count.
+    pending: Vec<AtomicUsize>,
+    /// Per task: tasks waiting on it (one entry per dependency edge).
+    dependents: Vec<Vec<u32>>,
+    start_ns: Vec<AtomicU64>,
+    finish_ns: Vec<AtomicU64>,
+    /// Per device: compute queue and send queue.
+    compute_tx: Vec<Sender<Cmd>>,
+    send_tx: Vec<Sender<Cmd>>,
+    /// Per device: inbound frame queue (bounded; this is the backpressure).
+    inbound_tx: Vec<SyncSender<Inbound>>,
+    /// `(src_host, dst_host) -> write half`, non-empty in TCP mode only.
+    tcp_writers: HashMap<(u32, u32), Mutex<TcpStream>>,
+    /// Device -> host, for routing.
+    device_host: Vec<u32>,
+    /// Shared all-zero payload buffer, sliced per frame (zero-copy on the
+    /// channel path).
+    zero: Bytes,
+    chunk_bytes: usize,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    fn record_start(&self, t: u32) {
+        self.start_ns[t as usize].store(self.now_ns(), Ordering::Release);
+    }
+
+    /// Marks `t` finished, releases its dependents, and completes any
+    /// markers that become ready, iteratively.
+    fn finish_task(&self, t: u32) {
+        self.finish_ns[t as usize].store(self.now_ns(), Ordering::Release);
+        let mut done = vec![t];
+        self.drain_completions(&mut done);
+    }
+
+    fn drain_completions(&self, done: &mut Vec<u32>) {
+        while let Some(t) = done.pop() {
+            for &d in &self.dependents[t as usize] {
+                if self.pending[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.dispatch(d, done);
+                }
+            }
+            self.monitor.task_done();
+        }
+    }
+
+    /// Hands a ready task to its executor. Markers finish immediately:
+    /// their timestamps are taken here and they join the completion stack.
+    fn dispatch(&self, t: u32, done: &mut Vec<u32>) {
+        match self.kinds[t as usize] {
+            Kind::Marker => {
+                let now = self.now_ns();
+                self.start_ns[t as usize].store(now, Ordering::Release);
+                self.finish_ns[t as usize].store(now, Ordering::Release);
+                done.push(t);
+            }
+            Kind::Compute { .. } => {
+                let dev = self.executor_device(t);
+                let _ = self.compute_tx[dev].send(Cmd::Run(t));
+            }
+            Kind::Flow { .. } => {
+                let dev = self.executor_device(t);
+                let _ = self.send_tx[dev].send(Cmd::Run(t));
+            }
+        }
+    }
+
+    /// The device whose worker runs task `t` (compute device, or the
+    /// flow's source device).
+    fn executor_device(&self, t: u32) -> usize {
+        self.task_device[t as usize] as usize
+    }
+
+    /// Dispatches every task with no dependencies. Roots come from the
+    /// static graph (`roots`), never from the live pending counters: a
+    /// fast root may already have completed and released dependents to
+    /// pending 0 mid-iteration, and reading the counters here would
+    /// dispatch those dependents a second time.
+    fn seed(&self) {
+        let mut done = Vec::new();
+        for &t in &self.roots {
+            self.dispatch(t, &mut done);
+        }
+        self.drain_completions(&mut done);
+    }
+
+    /// Delivers one frame of `flow` to `dst`, via channel or socket.
+    /// Blocks under backpressure but aborts once the run is finished, so
+    /// a failed run never wedges a sender.
+    fn send_frame(
+        &self,
+        src: u32,
+        dst: u32,
+        flow: u32,
+        payload: Bytes,
+        last: bool,
+    ) -> Result<(), String> {
+        let (sh, dh) = (
+            self.device_host[src as usize],
+            self.device_host[dst as usize],
+        );
+        if sh != dh && !self.tcp_writers.is_empty() {
+            let stream = self
+                .tcp_writers
+                .get(&(sh, dh))
+                .expect("a connection exists for every host pair");
+            let mut stream = stream
+                .lock()
+                .map_err(|_| "tcp writer poisoned".to_string())?;
+            let hdr = encode_header(dst, flow, payload.len() as u32, last);
+            write_full(&mut stream, &hdr, &self.monitor)?;
+            write_full(&mut stream, &payload, &self.monitor)?;
+            return Ok(());
+        }
+        let mut msg = Inbound::Data {
+            flow,
+            payload,
+            last,
+        };
+        loop {
+            match self.inbound_tx[dst as usize].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(m)) => {
+                    if self.monitor.is_finished() {
+                        return Err("run aborted while queue was full".into());
+                    }
+                    msg = m;
+                    thread::sleep(Duration::from_micros(20));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(format!("receiver d{dst} hung up"));
+                }
+            }
+        }
+    }
+}
+
+/// Wire frame header: destination device, flow task, payload length, and
+/// a last-frame marker.
+const FRAME_HEADER: usize = 13;
+
+fn encode_header(dst: u32, flow: u32, len: u32, last: bool) -> [u8; FRAME_HEADER] {
+    let mut hdr = [0u8; FRAME_HEADER];
+    hdr[0..4].copy_from_slice(&dst.to_le_bytes());
+    hdr[4..8].copy_from_slice(&flow.to_le_bytes());
+    hdr[8..12].copy_from_slice(&len.to_le_bytes());
+    hdr[12] = last as u8;
+    hdr
+}
+
+/// Writes all of `buf`, tolerating send-timeout ticks (used to notice an
+/// aborted run instead of blocking forever on a full socket).
+fn write_full(stream: &mut TcpStream, mut buf: &[u8], monitor: &Monitor) -> Result<(), String> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err("tcp connection closed mid-frame".into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if monitor.is_finished() {
+                    return Err("run aborted during tcp write".into());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("tcp write: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes. `Ok(false)` means the peer closed the
+/// connection cleanly before the first byte, or the run finished while the
+/// socket was idle (both are normal shutdown at a frame boundary).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], monitor: &Monitor) -> Result<bool, String> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err("tcp connection closed mid-frame".into());
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if monitor.is_finished() {
+                    if got == 0 {
+                        return Ok(false);
+                    }
+                    return Err("run aborted during tcp read".into());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("tcp read: {e}")),
+        }
+    }
+    Ok(true)
+}
+
+/// Builds the shared state and fabric, spawns the workers, runs the graph
+/// to completion, and returns the per-task timestamp arrays (nanoseconds
+/// since the run's epoch).
+#[allow(clippy::type_complexity)]
+fn run(
+    backend: &ThreadedBackend,
+    cluster: &ClusterSpec,
+    graph: &TaskGraph,
+) -> Result<(Vec<AtomicU64>, Vec<AtomicU64>), String> {
+    let n = graph.len();
+    let num_devices = cluster.num_devices() as usize;
+    let device_host: Vec<u32> = (0..num_devices as u32)
+        .map(|d| cluster.host_of(DeviceId(d)).0)
+        .collect();
+
+    let mut kinds = Vec::with_capacity(n);
+    let mut task_device = Vec::with_capacity(n);
+    let mut roots = Vec::new();
+    let mut pending = Vec::with_capacity(n);
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, task) in graph.iter() {
+        let (kind, dev) = match task.work {
+            Work::Compute { device, seconds } => (
+                Kind::Compute {
+                    wall: Duration::from_secs_f64(seconds * backend.time_scale),
+                },
+                device.0,
+            ),
+            Work::ComputeFlops { device, flops } => {
+                let rate = cluster.host(cluster.host_of(device)).device_flops;
+                (
+                    Kind::Compute {
+                        wall: Duration::from_secs_f64(flops / rate * backend.time_scale),
+                    },
+                    device.0,
+                )
+            }
+            Work::Flow { src, dst, bytes } => (
+                Kind::Flow {
+                    dst: dst.0,
+                    bytes: bytes.round() as u64,
+                },
+                src.0,
+            ),
+            Work::Marker => (Kind::Marker, 0),
+        };
+        kinds.push(kind);
+        task_device.push(dev);
+        if task.deps.is_empty() {
+            roots.push(id.0);
+        }
+        pending.push(AtomicUsize::new(task.deps.len()));
+        for dep in &task.deps {
+            dependents[dep.0 as usize].push(id.0);
+        }
+    }
+
+    let mut compute_tx = Vec::with_capacity(num_devices);
+    let mut compute_rx = Vec::with_capacity(num_devices);
+    let mut send_tx = Vec::with_capacity(num_devices);
+    let mut send_rx = Vec::with_capacity(num_devices);
+    let mut inbound_tx = Vec::with_capacity(num_devices);
+    let mut inbound_rx = Vec::with_capacity(num_devices);
+    for _ in 0..num_devices {
+        let (tx, rx) = mpsc::channel();
+        compute_tx.push(tx);
+        compute_rx.push(rx);
+        let (tx, rx) = mpsc::channel();
+        send_tx.push(tx);
+        send_rx.push(rx);
+        let (tx, rx) = mpsc::sync_channel(backend.channel_depth);
+        inbound_tx.push(tx);
+        inbound_rx.push(rx);
+    }
+
+    // TCP fabric first (if any), so the write halves can live inside the
+    // shared state from the start; reader threads spawn after it exists.
+    let (tcp_writers, reader_streams) = if backend.transport == TransportKind::Tcp {
+        tcp_fabric(cluster).map_err(|e| format!("tcp setup: {e}"))?
+    } else {
+        (HashMap::new(), Vec::new())
+    };
+
+    let shared = Arc::new(Shared {
+        monitor: Monitor::new(n),
+        t0: Instant::now(),
+        kinds,
+        task_device,
+        roots,
+        pending,
+        dependents,
+        start_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        finish_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        compute_tx,
+        send_tx,
+        inbound_tx,
+        tcp_writers,
+        device_host,
+        zero: Bytes::from(vec![0u8; backend.chunk_bytes]),
+        chunk_bytes: backend.chunk_bytes,
+    });
+
+    let mut workers = Vec::with_capacity(num_devices * 3 + reader_streams.len());
+    for (d, rx) in compute_rx.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        workers.push(spawn_named(format!("cm-d{d}-compute"), move || {
+            compute_worker(rx, &sh)
+        }));
+    }
+    for (d, rx) in send_rx.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        workers.push(spawn_named(format!("cm-d{d}-send"), move || {
+            send_worker(d as u32, rx, &sh)
+        }));
+    }
+    let mut recv_workers = Vec::with_capacity(num_devices);
+    for (d, rx) in inbound_rx.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        recv_workers.push(spawn_named(format!("cm-d{d}-recv"), move || {
+            recv_worker(rx, &sh)
+        }));
+    }
+    let mut tcp_readers = Vec::with_capacity(reader_streams.len());
+    for (i, stream) in reader_streams.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        tcp_readers.push(spawn_named(format!("cm-tcp-reader-{i}"), move || {
+            tcp_reader(stream, &sh)
+        }));
+    }
+
+    shared.seed();
+    shared.monitor.wait(backend.deadline);
+
+    // Orderly shutdown: quit the compute/send queues (they feed the
+    // fabric), then the inbound queues; readers notice the finished flag
+    // on their next I/O timeout tick.
+    for tx in &shared.compute_tx {
+        let _ = tx.send(Cmd::Quit);
+    }
+    for tx in &shared.send_tx {
+        let _ = tx.send(Cmd::Quit);
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    for tx in &shared.inbound_tx {
+        let mut msg = Inbound::Quit;
+        loop {
+            match tx.try_send(msg) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => break,
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+    for w in recv_workers {
+        let _ = w.join();
+    }
+    for r in tcp_readers {
+        let _ = r.join();
+    }
+
+    if let Some(e) = shared.monitor.take_error() {
+        return Err(e);
+    }
+    let shared = Arc::try_unwrap(shared)
+        .map_err(|_| "internal: worker threads outlived the run".to_string())?;
+    Ok((shared.start_ns, shared.finish_ns))
+}
+
+fn spawn_named<F: FnOnce() + Send + 'static>(name: String, f: F) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawning an OS thread")
+}
+
+/// Opens one TCP loopback connection per host pair; returns the write
+/// halves (routed by `(src_host, dst_host)`) and the read halves.
+#[allow(clippy::type_complexity)]
+fn tcp_fabric(
+    cluster: &ClusterSpec,
+) -> std::io::Result<(HashMap<(u32, u32), Mutex<TcpStream>>, Vec<TcpStream>)> {
+    let hosts = cluster.num_hosts();
+    let mut listeners = Vec::with_capacity(hosts as usize);
+    for _ in 0..hosts {
+        listeners.push(TcpListener::bind("127.0.0.1:0")?);
+    }
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<Result<_, _>>()?;
+
+    let mut writers = HashMap::new();
+    let mut readers = Vec::new();
+    let io_tick = Some(Duration::from_millis(200));
+    for a in 0..hosts {
+        for b in (a + 1)..hosts {
+            // Sequential connect-then-accept keeps the pairing
+            // deterministic: the backlog holds exactly this connection.
+            let out = TcpStream::connect(addrs[b as usize])?;
+            let (inc, _) = listeners[b as usize].accept()?;
+            for s in [&out, &inc] {
+                s.set_nodelay(true)?;
+                s.set_read_timeout(io_tick)?;
+                s.set_write_timeout(io_tick)?;
+            }
+            // `a` writes a->b on `out`; `b` writes b->a on `inc`. Each
+            // side reads the opposite direction from its own clone.
+            writers.insert((a, b), Mutex::new(out.try_clone()?));
+            writers.insert((b, a), Mutex::new(inc.try_clone()?));
+            readers.push(inc);
+            readers.push(out);
+        }
+    }
+    Ok((writers, readers))
+}
+
+/// Forwards frames from one TCP connection to the destination devices'
+/// inbound queues until the peer closes or the run ends.
+fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
+    let mut hdr = [0u8; FRAME_HEADER];
+    loop {
+        match read_full(&mut stream, &mut hdr, &shared.monitor) {
+            Ok(true) => {}
+            Ok(false) => return, // clean shutdown
+            Err(e) => {
+                shared.monitor.fail(e);
+                return;
+            }
+        }
+        let dst = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let flow = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        let last = hdr[12] != 0;
+        let mut payload = vec![0u8; len];
+        if len > 0 {
+            match read_full(&mut stream, &mut payload, &shared.monitor) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => {
+                    shared
+                        .monitor
+                        .fail("tcp connection closed mid-frame".into());
+                    return;
+                }
+            }
+        }
+        if dst as usize >= shared.inbound_tx.len() {
+            shared
+                .monitor
+                .fail(format!("tcp frame for unknown device d{dst}"));
+            return;
+        }
+        let mut msg = Inbound::Data {
+            flow,
+            payload: Bytes::from(payload),
+            last,
+        };
+        loop {
+            match shared.inbound_tx[dst as usize].try_send(msg) {
+                Ok(()) => break,
+                Err(TrySendError::Full(m)) => {
+                    if shared.monitor.is_finished() {
+                        return;
+                    }
+                    msg = m;
+                    thread::sleep(Duration::from_micros(20));
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+    }
+}
+
+/// Runs compute tasks serially: wait out the calibrated wall duration,
+/// then release dependents.
+fn compute_worker(rx: Receiver<Cmd>, shared: &Shared) {
+    while let Ok(Cmd::Run(t)) = rx.recv() {
+        shared.record_start(t);
+        let Kind::Compute { wall } = shared.kinds[t as usize] else {
+            shared
+                .monitor
+                .fail(format!("task t{t} queued on the wrong worker"));
+            return;
+        };
+        precise_wait(wall);
+        shared.finish_task(t);
+    }
+}
+
+/// Occupies the thread for `d`: sleep for the bulk, spin the tail, so
+/// short "kernels" keep microsecond-ish fidelity.
+fn precise_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    if d > Duration::from_micros(400) {
+        thread::sleep(d - Duration::from_micros(200));
+    }
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Chunks each flow into frames and pushes them toward the destination.
+fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
+    while let Ok(Cmd::Run(t)) = rx.recv() {
+        shared.record_start(t);
+        let Kind::Flow { dst, bytes } = shared.kinds[t as usize] else {
+            shared
+                .monitor
+                .fail(format!("task t{t} queued on the wrong worker"));
+            return;
+        };
+        let mut left = bytes;
+        loop {
+            let n = left.min(shared.chunk_bytes as u64) as usize;
+            let last = left <= shared.chunk_bytes as u64;
+            let payload = shared.zero.slice(0..n);
+            if let Err(e) = shared.send_frame(device, dst, t, payload, last) {
+                if !shared.monitor.is_finished() {
+                    shared.monitor.fail(format!("flow t{t}: {e}"));
+                }
+                return;
+            }
+            if last {
+                break;
+            }
+            left -= n as u64;
+        }
+    }
+}
+
+/// Counts delivered bytes per flow; the final frame completes the flow
+/// task (so a flow's finish timestamp is taken on the receiving side).
+fn recv_worker(rx: Receiver<Inbound>, shared: &Shared) {
+    let mut progress: HashMap<u32, u64> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Inbound::Data {
+                flow,
+                payload,
+                last,
+            } => {
+                *progress.entry(flow).or_insert(0) += payload.len() as u64;
+                if last {
+                    let got = progress.remove(&flow).unwrap_or(0);
+                    let want = match shared.kinds[flow as usize] {
+                        Kind::Flow { bytes, .. } => bytes,
+                        _ => {
+                            shared
+                                .monitor
+                                .fail(format!("frame for non-flow task t{flow}"));
+                            return;
+                        }
+                    };
+                    if got != want {
+                        shared.monitor.fail(format!(
+                            "flow t{flow} delivered {got} bytes, expected {want}"
+                        ));
+                        return;
+                    }
+                    shared.finish_task(flow);
+                }
+            }
+            Inbound::Quit => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmesh_netsim::{LinkParams, TaskId};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(2, 2, LinkParams::new(100e9, 10e9))
+    }
+
+    fn backends() -> [ThreadedBackend; 2] {
+        [ThreadedBackend::threads(), ThreadedBackend::tcp()]
+    }
+
+    #[test]
+    fn names_reflect_transport() {
+        assert_eq!(ThreadedBackend::threads().name(), "threads");
+        assert_eq!(ThreadedBackend::tcp().name(), "tcp");
+        assert_eq!(ThreadedBackend::tcp().transport(), TransportKind::Tcp);
+    }
+
+    #[test]
+    fn empty_graph_is_an_empty_trace() {
+        for b in backends() {
+            let trace = b.execute(&cluster(), &TaskGraph::new()).unwrap();
+            assert_eq!(trace.makespan(), 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_device_is_rejected_up_front() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        g.add(Work::compute(DeviceId(99), 1.0), []);
+        let err = ThreadedBackend::threads().execute(&c, &g).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::UnknownDevice {
+                task: TaskId(0),
+                device: DeviceId(99)
+            }
+        ));
+    }
+
+    #[test]
+    fn dependencies_order_timestamps() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let a = g.add(Work::compute(c.device(0, 0), 1.0), []);
+        let f = g.add(
+            Work::flow(c.device(0, 0), c.device(1, 1), (3 << 20) as f64),
+            [a],
+        );
+        let b = g.add(Work::compute(c.device(1, 1), 0.5), [f]);
+        let m = g.add(Work::Marker, [b]);
+        for backend in backends() {
+            let trace = backend.execute(&c, &g).unwrap();
+            // Happens-before: each dependency finishes before its
+            // dependent starts, on the shared wall clock.
+            assert!(trace.interval(a).finish <= trace.interval(f).start);
+            assert!(trace.interval(f).finish <= trace.interval(b).start);
+            assert!(trace.interval(b).finish <= trace.interval(m).start);
+            // The compute sleeps are real: 1 s at 1e-3 scale is >= 1 ms.
+            let ia = trace.interval(a);
+            assert!(ia.finish - ia.start >= 1e-3);
+            assert!(trace.makespan() >= trace.interval(m).finish);
+            // Cross-host accounting comes from the graph, not the wire.
+            assert_eq!(trace.usage().total_cross_host_bytes(), (3u64 << 20) as f64);
+        }
+    }
+
+    #[test]
+    fn intra_host_flows_do_not_count_as_cross_host() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        g.add(
+            Work::flow(c.device(0, 0), c.device(0, 1), (1 << 16) as f64),
+            [],
+        );
+        for backend in backends() {
+            let trace = backend.execute(&c, &g).unwrap();
+            assert_eq!(trace.usage().total_cross_host_bytes(), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_byte_flows_complete() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 0.0), []);
+        let m = g.add(Work::Marker, [f]);
+        for backend in backends() {
+            let trace = backend.execute(&c, &g).unwrap();
+            assert!(trace.interval(m).finish >= trace.interval(f).finish);
+        }
+    }
+
+    #[test]
+    fn wide_fan_out_and_fan_in_complete() {
+        // Every device sends to every other device, all gated by one
+        // marker and joined by another: exercises queues and the fabric.
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let gate = g.add(Work::Marker, []);
+        let mut flows = Vec::new();
+        for s in 0..c.num_devices() {
+            for d in 0..c.num_devices() {
+                if s != d {
+                    flows.push(g.add(
+                        Work::flow(DeviceId(s), DeviceId(d), (1 << 14) as f64),
+                        [gate],
+                    ));
+                }
+            }
+        }
+        let join = g.add(Work::Marker, flows.clone());
+        for backend in backends() {
+            let trace = backend.execute(&c, &g).unwrap();
+            for f in &flows {
+                assert!(trace.interval(*f).finish <= trace.interval(join).start);
+            }
+        }
+    }
+
+    #[test]
+    fn small_chunks_still_deliver_exact_byte_counts() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        // 10_000 bytes over 64-byte chunks: 157 partial frames.
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 1e4), []);
+        for backend in backends() {
+            let backend = backend.with_chunk_bytes(64).with_channel_depth(4);
+            let trace = backend.execute(&c, &g).unwrap();
+            assert!(trace.interval(f).finish > trace.interval(f).start);
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_instead_of_hanging() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        g.add(Work::compute(c.device(0, 0), 10.0), []);
+        // 10 simulated seconds at default 1e-3 scale is 10 ms of wall
+        // time; a 1 ms deadline must trip first.
+        let backend = ThreadedBackend::threads().with_deadline(Duration::from_millis(1));
+        let err = backend.execute(&c, &g).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Backend {
+                backend: "threads",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builders_validate_their_inputs() {
+        let b = ThreadedBackend::threads()
+            .with_time_scale(2e-3)
+            .with_chunk_bytes(128)
+            .with_channel_depth(8);
+        assert_eq!(b.name(), "threads");
+        let r = std::panic::catch_unwind(|| ThreadedBackend::threads().with_time_scale(0.0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| ThreadedBackend::threads().with_chunk_bytes(0));
+        assert!(r.is_err());
+    }
+}

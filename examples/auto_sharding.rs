@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Unconstrained search.
-    let best = search(&AutoShardProblem::new(src.clone(), dst.clone(), shape.clone(), elem), &params)?;
+    let best = search(
+        &AutoShardProblem::new(src.clone(), dst.clone(), shape.clone(), elem),
+        &params,
+    )?;
     println!(
         "{:<28} {:>11.4}s   <- searched, {} candidates",
         format!("{} -> {} (auto)", best.src_spec, best.dst_spec),

@@ -9,9 +9,7 @@ use crossmesh::core::{
 };
 use crossmesh::models::gpt::GptConfig;
 use crossmesh::models::{presets, Precision};
-use crossmesh::pipeline::{
-    simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
-};
+use crossmesh::pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = presets::aws_p3_8xlarge(2, Precision::Fp16);
@@ -36,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "send_recv (sync 1F1B)",
             Box::new(LoadBalancePlanner::new(
-                PlannerConfig::new(params)
-                    .with_strategy(StrategyChoice::Fixed(Strategy::SendRecv)),
+                PlannerConfig::new(params).with_strategy(StrategyChoice::Fixed(Strategy::SendRecv)),
             )),
             ScheduleKind::OneFOneB,
             CommMode::Synchronous,
@@ -70,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:<24} {:>10} {:>12} {:>14}", "variant", "iteration", "TFLOPS", "peak mem/GPU");
+    println!(
+        "{:<24} {:>10} {:>12} {:>14}",
+        "variant", "iteration", "TFLOPS", "peak mem/GPU"
+    );
     for (name, planner, schedule, comm) in variants {
         let report = simulate(
             &job.graph,

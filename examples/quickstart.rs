@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("send/recv ", StrategyChoice::Fixed(Strategy::SendRecv)),
         ("alpa      ", StrategyChoice::AlpaAuto),
     ] {
-        let planner =
-            LoadBalancePlanner::new(PlannerConfig::new(params).with_strategy(choice));
+        let planner = LoadBalancePlanner::new(PlannerConfig::new(params).with_strategy(choice));
         let report = planner.plan(&task).execute(&cluster)?;
         println!(
             "{name}  {:7.3}s   ({:.2} GB crossed host NICs)",

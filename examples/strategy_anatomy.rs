@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nbroadcast chunk-count sweep (the paper picks K ~ 100):");
-    println!("{:<8} {:>10} {:>8} {:>8}", "K", "simulated", "vs t", "flows");
+    println!(
+        "{:<8} {:>10} {:>8} {:>8}",
+        "K", "simulated", "vs t", "flows"
+    );
     for k in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
         let (sim, flows) = run_one(&cluster, unit, Strategy::Broadcast { chunks: k });
         println!("{:<8} {:>9.3}s {:>7.3}x {:>8}", k, sim, sim / t, flows);

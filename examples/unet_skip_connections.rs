@@ -10,9 +10,7 @@
 use crossmesh::core::{EnsemblePlanner, PlannerConfig};
 use crossmesh::models::utransformer::UTransformerConfig;
 use crossmesh::models::{presets, Precision};
-use crossmesh::pipeline::{
-    simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
-};
+use crossmesh::pipeline::{simulate, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = presets::aws_p3_8xlarge(2, Precision::Fp32);
@@ -38,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             edge.forward.units().len(),
         );
     }
-    let total_mb: u64 = job.graph.edges().iter().map(|e| e.forward.total_bytes()).sum();
+    let total_mb: u64 = job
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.forward.total_bytes())
+        .sum();
     println!(
         "  total {:.1} MB forward (plus the same backward) per microbatch;\n  \
          at 10 Gbps that is {:.0} ms against {:.0} ms of forward compute\n",
@@ -49,10 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
     let schedules = [
-        ("broadcast (sync 1F1B)", ScheduleKind::OneFOneB, CommMode::Synchronous),
-        ("overlap (1F1B)", ScheduleKind::OneFOneB, CommMode::Overlapped),
+        (
+            "broadcast (sync 1F1B)",
+            ScheduleKind::OneFOneB,
+            CommMode::Synchronous,
+        ),
+        (
+            "overlap (1F1B)",
+            ScheduleKind::OneFOneB,
+            CommMode::Overlapped,
+        ),
         ("eager-1F1B", ScheduleKind::Eager1F1B, CommMode::Overlapped),
-        ("signal upper bound", ScheduleKind::OneFOneB, CommMode::Signal),
+        (
+            "signal upper bound",
+            ScheduleKind::OneFOneB,
+            CommMode::Signal,
+        ),
     ];
     println!(
         "{:<24} {:>10} {:>8} {:>22}",

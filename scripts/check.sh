@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the whole test suite.
+# CI (.github/workflows/ci.yml) runs exactly these steps; run this before
+# pushing to get the same verdict without the round trip.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -1,0 +1,176 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock sampler that
+//! prints mean iteration time per benchmark. No statistics, plots, or
+//! baseline storage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        run_benchmark(&id.into(), samples, f);
+        self
+    }
+
+    /// Overrides the default sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it several times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // One warm-up call to measure scale, then the requested samples.
+    let mut warmup = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut warmup);
+    let per_iter = warmup.samples.first().copied().unwrap_or(Duration::ZERO);
+    // Aim for ~10ms per sample, capped to keep total runtime bounded.
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    };
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample,
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("bench {id}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench {id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples x {} iters)",
+        b.samples.len(),
+        iters_per_sample
+    );
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn bench_function_outside_group() {
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

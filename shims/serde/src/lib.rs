@@ -1,0 +1,504 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small JSON-centric serialization facade with the surface this
+//! repository actually uses: `Serialize` / `Deserialize` traits, derive
+//! macros (from the sibling `serde_derive` shim), and a [`Value`] tree that
+//! the vendored `serde_json` shares. Everything round-trips through
+//! [`Value`]; there is no streaming serializer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Index, Range};
+
+/// JSON object representation used by [`Value::Object`].
+pub type Map = BTreeMap<String, Value>;
+
+/// An in-memory JSON value, shared between `serde` and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`; integers convert losslessly enough.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects; `None` for other value kinds.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers, mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialization marker; every [`Deserialize`] type qualifies
+    /// because the shim never borrows from the input.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization helpers, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        // Only reachable from test/bench fixtures with `&'static str` fields;
+        // leaking the handful of short strings involved is acceptable there.
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let mut it = arr.iter();
+                Ok(($(
+                    $name::deserialize(
+                        it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected map as pair array"))?;
+        let mut out = BTreeMap::new();
+        for entry in arr {
+            let pair = entry
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            out.insert(K::deserialize(&pair[0])?, V::deserialize(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Range<T> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("start".to_string(), self.start.serialize());
+        m.insert("end".to_string(), self.end.serialize());
+        Value::Object(m)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Range<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected range object"))?;
+        Ok(Range {
+            start: T::deserialize(m.get("start").unwrap_or(&Value::Null))?,
+            end: T::deserialize(m.get("end").unwrap_or(&Value::Null))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::deserialize(&s.serialize()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integral_floats_accept_integer_values() {
+        assert_eq!(f64::deserialize(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.5)];
+        assert_eq!(Vec::<(u32, f64)>::deserialize(&v.serialize()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(3u32, 0.25f64);
+        assert_eq!(
+            BTreeMap::<u32, f64>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+        let r = 2u64..9;
+        assert_eq!(Range::<u64>::deserialize(&r.serialize()).unwrap(), r);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Str("v".into()));
+        let obj = Value::Object(m);
+        assert_eq!(obj["k"], "v");
+        assert!(obj["missing"].is_null());
+        assert_eq!(Value::U64(2).as_f64(), Some(2.0));
+        assert_eq!(Value::F64(2.5).as_u64(), None);
+    }
+}

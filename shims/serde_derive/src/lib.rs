@@ -1,0 +1,353 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's `Value` tree. The parser walks raw token
+//! trees (no `syn`/`quote` available offline) and supports exactly the item
+//! shapes this workspace uses: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, newtype, tuple, and struct variants), using the
+//! externally-tagged representation for enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Skips leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens until a comma at angle-bracket depth zero.
+fn skip_type(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    while let Some(tok) = it.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                return;
+            }
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+/// Parses `name: Type, ...` named-field bodies, returning field names.
+fn parse_named(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut it);
+            }
+            None => return names,
+            other => panic!("serde derive: unexpected token in fields: {other:?}"),
+        }
+    }
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+}
+
+/// Parses enum variants: `Name`, `Name(T, ..)`, or `Name { f: T, .. }`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("serde derive: unexpected token in enum body: {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                it.next();
+                Fields::Named(parse_named(body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return variants,
+            other => panic!("serde derive: expected `,` between variants, got {other:?}"),
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported ({name})");
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kw == "struct" {
+                Kind::Struct(Fields::Named(parse_named(g.stream())))
+            } else if kw == "enum" {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                panic!("serde derive shim: cannot derive for `{kw}`");
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+            Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kw == "struct" => {
+            Kind::Struct(Fields::Unit)
+        }
+        other => panic!("serde derive shim: unsupported item shape for {name}: {other:?}"),
+    };
+    Input { name, kind }
+}
+
+fn serialize_fields_named(fields: &[String], access: &str) -> String {
+    let mut out = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::serialize({access}{f}));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(__m) }");
+    out
+}
+
+fn deserialize_fields_named(name_path: &str, fields: &[String], src: &str) -> String {
+    let mut out = format!(
+        "{{ let __m = {src}.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"expected object for {name_path}\"))?;\n\
+         ::std::result::Result::Ok({name_path} {{\n"
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize(\
+             __m.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+        ));
+    }
+    out.push_str("}) }");
+    out
+}
+
+/// Implements `#[derive(Serialize)]` for the supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Named(fields)) => serialize_fields_named(fields, "&self."),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let bind = fs.join(", ");
+                        let inner = serialize_fields_named(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bind} }} => {{\n\
+                             let __inner = {inner};\n\
+                             let mut __o = ::serde::Map::new();\n\
+                             __o.insert(::std::string::String::from(\"{v}\"), __inner);\n\
+                             ::serde::Value::Object(__o) }}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n\
+                             let __inner = {inner};\n\
+                             let mut __o = ::serde::Map::new();\n\
+                             __o.insert(::std::string::String::from(\"{v}\"), __inner);\n\
+                             ::serde::Value::Object(__o) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde derive shim: generated Serialize impl must parse")
+}
+
+/// Implements `#[derive(Deserialize)]` for the supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Kind::Struct(Fields::Named(fields)) => deserialize_fields_named(name, fields, "__v"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = __v.as_array().filter(|a| a.len() == {n})\
+                 .ok_or_else(|| ::serde::Error::custom(\"expected {n}-tuple for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let inner =
+                            deserialize_fields_named(&format!("{name}::{v}"), fs, "__inner");
+                        tagged_arms.push_str(&format!("\"{v}\" => {inner},\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::deserialize(__inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __arr = __inner.as_array().filter(|a| a.len() == {n})\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected {n}-tuple for {name}::{v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{v}\" => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "{{ if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{__s}}\"))),\n}}\n}}\n\
+                 let __o = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected externally tagged {name}\"))?;\n\
+                 let (__tag, __inner) = __o.iter().next().ok_or_else(|| \
+                 ::serde::Error::custom(\"empty object for {name}\"))?;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{__other}}\"))),\n}}\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde derive shim: generated Deserialize impl must parse")
+}

@@ -15,6 +15,10 @@
 //!   all-gather, chunked ring broadcast) and their cost models.
 //! * [`core`] — the resharding planner: load balancing and scheduling of
 //!   unit communication tasks.
+//! * [`runtime`] — wall-clock multi-threaded execution backend: runs
+//!   lowered task graphs for real (one OS thread trio per device, byte
+//!   payloads over channels or TCP loopback) behind the same
+//!   [`Backend`](netsim::Backend) trait as the simulator.
 //! * [`pipeline`] — GPipe / 1F1B / eager-1F1B schedules, overlap modes,
 //!   backward weight delaying.
 //! * [`models`] — GPT-3-like and U-Transformer workload models and the AWS
@@ -56,3 +60,4 @@ pub use crossmesh_mesh as mesh;
 pub use crossmesh_models as models;
 pub use crossmesh_netsim as netsim;
 pub use crossmesh_pipeline as pipeline;
+pub use crossmesh_runtime as runtime;

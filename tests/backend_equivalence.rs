@@ -1,0 +1,171 @@
+//! Cross-backend equivalence: the threaded runtime must agree with the
+//! in-process data plane on *placement* and with the task graph on
+//! *ordering*, for random resharding problems.
+//!
+//! Two properties:
+//!
+//! * [`threaded_dataflow_matches_dataplane`] — executing a plan with real
+//!   payloads across threads ([`runtime::execute_plan`]) delivers exactly
+//!   the destination bytes the sequential data plane
+//!   (`core::dataplane::execute_and_verify`) produces;
+//! * [`threaded_trace_respects_dependencies`] — executing the lowered task
+//!   graph on the threaded [`Backend`] yields a trace whose happens-before
+//!   edges follow the graph's dependencies, with the same cross-host byte
+//!   accounting as the simulator.
+//!
+//! Case counts are modest: every case spawns real OS threads.
+
+use crossmesh::core::{EnsemblePlanner, NaivePlanner, Planner, PlannerConfig, ReshardingTask};
+use crossmesh::mesh::{DeviceMesh, DimSharding, ShardingSpec};
+use crossmesh::netsim::{Backend, ClusterSpec, LinkParams, SimBackend, TaskGraph};
+use crossmesh::runtime::{execute_plan, ThreadedBackend};
+use proptest::prelude::*;
+
+/// A random valid sharding spec of the given rank (mirrors
+/// `tests/properties.rs`).
+fn spec_strategy(rank: usize) -> impl Strategy<Value = ShardingSpec> {
+    (
+        prop::option::of(0..rank),
+        prop::option::of(0..rank),
+        any::<bool>(),
+    )
+        .prop_map(move |(a0, a1, swap)| {
+            let mut dims = vec![DimSharding::Replicated; rank];
+            match (a0, a1) {
+                (Some(d0), Some(d1)) if d0 == d1 => {
+                    let axes = if swap { vec![0, 1] } else { vec![1, 0] };
+                    dims[d0] = DimSharding::Sharded(axes);
+                }
+                (a0, a1) => {
+                    if let Some(d) = a0 {
+                        dims[d] = DimSharding::Sharded(vec![0]);
+                    }
+                    if let Some(d) = a1 {
+                        dims[d] = DimSharding::Sharded(vec![1]);
+                    }
+                }
+            }
+            ShardingSpec::new(dims).expect("construction is valid by design")
+        })
+}
+
+#[derive(Debug, Clone)]
+struct Problem {
+    src_shape: (usize, usize),
+    dst_shape: (usize, usize),
+    src_spec: ShardingSpec,
+    dst_spec: ShardingSpec,
+    tensor: Vec<u64>,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (1usize..=3)
+        .prop_flat_map(|rank| {
+            (
+                (1usize..=2, 1usize..=4),
+                (1usize..=2, 1usize..=4),
+                spec_strategy(rank),
+                spec_strategy(rank),
+                prop::collection::vec(1u64..=12, rank),
+            )
+        })
+        .prop_map(
+            |(src_shape, dst_shape, src_spec, dst_spec, tensor)| Problem {
+                src_shape,
+                dst_shape,
+                src_spec,
+                dst_spec,
+                tensor,
+            },
+        )
+}
+
+fn build(p: &Problem) -> (ClusterSpec, ReshardingTask) {
+    let hosts = (p.src_shape.0 + p.dst_shape.0) as u32;
+    let cluster = ClusterSpec::homogeneous(
+        hosts,
+        4,
+        LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+    );
+    let src = DeviceMesh::from_cluster(&cluster, 0, p.src_shape, "src").unwrap();
+    let dst = DeviceMesh::from_cluster(&cluster, p.src_shape.0, p.dst_shape, "dst").unwrap();
+    let task = ReshardingTask::new(
+        src,
+        p.src_spec.clone(),
+        dst,
+        p.dst_spec.clone(),
+        &p.tensor,
+        1,
+    )
+    .unwrap();
+    (cluster, task)
+}
+
+fn config() -> PlannerConfig {
+    PlannerConfig::new(crossmesh::core::CostParams {
+        inter_bw: 1.0,
+        intra_bw: 100.0,
+        inter_latency: 0.0,
+        intra_latency: 0.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Threaded plan execution delivers destination bytes identical to the
+    /// sequential data plane, for every planner.
+    #[test]
+    fn threaded_dataflow_matches_dataplane(p in problem_strategy()) {
+        let (_, task) = build(&p);
+        for planner in [
+            Box::new(NaivePlanner::new(config())) as Box<dyn Planner>,
+            Box::new(EnsemblePlanner::new(config())),
+        ] {
+            let plan = planner.plan(&task);
+            let sequential = crossmesh::core::dataplane::execute_and_verify(&plan)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", planner.name())))?;
+            let threaded = execute_plan(&plan)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", planner.name())))?;
+            // Same logical payload volume and byte-identical destinations.
+            prop_assert_eq!(threaded.delivered_bytes, sequential.delivered_bytes);
+            prop_assert_eq!(&threaded.destination, &sequential.destination);
+        }
+    }
+
+    /// The threaded backend's trace honours every dependency edge of the
+    /// lowered graph on one wall clock, and accounts cross-host bytes
+    /// exactly like the simulator.
+    #[test]
+    fn threaded_trace_respects_dependencies(p in problem_strategy()) {
+        let (cluster, task) = build(&p);
+        let plan = EnsemblePlanner::new(config()).plan(&task);
+        let mut graph = TaskGraph::new();
+        let lowered = plan.lower(&mut graph, &[]);
+
+        let sim_trace = SimBackend.execute(&cluster, &graph).unwrap();
+        let trace = ThreadedBackend::threads().execute(&cluster, &graph).unwrap();
+        for (id, t) in graph.iter() {
+            let iv = trace.interval(id);
+            prop_assert!(iv.finish >= iv.start, "task {} runs backwards", id);
+            for dep in &t.deps {
+                prop_assert!(
+                    trace.interval(*dep).finish <= iv.start,
+                    "dependency {} of {} finished after it started",
+                    dep,
+                    id
+                );
+            }
+        }
+        prop_assert!(trace.interval(lowered.done).finish <= trace.makespan() + 1e-12);
+        if !graph.is_empty() {
+            prop_assert!(trace.makespan() >= 0.0);
+        }
+        // Byte accounting is derived from the graph, so both backends must
+        // agree to the bit.
+        prop_assert_eq!(
+            trace.usage().total_cross_host_bytes(),
+            sim_trace.usage().total_cross_host_bytes()
+        );
+    }
+}

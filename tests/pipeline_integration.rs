@@ -32,8 +32,7 @@ fn linear_pipeline(
     let mut g = StageGraph::new(microbatches);
     let ids: Vec<usize> = (0..stages)
         .map(|i| {
-            let mesh =
-                DeviceMesh::from_cluster(cluster, i, (1, 2), format!("s{i}")).unwrap();
+            let mesh = DeviceMesh::from_cluster(cluster, i, (1, 2), format!("s{i}")).unwrap();
             g.add_stage(Stage::new(format!("s{i}"), mesh, compute))
         })
         .collect();
@@ -98,10 +97,7 @@ fn gpipe_matches_1f1b_time_at_zero_comm() {
     let g = linear_pipeline(&c, 3, 6, 1.0, 1);
     let gpipe = run(&g, &c, ScheduleKind::GPipe, CommMode::Signal);
     let one = run(&g, &c, ScheduleKind::OneFOneB, CommMode::Signal);
-    assert!(
-        (gpipe - one).abs() < 1e-6,
-        "gpipe {gpipe} vs 1f1b {one}"
-    );
+    assert!((gpipe - one).abs() < 1e-6, "gpipe {gpipe} vs 1f1b {one}");
 }
 
 #[test]
@@ -115,7 +111,10 @@ fn pipeline_bubble_shrinks_with_more_microbatches() {
     };
     let (e2, e8, e32) = (eff(2), eff(8), eff(32));
     assert!(e2 < e8 && e8 < e32, "{e2} {e8} {e32}");
-    assert!(e32 > 0.85, "32 microbatches should be >85% efficient: {e32}");
+    assert!(
+        e32 > 0.85,
+        "32 microbatches should be >85% efficient: {e32}"
+    );
 }
 
 #[test]
@@ -221,7 +220,11 @@ fn weight_delay_variants_complete_with_identical_op_counts() {
     let c = ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
     let g = linear_pipeline(&c, 2, 6, 1.0, 2);
     let mut counts = Vec::new();
-    for d in [WeightDelay::None, WeightDelay::Fixed(1), WeightDelay::Fixed(2)] {
+    for d in [
+        WeightDelay::None,
+        WeightDelay::Fixed(1),
+        WeightDelay::Fixed(2),
+    ] {
         let r = simulate(
             &g,
             &c,

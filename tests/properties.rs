@@ -59,19 +59,24 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
                 prop::collection::vec(1u64..=12, rank),
             )
         })
-        .prop_map(|(src_shape, dst_shape, src_spec, dst_spec, tensor)| Problem {
-            src_shape,
-            dst_shape,
-            src_spec,
-            dst_spec,
-            tensor,
-        })
+        .prop_map(
+            |(src_shape, dst_shape, src_spec, dst_spec, tensor)| Problem {
+                src_shape,
+                dst_shape,
+                src_spec,
+                dst_spec,
+                tensor,
+            },
+        )
 }
 
 fn build(p: &Problem) -> (ClusterSpec, ReshardingTask) {
     let hosts = (p.src_shape.0 + p.dst_shape.0) as u32;
-    let cluster =
-        ClusterSpec::homogeneous(hosts, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+    let cluster = ClusterSpec::homogeneous(
+        hosts,
+        4,
+        LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+    );
     let src = DeviceMesh::from_cluster(&cluster, 0, p.src_shape, "src").unwrap();
     let dst = DeviceMesh::from_cluster(&cluster, p.src_shape.0, p.dst_shape, "dst").unwrap();
     let task = ReshardingTask::new(

@@ -11,7 +11,11 @@ use crossmesh::netsim::{ClusterSpec, LinkParams};
 /// Byte-scale bandwidths (NVLink 100 B/s, NIC 1 B/s) with zero latency so
 /// results are exact multiples of `t`.
 fn cluster(hosts: u32) -> ClusterSpec {
-    ClusterSpec::homogeneous(hosts, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+    ClusterSpec::homogeneous(
+        hosts,
+        4,
+        LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+    )
 }
 
 fn config() -> PlannerConfig {
@@ -179,7 +183,12 @@ fn meshes_sharing_hosts_but_not_devices_work() {
     let src = DeviceMesh::new(
         "src",
         (2, 2),
-        vec![c.device(0, 0), c.device(0, 1), c.device(1, 0), c.device(1, 1)],
+        vec![
+            c.device(0, 0),
+            c.device(0, 1),
+            c.device(1, 0),
+            c.device(1, 1),
+        ],
         vec![
             c.host_of(c.device(0, 0)),
             c.host_of(c.device(0, 1)),
@@ -191,7 +200,12 @@ fn meshes_sharing_hosts_but_not_devices_work() {
     let dst = DeviceMesh::new(
         "dst",
         (2, 2),
-        vec![c.device(0, 2), c.device(0, 3), c.device(1, 2), c.device(1, 3)],
+        vec![
+            c.device(0, 2),
+            c.device(0, 3),
+            c.device(1, 2),
+            c.device(1, 3),
+        ],
         vec![
             c.host_of(c.device(0, 2)),
             c.host_of(c.device(0, 3)),
