@@ -1,0 +1,32 @@
+//! Criterion bench timing the fault-degradation sweep (repair loop under
+//! injected flow drops and a sender-host crash).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossmesh_bench::faults;
+use crossmesh_core::{EnsemblePlanner, NaivePlanner, PlannerConfig};
+use crossmesh_models::presets;
+
+fn bench(c: &mut Criterion) {
+    let config = || PlannerConfig::new(presets::p3_cost_params());
+    let naive = NaivePlanner::new(config());
+    let ours = EnsemblePlanner::new(config());
+    let mut g = c.benchmark_group("fault_degradation");
+    g.sample_size(10);
+    for rate in faults::DROP_RATES {
+        let schedule = faults::drop_schedule(rate);
+        g.bench_function(format!("drop{:.0}%/naive", rate * 100.0), |b| {
+            b.iter(|| faults::measure(&naive, &schedule))
+        });
+        g.bench_function(format!("drop{:.0}%/ours", rate * 100.0), |b| {
+            b.iter(|| faults::measure(&ours, &schedule))
+        });
+    }
+    let crash = faults::crash_schedule();
+    g.bench_function("crash_h0/ours", |b| {
+        b.iter(|| faults::measure(&ours, &crash))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! | [`fig7`] | Figure 7 (+ Table 3) — end-to-end GPT / U-Transformer |
 //! | [`fig8`] | Figure 8 — load-balance ablation |
 //! | [`fig9`] | Figure 9 — overlap-friendly schedule ablation |
+//! | [`faults`] | extension — throughput vs injected fault rate (not in the paper) |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
 //! is a simulator, not the authors' AWS cluster — but the *shapes* (who
@@ -20,6 +21,7 @@
 
 pub mod ablations;
 pub mod cases;
+pub mod faults;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -23,6 +23,7 @@ use crossmesh_core::{
     dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner,
     PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
 };
+use crossmesh_faults::{execute_with_repair, FaultSchedule, RecoveryReport};
 use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::gpt::GptConfig;
 use crossmesh_models::utransformer::UTransformerConfig;
@@ -40,7 +41,7 @@ USAGE:
   crossmesh reshard  --src-spec <SPEC> --dst-spec <SPEC> --src-mesh <RxC> --dst-mesh <RxC>
                      --shape <AxBxC> [--elem-bytes N] [--strategy S] [--planner P]
                      [--backend B] [--seed N] [--inter-bw B] [--intra-bw B]
-                     [--verify] [--json]
+                     [--faults FILE] [--verify] [--json]
   crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
                      [--comm overlap|sync|signal] [--microbatches N] [--backend B] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
@@ -52,7 +53,9 @@ USAGE:
   backends:   sim (default, flow-level simulator) | threads (real multi-threaded
               execution) | tcp (threads + TCP loopback for inter-host flows)
   specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR
-  --seed:     RNG seed for the randomized-greedy planner (ours/greedy)";
+  --seed:     RNG seed for the randomized-greedy planner (ours/greedy)
+  --faults:   JSON fault schedule (crossmesh-faults format) injected into the
+              run; sender crashes trigger failover onto surviving replicas";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -195,9 +198,26 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     let config = PlannerConfig::new(params)
         .with_strategy(strategy_choice(args.get_or("strategy", "broadcast"))?);
     let planner = planner_for(args.get_or("planner", "ours"), config, seed)?;
-    let backend = backend_for(args.get_or("backend", "sim"))?;
+    let backend_name = args.get_or("backend", "sim");
+    let backend = backend_for(backend_name)?;
     let plan = planner.plan(&task);
-    let report = plan.execute_with(&*backend, &cluster)?;
+    let (report, recovery) = match args.get("faults") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --faults {path:?}: {e}"))?;
+            let schedule = FaultSchedule::from_json(&text)?;
+            let r: RecoveryReport = match backend_name {
+                "sim" => execute_with_repair(&plan, &cluster, &SimBackend, &schedule)?,
+                "threads" => {
+                    execute_with_repair(&plan, &cluster, &ThreadedBackend::threads(), &schedule)?
+                }
+                "tcp" => execute_with_repair(&plan, &cluster, &ThreadedBackend::tcp(), &schedule)?,
+                other => return Err(format!("unknown backend {other:?}").into()),
+            };
+            (r.report.clone(), Some(r))
+        }
+        None => (plan.execute_with(&*backend, &cluster)?, None),
+    };
 
     if let Some(path) = args.get("trace") {
         // Re-run the lowering to export a Chrome trace of the transfer
@@ -226,6 +246,15 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     };
 
     if args.has_flag("json") {
+        let faults = recovery.as_ref().map(|r| {
+            serde_json::json!({
+                "repaired": r.repaired,
+                "failovers": r.failovers,
+                "excluded_hosts": r.excluded_hosts.iter().map(|h| h.0).collect::<Vec<u32>>(),
+                "retries": r.retries,
+                "degraded_makespan_seconds": r.degraded_makespan,
+            })
+        });
         let out = serde_json::json!({
             "task": task.to_string(),
             "unit_tasks": task.units().len(),
@@ -237,6 +266,7 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
             "simulated_seconds": report.simulated_seconds,
             "cross_host_bytes": report.cross_host_bytes,
             "data_plane_verified": verified,
+            "faults": faults,
         });
         return Ok(serde_json::to_string_pretty(&out)?);
     }
@@ -253,6 +283,23 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
         plan.lower_bound(),
         report.cross_host_bytes / 1e6,
     );
+    if let Some(r) = &recovery {
+        if r.repaired {
+            let hosts: Vec<String> = r.excluded_hosts.iter().map(|h| h.to_string()).collect();
+            out.push_str(&format!(
+                "\nfaults: failed over {} unit tasks around {} ({} retries, degraded makespan {:.6}s)",
+                r.failovers,
+                hosts.join(","),
+                r.retries,
+                r.degraded_makespan.unwrap_or(report.simulated_seconds),
+            ));
+        } else {
+            out.push_str(&format!(
+                "\nfaults: absorbed {} retries, no failover needed",
+                r.retries
+            ));
+        }
+    }
     if verified == Some(true) {
         out.push_str("\ndata plane: verified — every destination tile correct");
     }
@@ -459,6 +506,57 @@ mod tests {
             assert!(v["simulated_seconds"].as_f64().unwrap() > 0.0);
             assert_eq!(v["total_bytes"].as_u64().unwrap(), 32 * 32 * 4);
         }
+    }
+
+    #[test]
+    fn reshard_with_faults_fails_over() {
+        use crossmesh_faults::FaultEvent;
+        let path = std::env::temp_dir().join("crossmesh_cli_faults_test.json");
+        let schedule = FaultSchedule::new(0).with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        std::fs::write(&path, schedule.to_json()).unwrap();
+        // RS1R: every slice replicated across both sender hosts, so the
+        // crash of host 0 is recoverable.
+        let json = run(toks(&format!(
+            "reshard --src-spec RS1R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 64x64x8 --faults {} --json",
+            path.display()
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["faults"]["repaired"].as_bool(), Some(true));
+        assert!(v["faults"]["failovers"].as_u64().unwrap() > 0);
+        assert_eq!(v["faults"]["excluded_hosts"][0].as_u64(), Some(0));
+        let text = run(toks(&format!(
+            "reshard --src-spec RS1R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 64x64x8 --faults {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(text.contains("failed over"), "got: {text}");
+        assert!(text.contains("h0"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reshard_with_faults_reports_data_loss() {
+        use crossmesh_faults::FaultEvent;
+        let path = std::env::temp_dir().join("crossmesh_cli_faults_loss_test.json");
+        let schedule = FaultSchedule::new(0).with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        std::fs::write(&path, schedule.to_json()).unwrap();
+        // S0RR: host 0 holds the only replica of its slices.
+        let err = run(toks(&format!(
+            "reshard --src-spec S0RR --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 64x64x8 --faults {}",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("data loss"), "got: {err}");
+        assert!(run(toks(
+            "reshard --src-spec S0R --dst-spec S0R --src-mesh 1x2 \
+             --dst-mesh 1x2 --shape 8x8 --faults /nonexistent/faults.json"
+        ))
+        .is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -32,14 +32,16 @@
 
 pub mod dataplane;
 
+mod exclusions;
 mod plan;
 mod planners;
 mod task;
 
+pub use exclusions::{RepairError, SenderExclusions};
 pub use plan::{Assignment, ExecutionReport, Plan};
 pub use planners::{
-    DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner, PlannerConfig,
-    RandomizedGreedyPlanner, StrategyChoice,
+    plan_with_exclusions, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner,
+    PlannerConfig, RandomizedGreedyPlanner, StrategyChoice,
 };
 pub use task::ReshardingTask;
 

@@ -1,6 +1,8 @@
 //! Plans: sender-assigned, ordered unit tasks, with estimation, lowering,
 //! and simulated execution.
 
+use crate::exclusions::{RepairError, SenderExclusions};
+use crate::planners::{plan_with_exclusions, replica_on, EnsemblePlanner, PlannerConfig};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::{
     estimate_unit_task, lower_unit_task, CostParams, LoweredComm, Strategy,
@@ -187,6 +189,93 @@ impl<'t> Plan<'t> {
         LoweredPlan { per_unit, done }
     }
 
+    /// Repairs the plan after sender failures: a new plan for the same
+    /// task that avoids every excluded sender.
+    ///
+    /// Two candidates are built and the one with the smaller analytic
+    /// [`estimate`](Plan::estimate) wins:
+    ///
+    /// * **patch** — assignments whose senders survive keep their slot;
+    ///   orphaned units are re-assigned with the LPT greedy on top of the
+    ///   surviving per-host load (fast, minimal churn);
+    /// * **replan** — the full ensemble planner re-runs on the filtered
+    ///   task (slower, but escapes a badly skewed surviving layout).
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::DataLoss`] if some unit task has no surviving
+    /// replica holder — the slice cannot be recovered from the source
+    /// mesh.
+    pub fn repair(&self, exclusions: &SenderExclusions) -> Result<Plan<'t>, RepairError> {
+        let filtered = self.task.excluding(exclusions)?;
+        if exclusions.is_empty() {
+            return Ok(self.clone());
+        }
+
+        // Patch candidate: keep surviving assignments (and their host
+        // loads), then place each orphan on the lightest surviving
+        // replica host, longest orphan first.
+        let mut load: BTreeMap<HostId, f64> = BTreeMap::new();
+        let mut patched = Vec::with_capacity(self.assignments.len());
+        let mut orphans = Vec::new();
+        for a in &self.assignments {
+            if exclusions.excludes(a.sender, a.sender_host) {
+                orphans.push(*a);
+            } else {
+                let unit = &self.task.units()[a.unit];
+                *load.entry(a.sender_host).or_insert(0.0) +=
+                    estimate_unit_task(&self.params, unit, a.sender_host, a.strategy);
+                patched.push(*a);
+            }
+        }
+        orphans.sort_by(|a, b| {
+            let units = filtered.units();
+            let best = |x: &Assignment| {
+                units[x.unit]
+                    .sender_hosts()
+                    .into_iter()
+                    .map(|h| estimate_unit_task(&self.params, &units[x.unit], h, x.strategy))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            best(b).total_cmp(&best(a)).then(a.unit.cmp(&b.unit))
+        });
+        for a in orphans {
+            let unit = &filtered.units()[a.unit];
+            let (host, duration) = unit
+                .sender_hosts()
+                .into_iter()
+                .map(|h| (h, estimate_unit_task(&self.params, unit, h, a.strategy)))
+                .min_by(|&(ha, da), &(hb, db)| {
+                    let la = load.get(&ha).copied().unwrap_or(0.0) + da;
+                    let lb = load.get(&hb).copied().unwrap_or(0.0) + db;
+                    la.total_cmp(&lb).then(ha.cmp(&hb))
+                })
+                .expect("excluding() guarantees a surviving replica");
+            *load.entry(host).or_insert(0.0) += duration;
+            patched.push(Assignment {
+                unit: a.unit,
+                sender: replica_on(unit, host),
+                sender_host: host,
+                strategy: a.strategy,
+            });
+        }
+        let patch = Plan::new(self.task, patched, self.params);
+
+        // Replan candidate: the ensemble planner from scratch on the
+        // filtered task.
+        let replan = plan_with_exclusions(
+            &EnsemblePlanner::new(PlannerConfig::new(self.params)),
+            self.task,
+            exclusions,
+        )?;
+
+        Ok(if patch.estimate() <= replan.estimate() {
+            patch
+        } else {
+            replan
+        })
+    }
+
     /// Executes the plan alone on `cluster` with the simulator backend and
     /// reports the simulated completion time.
     ///
@@ -336,6 +425,83 @@ mod tests {
         let i1 = trace.interval(lowered.per_unit[1].done);
         assert!(i0.overlaps(&i1) || i0.finish <= i1.start || i1.finish <= i0.start);
         assert!(trace.interval(lowered.done).finish > 0.0);
+    }
+
+    fn replicated_task() -> (ClusterSpec, ReshardingTask) {
+        let c =
+            ClusterSpec::homogeneous(4, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0));
+        let a = DeviceMesh::from_cluster(&c, 0, (2, 4), "A").unwrap();
+        let b = DeviceMesh::from_cluster(&c, 2, (2, 4), "B").unwrap();
+        // RS1R: every slice is replicated on both sender hosts, so one
+        // host can fail and the tensor is still recoverable.
+        let t = ReshardingTask::new(
+            a,
+            "RS1R".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[8, 8, 8],
+            1,
+        )
+        .unwrap();
+        (c, t)
+    }
+
+    #[test]
+    fn repair_routes_around_an_excluded_host() {
+        let (c, t) = replicated_task();
+        let plan = plan_for(&t);
+        let dead = HostId(0);
+        let e = crate::SenderExclusions::none().with_host(dead);
+        let repaired = plan.repair(&e).unwrap();
+        // Full coverage, no excluded senders.
+        assert_eq!(repaired.assignments().len(), t.units().len());
+        assert!(repaired.assignments().iter().all(|a| a.sender_host != dead));
+        // Still executable, end to end.
+        let report = repaired.execute(&c).unwrap();
+        assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn repair_with_no_exclusions_is_identity() {
+        let (_, t) = replicated_task();
+        let plan = plan_for(&t);
+        let repaired = plan.repair(&crate::SenderExclusions::none()).unwrap();
+        assert_eq!(repaired.assignments(), plan.assignments());
+    }
+
+    #[test]
+    fn repair_reports_data_loss_when_the_last_replica_dies() {
+        let (_, t) = setup();
+        // S0R source on a (2,2) mesh: each slice lives on one host only.
+        let plan = plan_for(&t);
+        let doomed = plan.assignments()[0].sender_host;
+        let e = crate::SenderExclusions::none().with_host(doomed);
+        let err = plan.repair(&e).unwrap_err();
+        assert!(matches!(err, crate::RepairError::DataLoss { .. }));
+    }
+
+    #[test]
+    fn repair_is_no_worse_than_dropping_to_one_host() {
+        // With host 0 gone, everything must go through host 1; the repair
+        // estimate must match that single-host serialization, not exceed
+        // it wildly.
+        let (_, t) = replicated_task();
+        let plan = plan_for(&t);
+        let e = crate::SenderExclusions::none().with_host(HostId(0));
+        let repaired = plan.repair(&e).unwrap();
+        let total: f64 = repaired
+            .assignments()
+            .iter()
+            .map(|a| {
+                estimate_unit_task(
+                    repaired.params(),
+                    &t.units()[a.unit],
+                    a.sender_host,
+                    a.strategy,
+                )
+            })
+            .sum();
+        assert!(repaired.estimate() <= total + 1e-9);
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub use greedy::RandomizedGreedyPlanner;
 pub use load_balance::LoadBalancePlanner;
 pub use naive::NaivePlanner;
 
+use crate::exclusions::{RepairError, SenderExclusions};
 use crate::plan::Plan;
 use crate::task::ReshardingTask;
 use crossmesh_collectives::{alpa_effective_strategy, CostParams, Strategy};
@@ -93,6 +94,28 @@ pub trait Planner {
     fn name(&self) -> &'static str;
 }
 
+/// Runs `planner` on the task with the excluded senders removed, then
+/// re-binds the resulting plan to the original task (every surviving
+/// sender is a replica of the original units, so the plan stays valid).
+///
+/// This is how any planner solves the §3.2 problem "with failed senders
+/// excluded from each N_i" without knowing about faults itself.
+///
+/// # Errors
+///
+/// [`RepairError::DataLoss`] if a unit task loses every replica holder.
+pub fn plan_with_exclusions<'t, P: Planner + ?Sized>(
+    planner: &P,
+    task: &'t ReshardingTask,
+    exclusions: &SenderExclusions,
+) -> Result<Plan<'t>, RepairError> {
+    let filtered = task.excluding(exclusions)?;
+    let plan = planner.plan(&filtered);
+    let assignments = plan.assignments().to_vec();
+    let params = *plan.params();
+    Ok(Plan::new(task, assignments, params))
+}
+
 /// The first replica device of `unit` on `host`.
 ///
 /// # Panics
@@ -172,6 +195,28 @@ mod tests {
             let d = replica_on(u, h);
             assert!(u.senders.iter().any(|&(dd, hh)| dd == d && hh == h));
         }
+    }
+
+    #[test]
+    fn plan_with_exclusions_avoids_the_excluded_host() {
+        let t = task("RS1R", "S0RR", &[8, 8, 8]);
+        let planner = EnsemblePlanner::new(config());
+        let dead = HostId(0);
+        let excl = SenderExclusions::none().with_host(dead);
+        let plan = plan_with_exclusions(&planner, &t, &excl).unwrap();
+        assert_eq!(plan.assignments().len(), t.units().len());
+        assert!(plan.assignments().iter().all(|a| a.sender_host != dead));
+        // The plan is bound to the ORIGINAL task.
+        assert!(std::ptr::eq(plan.task(), &t));
+    }
+
+    #[test]
+    fn plan_with_exclusions_reports_data_loss() {
+        let t = task("S0RR", "S0RR", &[8, 8, 8]);
+        let planner = NaivePlanner::new(config());
+        let excl = SenderExclusions::none().with_host(HostId(0));
+        let err = plan_with_exclusions(&planner, &t, &excl).unwrap_err();
+        assert!(matches!(err, RepairError::DataLoss { .. }));
     }
 
     #[test]

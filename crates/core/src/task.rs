@@ -1,5 +1,6 @@
 //! The full cross-mesh resharding problem instance.
 
+use crate::exclusions::{RepairError, SenderExclusions};
 use crossmesh_mesh::{unit_tasks, DeviceMesh, MeshError, ShardingSpec, UnitTask};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -89,6 +90,27 @@ impl ReshardingTask {
     pub fn total_bytes(&self) -> u64 {
         self.units.iter().map(|u| u.bytes).sum()
     }
+
+    /// The same task with the excluded senders removed from every unit
+    /// task's replica set `N_i` — the planning input after failures.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::DataLoss`] if some unit task loses its last replica
+    /// holder: the slice no longer exists anywhere on the source mesh.
+    pub fn excluding(&self, exclusions: &SenderExclusions) -> Result<ReshardingTask, RepairError> {
+        let mut filtered = self.clone();
+        if exclusions.is_empty() {
+            return Ok(filtered);
+        }
+        for unit in &mut filtered.units {
+            unit.senders.retain(|&(d, h)| !exclusions.excludes(d, h));
+            if unit.senders.is_empty() {
+                return Err(RepairError::DataLoss { unit: unit.index });
+            }
+        }
+        Ok(filtered)
+    }
 }
 
 impl fmt::Display for ReshardingTask {
@@ -132,6 +154,54 @@ mod tests {
         assert_eq!(t.units().len(), 2);
         assert_eq!(t.total_bytes(), 64 * 64 * 64 * 4);
         assert!(t.to_string().contains("2 units"));
+    }
+
+    #[test]
+    fn excluding_filters_replica_sets() {
+        let (_, a, b) = setup();
+        // RS1R: each slice replicated across both sender-mesh rows
+        // (hosts 0 and 1), so excluding one host leaves a replica.
+        let t = ReshardingTask::new(
+            a,
+            "RS1R".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[8, 8, 8],
+            1,
+        )
+        .unwrap();
+        let e = SenderExclusions::none().with_host(crossmesh_netsim::HostId(0));
+        let filtered = t.excluding(&e).unwrap();
+        for unit in filtered.units() {
+            assert!(!unit.senders.is_empty());
+            assert!(unit
+                .senders
+                .iter()
+                .all(|&(_, h)| h != crossmesh_netsim::HostId(0)));
+        }
+        // The unfiltered task is untouched.
+        assert!(t.units().iter().any(|u| u
+            .senders
+            .iter()
+            .any(|&(_, h)| h == crossmesh_netsim::HostId(0))));
+    }
+
+    #[test]
+    fn excluding_every_replica_is_data_loss() {
+        let (_, a, b) = setup();
+        // S0RR: each slice lives on exactly one sender host.
+        let t = ReshardingTask::new(
+            a,
+            "S0RR".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[8, 8, 8],
+            1,
+        )
+        .unwrap();
+        let e = SenderExclusions::none().with_host(crossmesh_netsim::HostId(0));
+        let err = t.excluding(&e).unwrap_err();
+        assert!(matches!(err, RepairError::DataLoss { .. }));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Fault-tolerant execution: run a plan, and on sender failure repair it
+//! around the crashed hosts and re-run.
+//!
+//! [`execute_with_repair`] is the recovery loop: execute under the
+//! injected schedule; if the run fails, exclude every crashed host, ask
+//! [`Plan::repair`] for a failover plan (surviving replicas take over the
+//! orphaned unit tasks), and re-execute under the post-failover schedule
+//! ([`FaultSchedule::without_crashes`]). Receiver-host crashes are out of
+//! scope — the destination mesh must survive; only senders fail over.
+
+use crate::backend::FaultInjectable;
+use crate::schedule::FaultSchedule;
+use crossmesh_core::{ExecutionReport, Plan, RepairError, SenderExclusions};
+use crossmesh_netsim::{ClusterSpec, FailureKind, HostId, SimError, TaskGraph, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why fault-tolerant execution gave up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The backend failed in a way failover cannot route around (for
+    /// example a drop storm past the retry budget with no crashed host to
+    /// exclude, or a failure that persisted after repair).
+    Sim(SimError),
+    /// The plan could not be repaired: some slice lost every replica.
+    Repair(RepairError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Sim(e) => write!(f, "unrecoverable execution failure: {e}"),
+            RecoveryError::Repair(e) => write!(f, "unrepairable plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Sim(e) => Some(e),
+            RecoveryError::Repair(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for RecoveryError {
+    fn from(e: SimError) -> Self {
+        RecoveryError::Sim(e)
+    }
+}
+
+impl From<RepairError> for RecoveryError {
+    fn from(e: RepairError) -> Self {
+        RecoveryError::Repair(e)
+    }
+}
+
+/// The outcome of a fault-tolerant execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The report of the run that delivered the tensor (the repaired run
+    /// if failover happened).
+    pub report: ExecutionReport,
+    /// True if the first attempt failed and a repaired plan was executed.
+    pub repaired: bool,
+    /// Unit tasks whose sender changed between the original and the
+    /// repaired plan.
+    pub failovers: usize,
+    /// Hosts excluded from sending after the first attempt failed.
+    pub excluded_hosts: Vec<HostId>,
+    /// End-to-end completion time including the wasted first attempt,
+    /// seconds; `None` when the first attempt was clean and undegraded.
+    pub degraded_makespan: Option<f64>,
+    /// Flow re-transmissions absorbed across both attempts.
+    pub retries: u64,
+}
+
+/// Converts a trace with failed tasks into the error
+/// [`FaultyBackend`](crate::FaultyBackend) would raise, so trace-style
+/// (simulator) and abort-style (runtime) backends report failures
+/// identically here.
+fn failed_trace_error(
+    backend: &'static str,
+    schedule: &FaultSchedule,
+    trace: &Trace,
+    graph_len: usize,
+) -> SimError {
+    let task = *trace
+        .failed_tasks()
+        .first()
+        .expect("caller checked failed_tasks is non-empty");
+    let kind = if schedule.crashed_hosts().is_empty() {
+        FailureKind::RetriesExhausted
+    } else {
+        FailureKind::HostCrash
+    };
+    SimError::TaskFailed {
+        backend,
+        task,
+        kind,
+        detail: format!(
+            "{} of {} tasks failed under the injected schedule",
+            trace.failed_tasks().len(),
+            graph_len
+        ),
+    }
+}
+
+/// Executes `plan` under `schedule`; on failure, repairs the plan around
+/// the schedule's crashed hosts and re-runs it with the crashes removed.
+///
+/// The returned [`RecoveryReport`] describes the run that delivered the
+/// tensor, plus the degradation accounting: how many unit tasks failed
+/// over, how many flow retries were absorbed, and the end-to-end
+/// makespan including the wasted first attempt.
+///
+/// # Errors
+///
+/// * [`RecoveryError::Repair`] if some slice lost every replica holder
+///   (data loss — failover is impossible);
+/// * [`RecoveryError::Sim`] if the failure is not attributable to a
+///   crashed host (nothing to exclude), if the repaired run fails again,
+///   or on any non-fault backend error.
+pub fn execute_with_repair<B: FaultInjectable>(
+    plan: &Plan<'_>,
+    cluster: &ClusterSpec,
+    backend: &B,
+    schedule: &FaultSchedule,
+) -> Result<RecoveryReport, RecoveryError> {
+    let mut graph = TaskGraph::new();
+    let lowered = plan.lower(&mut graph, &[]);
+    let (wasted, mut retries, failure) =
+        match backend.execute_with_faults(cluster, &graph, schedule) {
+            Ok(trace) if trace.failed_tasks().is_empty() => {
+                let stats = trace.fault_stats();
+                return Ok(RecoveryReport {
+                    report: ExecutionReport {
+                        simulated_seconds: trace.interval(lowered.done).finish,
+                        cross_host_bytes: trace.usage().total_cross_host_bytes(),
+                        tasks_lowered: graph.len(),
+                    },
+                    repaired: false,
+                    failovers: 0,
+                    excluded_hosts: Vec::new(),
+                    degraded_makespan: stats.degraded_makespan,
+                    retries: stats.retries,
+                });
+            }
+            // The simulator completes a faulted run and reports failed
+            // tasks in the trace; its partial makespan is wasted time.
+            Ok(trace) => {
+                let failure = failed_trace_error(backend.name(), schedule, &trace, graph.len());
+                (trace.makespan(), trace.fault_stats().retries, failure)
+            }
+            // The runtime aborts on the first failure; no usable clock.
+            Err(e @ SimError::TaskFailed { .. }) => (0.0, 0, e),
+            Err(e) => return Err(RecoveryError::Sim(e)),
+        };
+
+    let excluded_hosts = schedule.crashed_hosts();
+    if excluded_hosts.is_empty() {
+        // Failover routes around crashed hosts. A failure with no crash in
+        // the schedule (a drop storm past the retry budget) would recur on
+        // any repaired plan, so report it instead of looping.
+        return Err(RecoveryError::Sim(failure));
+    }
+    let exclusions = SenderExclusions::for_hosts(excluded_hosts.iter().copied());
+    let repaired = plan.repair(&exclusions)?;
+
+    let mut graph = TaskGraph::new();
+    let lowered = repaired.lower(&mut graph, &[]);
+    let retry_schedule = schedule.without_crashes();
+    let trace = backend.execute_with_faults(cluster, &graph, &retry_schedule)?;
+    if !trace.failed_tasks().is_empty() {
+        return Err(RecoveryError::Sim(failed_trace_error(
+            backend.name(),
+            &retry_schedule,
+            &trace,
+            graph.len(),
+        )));
+    }
+    retries += trace.fault_stats().retries;
+
+    let original: BTreeMap<usize, _> = plan
+        .assignments()
+        .iter()
+        .map(|a| (a.unit, a.sender))
+        .collect();
+    let failovers = repaired
+        .assignments()
+        .iter()
+        .filter(|a| original.get(&a.unit) != Some(&a.sender))
+        .count();
+    let finish = trace.interval(lowered.done).finish;
+    Ok(RecoveryReport {
+        report: ExecutionReport {
+            simulated_seconds: finish,
+            cross_host_bytes: trace.usage().total_cross_host_bytes(),
+            tasks_lowered: graph.len(),
+        },
+        repaired: true,
+        failovers,
+        excluded_hosts,
+        degraded_makespan: Some(wasted + finish),
+        retries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultEvent;
+    use crossmesh_core::{
+        CostParams, DeviceMesh, EnsemblePlanner, Planner, PlannerConfig, ReshardingTask,
+    };
+    use crossmesh_netsim::{LinkParams, SimBackend};
+    use crossmesh_runtime::ThreadedBackend;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(5, 4, LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0))
+    }
+
+    /// A task whose every slice is replicated across both sender hosts, so
+    /// one sender-host crash is always recoverable.
+    fn replicated_task(c: &ClusterSpec) -> ReshardingTask {
+        let a = DeviceMesh::from_cluster(c, 0, (2, 4), "A").unwrap();
+        let b = DeviceMesh::from_cluster(c, 2, (2, 4), "B").unwrap();
+        ReshardingTask::new(
+            a,
+            "RS1R".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[8, 8, 8],
+            1,
+        )
+        .unwrap()
+    }
+
+    /// A task where each slice lives on exactly one sender host.
+    fn unreplicated_task(c: &ClusterSpec) -> ReshardingTask {
+        let a = DeviceMesh::from_cluster(c, 0, (2, 4), "A").unwrap();
+        let b = DeviceMesh::from_cluster(c, 2, (2, 4), "B").unwrap();
+        ReshardingTask::new(
+            a,
+            "S0RR".parse().unwrap(),
+            b,
+            "S0RR".parse().unwrap(),
+            &[8, 8, 8],
+            1,
+        )
+        .unwrap()
+    }
+
+    fn config() -> PlannerConfig {
+        PlannerConfig::new(CostParams {
+            inter_bw: 1.0,
+            intra_bw: 100.0,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+        })
+    }
+
+    #[test]
+    fn a_clean_run_is_not_repaired() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let r = execute_with_repair(&plan, &c, &SimBackend, &FaultSchedule::new(0)).unwrap();
+        assert!(!r.repaired);
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.retries, 0);
+        assert!(r.degraded_makespan.is_none());
+        assert!(r.report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn a_crashed_sender_fails_over_on_the_simulator() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let schedule = FaultSchedule::new(0).with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        let r = execute_with_repair(&plan, &c, &SimBackend, &schedule).unwrap();
+        assert!(r.repaired);
+        assert_eq!(r.excluded_hosts, vec![HostId(0)]);
+        assert!(r.failovers > 0);
+        let degraded = r.degraded_makespan.unwrap();
+        assert!(degraded >= r.report.simulated_seconds);
+    }
+
+    #[test]
+    fn a_crashed_sender_fails_over_on_the_runtime() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let schedule = FaultSchedule::new(0)
+            .with_retry_policy(1, 1e-4)
+            .with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        let r = execute_with_repair(&plan, &c, &ThreadedBackend::threads(), &schedule).unwrap();
+        assert!(r.repaired);
+        assert_eq!(r.excluded_hosts, vec![HostId(0)]);
+        assert!(r.failovers > 0);
+    }
+
+    #[test]
+    fn losing_every_replica_is_data_loss() {
+        let c = cluster();
+        let t = unreplicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let schedule = FaultSchedule::new(0).with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        let err = execute_with_repair(&plan, &c, &SimBackend, &schedule).unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::Repair(RepairError::DataLoss { .. })
+        ));
+        assert!(err.to_string().contains("data loss"));
+    }
+
+    #[test]
+    fn a_drop_storm_past_the_retry_budget_is_unrecoverable() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        // p = 0.99 with a zero-retry budget: some flow's first attempt is
+        // dropped (deterministically, given the seed) and there is no
+        // crashed host to fail over from.
+        let schedule = FaultSchedule::new(1)
+            .with_retry_policy(0, 1e-4)
+            .with_event(FaultEvent::FlowDrop { prob: 0.99 });
+        let err = execute_with_repair(&plan, &c, &SimBackend, &schedule).unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::Sim(SimError::TaskFailed {
+                kind: FailureKind::RetriesExhausted,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn retries_within_budget_are_absorbed_and_counted() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let schedule = FaultSchedule::new(1)
+            .with_retry_policy(8, 1e-6)
+            .with_event(FaultEvent::FlowDrop { prob: 0.2 });
+        let r = execute_with_repair(&plan, &c, &SimBackend, &schedule).unwrap();
+        assert!(!r.repaired);
+        assert!(r.retries > 0);
+    }
+}

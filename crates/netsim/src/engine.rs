@@ -9,11 +9,12 @@
 //! of active flows changes.
 
 use crate::error::SimError;
+use crate::faults::Disruptions;
 use crate::graph::{TaskGraph, TaskId, Work};
-use crate::topology::{ClusterSpec, DeviceId};
-use crate::trace::{ResourceUsage, TaskInterval, Trace};
+use crate::topology::{ClusterSpec, DeviceId, HostId};
+use crate::trace::{FaultStats, ResourceUsage, TaskInterval, Trace};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Relative tolerance used to decide simultaneity of events and saturation
 /// of resources.
@@ -33,6 +34,17 @@ enum EventKind {
     ComputeDone(TaskId),
     /// The fixed latency of a flow elapsed; the flow starts draining bytes.
     FlowLatencyDone(TaskId),
+    /// An injected fault fires; the payload indexes `Run::fault_actions`.
+    Fault(usize),
+}
+
+/// A scheduled state change injected by [`Disruptions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultAction {
+    /// The host dies: everything on it or flowing through it fails.
+    HostDown(HostId),
+    /// The host's NIC send/recv capacity becomes `base * scale`.
+    SetNicScale(HostId, f64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +124,34 @@ impl<'a> Engine<'a> {
     /// progress (impossible for graphs built through [`TaskGraph::add`],
     /// which are acyclic by construction).
     pub fn run(&self, graph: &TaskGraph) -> Result<Trace, SimError> {
-        Run::new(self.cluster, graph)?.execute()
+        Run::new(self.cluster, graph, &Disruptions::none())?.execute()
+    }
+
+    /// Runs `graph` under the given injected [`Disruptions`].
+    ///
+    /// Faults do not abort the run: a task on a crashed host (or a flow
+    /// whose retries ran out) *fails*, the failure poisons every task
+    /// depending on it, and the run completes with the failed set reported
+    /// via [`Trace::failed_tasks`]. Retries and dropped flows are counted
+    /// in [`Trace::fault_stats`]. The engine stays fully deterministic:
+    /// identical graph + disruptions produce identical traces.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disruptions` fails [`Disruptions::validate`].
+    pub fn run_with_disruptions(
+        &self,
+        graph: &TaskGraph,
+        disruptions: &Disruptions,
+    ) -> Result<Trace, SimError> {
+        if let Err(why) = disruptions.validate() {
+            panic!("invalid disruptions: {why}");
+        }
+        Run::new(self.cluster, graph, disruptions)?.execute()
     }
 }
 
@@ -141,10 +180,34 @@ struct Run<'a> {
     /// Capacity of each resource: device send, device recv, host send,
     /// host recv (indexed contiguously).
     capacities: Vec<f64>,
+
+    // --- fault injection state (all neutral for a clean run) ---
+    /// Scheduled state changes, indexed by `EventKind::Fault` payloads.
+    fault_actions: Vec<FaultAction>,
+    /// Which hosts have crashed so far.
+    host_dead: Vec<bool>,
+    /// The compute task currently executing on each device, if any.
+    running_on: Vec<Option<TaskId>>,
+    /// Per-device compute slowdown factor (1.0 = nominal).
+    compute_scale: Vec<f64>,
+    /// Remaining injected transmission drops per flow task.
+    drops_left: BTreeMap<u32, u32>,
+    /// Re-transmissions already performed per flow task.
+    attempts: BTreeMap<u32, u32>,
+    retry_backoff: f64,
+    max_retries: u32,
+    /// Tasks that failed (directly or by poisoned dependency).
+    failed: Vec<bool>,
+    failed_tasks: Vec<TaskId>,
+    stats: FaultStats,
 }
 
 impl<'a> Run<'a> {
-    fn new(cluster: &'a ClusterSpec, graph: &'a TaskGraph) -> Result<Self, SimError> {
+    fn new(
+        cluster: &'a ClusterSpec,
+        graph: &'a TaskGraph,
+        disruptions: &Disruptions,
+    ) -> Result<Self, SimError> {
         let n = graph.len();
         let mut pending_deps = vec![0usize; n];
         let mut dependents = vec![Vec::new(); n];
@@ -192,7 +255,14 @@ impl<'a> Run<'a> {
             capacities[2 * d + h + host] = bw; // host recv
         }
 
-        Ok(Run {
+        let mut compute_scale = vec![1.0f64; d];
+        for &(device, factor) in &disruptions.compute_slowdown {
+            if cluster.contains(device) {
+                compute_scale[device.0 as usize] *= factor;
+            }
+        }
+
+        let mut run = Run {
             cluster,
             graph,
             pending_deps,
@@ -215,7 +285,46 @@ impl<'a> Run<'a> {
             flows: Vec::new(),
             rates_dirty: false,
             capacities,
-        })
+            fault_actions: Vec::new(),
+            host_dead: vec![false; h],
+            running_on: vec![None; d],
+            compute_scale,
+            drops_left: disruptions
+                .flow_drops
+                .iter()
+                .filter(|&(_, &k)| k > 0)
+                .map(|(&t, &k)| (t, k))
+                .collect(),
+            attempts: BTreeMap::new(),
+            retry_backoff: disruptions.retry_backoff,
+            max_retries: disruptions.max_retries,
+            failed: vec![false; n],
+            failed_tasks: Vec::new(),
+            stats: FaultStats::default(),
+        };
+
+        // Schedule timed fault actions before any task event so that, at
+        // equal times, the fault applies first (lower sequence numbers win).
+        for &(host, at) in &disruptions.host_down {
+            if (host.0 as usize) < run.host_dead.len() {
+                let idx = run.fault_actions.len();
+                run.fault_actions.push(FaultAction::HostDown(host));
+                run.push_event(at, EventKind::Fault(idx));
+            }
+        }
+        for p in &disruptions.nic_scale {
+            if (p.host.0 as usize) < run.host_dead.len() {
+                let idx = run.fault_actions.len();
+                run.fault_actions
+                    .push(FaultAction::SetNicScale(p.host, p.factor));
+                run.push_event(p.from, EventKind::Fault(idx));
+                let idx = run.fault_actions.len();
+                run.fault_actions
+                    .push(FaultAction::SetNicScale(p.host, 1.0));
+                run.push_event(p.until, EventKind::Fault(idx));
+            }
+        }
+        Ok(run)
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
@@ -224,11 +333,44 @@ impl<'a> Run<'a> {
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
+    /// Fails `task` at the current time: it is marked failed (poisoning
+    /// every dependent) and completes instantly with a zero-length
+    /// interval, so the run still terminates and reports the damage.
+    fn fail_task(&mut self, task: TaskId, completions: &mut Vec<TaskId>) {
+        self.intervals[task.0 as usize].start = self.time;
+        self.failed[task.0 as usize] = true;
+        self.failed_tasks.push(task);
+        completions.push(task);
+    }
+
+    /// True if `host` has crashed.
+    fn is_dead(&self, host: HostId) -> bool {
+        self.host_dead[host.0 as usize]
+    }
+
     /// Marks `task` ready at the current time: markers complete instantly
     /// (cascading), compute tasks enter their device queue, flows enter
-    /// their latency phase.
+    /// their latency phase. Under fault injection, a task whose dependency
+    /// failed — or that needs a crashed host — fails instead.
     fn make_ready(&mut self, task: TaskId, completions: &mut Vec<TaskId>) {
         let t = self.graph.task(task);
+        if t.deps.iter().any(|d| self.failed[d.0 as usize]) {
+            self.fail_task(task, completions);
+            return;
+        }
+        let needs_dead_host = match t.work {
+            Work::Compute { device, .. } | Work::ComputeFlops { device, .. } => {
+                self.is_dead(self.cluster.host_of(device))
+            }
+            Work::Flow { src, dst, .. } => {
+                self.is_dead(self.cluster.host_of(src)) || self.is_dead(self.cluster.host_of(dst))
+            }
+            Work::Marker => false,
+        };
+        if needs_dead_host {
+            self.fail_task(task, completions);
+            return;
+        }
         self.intervals[task.0 as usize].start = self.time;
         match t.work {
             Work::Marker => completions.push(task),
@@ -258,6 +400,11 @@ impl<'a> Run<'a> {
         let Work::Flow { src, dst, bytes } = self.graph.task(task).work else {
             unreachable!("latency event for a non-flow task");
         };
+        // A host crash between readiness and activation kills the flow.
+        if self.is_dead(self.cluster.host_of(src)) || self.is_dead(self.cluster.host_of(dst)) {
+            self.fail_task(task, completions);
+            return;
+        }
         if bytes <= 0.0 {
             completions.push(task);
             return;
@@ -305,12 +452,64 @@ impl<'a> Run<'a> {
                         flops / self.cluster.host(self.cluster.host_of(device)).device_flops
                     }
                     _ => unreachable!("non-compute task in device queue"),
-                };
+                } * self.compute_scale[dev];
                 // The task may have been queued earlier than now; it starts
                 // executing when the device picks it up.
                 self.intervals[q.task.0 as usize].start =
                     self.intervals[q.task.0 as usize].start.max(self.time);
+                self.running_on[dev] = Some(q.task);
                 self.push_event(self.time + seconds, EventKind::ComputeDone(q.task));
+            }
+        }
+    }
+
+    /// Applies a scheduled fault action at the current time.
+    fn apply_fault(&mut self, action: FaultAction, completions: &mut Vec<TaskId>) {
+        let d = self.cluster.num_devices() as usize;
+        let h = self.cluster.num_hosts() as usize;
+        match action {
+            FaultAction::SetNicScale(host, scale) => {
+                let base = self.cluster.host(host).links.inter_host_bw;
+                self.capacities[2 * d + host.0 as usize] = base * scale;
+                self.capacities[2 * d + h + host.0 as usize] = base * scale;
+                self.rates_dirty = true;
+            }
+            FaultAction::HostDown(host) => {
+                if self.host_dead[host.0 as usize] {
+                    return;
+                }
+                self.host_dead[host.0 as usize] = true;
+                // Kill active flows touching the host.
+                let mut i = 0;
+                while i < self.flows.len() {
+                    let fails = match self.graph.task(self.flows[i].task).work {
+                        Work::Flow { src, dst, .. } => {
+                            self.cluster.host_of(src) == host || self.cluster.host_of(dst) == host
+                        }
+                        _ => false,
+                    };
+                    if fails {
+                        let task = self.flows[i].task;
+                        self.flows.swap_remove(i);
+                        self.rates_dirty = true;
+                        self.fail_task(task, completions);
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Kill running and queued computes on the host's devices.
+                let devices: Vec<DeviceId> = self.cluster.devices_on(host).collect();
+                for dev in devices {
+                    let dev = dev.0 as usize;
+                    if let Some(task) = self.running_on[dev].take() {
+                        self.fail_task(task, completions);
+                    }
+                    // Leave the device marked busy so nothing dispatches.
+                    self.device_busy[dev] = true;
+                    while let Some(Reverse(q)) = self.device_queue[dev].pop() {
+                        self.fail_task(q.task, completions);
+                    }
+                }
             }
         }
     }
@@ -458,7 +657,11 @@ impl<'a> Run<'a> {
                     let task = f.task;
                     self.flows.swap_remove(i);
                     self.rates_dirty = true;
-                    completions.push(task);
+                    if self.drops_left.get(&task.0).copied().unwrap_or(0) > 0 {
+                        self.handle_dropped_flow(task, &mut completions);
+                    } else {
+                        completions.push(task);
+                    }
                 } else {
                     i += 1;
                 }
@@ -468,6 +671,10 @@ impl<'a> Run<'a> {
                     self.events.pop();
                     match e.kind {
                         EventKind::ComputeDone(task) => {
+                            // Skip tasks already failed by a host crash.
+                            if self.done[task.0 as usize] {
+                                continue;
+                            }
                             let device = self
                                 .graph
                                 .task(task)
@@ -475,10 +682,15 @@ impl<'a> Run<'a> {
                                 .compute_device()
                                 .expect("compute event for non-compute task");
                             self.device_busy[device.0 as usize] = false;
+                            self.running_on[device.0 as usize] = None;
                             completions.push(task);
                         }
                         EventKind::FlowLatencyDone(task) => {
                             self.activate_flow(task, &mut completions);
+                        }
+                        EventKind::Fault(idx) => {
+                            let action = self.fault_actions[idx];
+                            self.apply_fault(action, &mut completions);
                         }
                     }
                 } else {
@@ -487,7 +699,46 @@ impl<'a> Run<'a> {
             }
         }
 
-        Ok(Trace::new(self.intervals, self.usage))
+        self.failed_tasks.sort_unstable();
+        self.failed_tasks.dedup();
+        Ok(Trace::faulted(
+            self.intervals,
+            self.usage,
+            self.stats,
+            self.failed_tasks,
+        ))
+    }
+
+    /// The transmission that just drained was an injected drop: retry with
+    /// exponential backoff, or fail the flow once the budget is spent.
+    fn handle_dropped_flow(&mut self, task: TaskId, completions: &mut Vec<TaskId>) {
+        let attempts = self.attempts.get(&task.0).copied().unwrap_or(0);
+        if attempts >= self.max_retries {
+            self.drops_left.remove(&task.0);
+            self.stats.dropped_flows += 1;
+            self.fail_task(task, completions);
+            return;
+        }
+        let left = self
+            .drops_left
+            .get_mut(&task.0)
+            .expect("drop count present");
+        *left -= 1;
+        if *left == 0 {
+            self.drops_left.remove(&task.0);
+        }
+        self.attempts.insert(task.0, attempts + 1);
+        self.stats.retries += 1;
+        // The re-transmission re-sends every byte across the NICs.
+        if let Work::Flow { src, dst, bytes } = self.graph.task(task).work {
+            let src_host = self.cluster.host_of(src);
+            let dst_host = self.cluster.host_of(dst);
+            if src_host != dst_host {
+                self.usage.record(src_host, dst_host, bytes);
+            }
+        }
+        let backoff = self.retry_backoff * f64::powi(2.0, attempts as i32);
+        self.push_event(self.time + backoff, EventKind::FlowLatencyDone(task));
     }
 }
 
@@ -811,5 +1062,172 @@ mod tests {
         let t1 = Engine::new(&c).run(&g).unwrap();
         let t2 = Engine::new(&c).run(&g).unwrap();
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn clean_run_has_clean_fault_stats() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(c.device(0, 0), c.device(1, 0), 5.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!(t.fault_stats().is_clean());
+        assert!(t.failed_tasks().is_empty());
+    }
+
+    #[test]
+    fn nic_degradation_slows_a_flow_mid_transfer() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        // 8 bytes at 1 B/s; the NIC runs at 25% during [2, 6]: 2 bytes by
+        // t=2, 1 byte over [2, 6], remaining 5 bytes after recovery → 11 s.
+        g.add(Work::flow(c.device(0, 0), c.device(1, 0), 8.0), []);
+        let mut d = Disruptions::none();
+        d.nic_scale.push(crate::NicScalePeriod {
+            host: crate::HostId(0),
+            factor: 0.25,
+            from: 2.0,
+            until: 6.0,
+        });
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert!((t.makespan() - 11.0).abs() < 1e-9, "got {}", t.makespan());
+        assert!(t.failed_tasks().is_empty());
+    }
+
+    #[test]
+    fn straggler_slows_compute_on_one_device() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let slow = g.add(Work::compute(c.device(0, 0), 1.0), []);
+        let fast = g.add(Work::compute(c.device(0, 1), 1.0), []);
+        let mut d = Disruptions::none();
+        d.compute_slowdown.push((c.device(0, 0), 3.0));
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert!((t.interval(slow).finish - 3.0).abs() < 1e-9);
+        assert!((t.interval(fast).finish - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_crash_fails_tasks_and_poisons_dependents() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        // A long flow out of host 0, a dependent compute on host 1, and an
+        // unrelated compute on host 1 that must survive.
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 10.0), []);
+        let dep = g.add(Work::compute(c.device(1, 0), 1.0), [f]);
+        let ok = g.add(Work::compute(c.device(1, 1), 2.0), []);
+        let mut d = Disruptions::none();
+        d.host_down.push((crate::HostId(0), 3.0));
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert_eq!(t.failed_tasks(), &[f, dep]);
+        assert!((t.interval(f).finish - 3.0).abs() < 1e-9, "dies at crash");
+        assert!((t.interval(ok).finish - 2.0).abs() < 1e-9, "survivor runs");
+    }
+
+    #[test]
+    fn host_crash_kills_running_compute() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let doomed = g.add(Work::compute(c.device(0, 0), 5.0), []);
+        let mut d = Disruptions::none();
+        d.host_down.push((crate::HostId(0), 1.0));
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert_eq!(t.failed_tasks(), &[doomed]);
+        assert!((t.interval(doomed).finish - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_arriving_after_a_crash_fail_immediately() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let a = g.add(Work::compute(c.device(1, 0), 2.0), []);
+        let late = g.add(Work::compute(c.device(0, 0), 1.0), [a]);
+        let mut d = Disruptions::none();
+        d.host_down.push((crate::HostId(0), 1.0));
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert_eq!(t.failed_tasks(), &[late]);
+        assert!((t.interval(late).start - 2.0).abs() < 1e-9);
+        assert!((t.interval(late).finish - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_drops_retry_with_backoff() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        // 2 bytes at 1 B/s, dropped twice: transfers at [0,2], [2+b,4+b],
+        // [4+3b, 6+3b] with b = 1 s backoff doubling per attempt.
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        let mut d = Disruptions::none();
+        d.flow_drops.insert(f.0, 2);
+        d.retry_backoff = 1.0;
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert!((t.makespan() - 9.0).abs() < 1e-9, "got {}", t.makespan());
+        assert_eq!(t.fault_stats().retries, 2);
+        assert!(t.failed_tasks().is_empty());
+        // Every transmission re-sends the bytes across the NIC.
+        assert_eq!(t.usage().total_cross_host_bytes(), 6.0);
+    }
+
+    #[test]
+    fn drops_beyond_the_retry_budget_fail_the_flow() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        let dep = g.add(Work::compute(c.device(1, 0), 1.0), [f]);
+        let mut d = Disruptions::none();
+        d.flow_drops.insert(f.0, 5);
+        d.max_retries = 2;
+        d.retry_backoff = 0.5;
+        let t = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert_eq!(t.failed_tasks(), &[f, dep]);
+        assert_eq!(t.fault_stats().retries, 2);
+        assert_eq!(t.fault_stats().dropped_flows, 1);
+    }
+
+    #[test]
+    fn disrupted_runs_are_deterministic() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for i in 0..8 {
+            let src = c.device(0, i % 2);
+            let dst = c.device(1, (i + 1) % 2);
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(g.add(Work::flow(src, dst, 1.0 + i as f64), deps));
+        }
+        let mut d = Disruptions::none();
+        d.nic_scale.push(crate::NicScalePeriod {
+            host: crate::HostId(0),
+            factor: 0.5,
+            from: 1.0,
+            until: 4.0,
+        });
+        d.flow_drops.insert(2, 1);
+        d.host_down.push((crate::HostId(1), 20.0));
+        let t1 = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        let t2 = Engine::new(&c).run_with_disruptions(&g, &d).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn empty_disruptions_match_a_plain_run() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(c.device(0, 0), c.device(1, 0), 3.0), []);
+        g.add(Work::compute(c.device(0, 0), 1.0), []);
+        let plain = Engine::new(&c).run(&g).unwrap();
+        let faulted = Engine::new(&c)
+            .run_with_disruptions(&g, &Disruptions::none())
+            .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid disruptions")]
+    fn invalid_disruptions_panic() {
+        let c = two_hosts();
+        let g = TaskGraph::new();
+        let mut d = Disruptions::none();
+        d.host_down.push((crate::HostId(0), f64::NAN));
+        let _ = Engine::new(&c).run_with_disruptions(&g, &d);
     }
 }

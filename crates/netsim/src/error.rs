@@ -23,13 +23,58 @@ pub enum SimError {
         remaining: usize,
     },
     /// A real-execution backend failed outside the simulated model (thread
-    /// panic, socket error, payload mismatch, ...).
+    /// panic, socket error, payload mismatch, ...) in a way that cannot be
+    /// pinned on a single task. Task-attributable failures use
+    /// [`SimError::TaskFailed`] instead.
     Backend {
         /// Which backend failed (see [`Backend::name`](crate::Backend::name)).
         backend: &'static str,
         /// Human-readable failure description.
         message: String,
     },
+    /// A specific task failed — under fault injection (a crashed host, a
+    /// flow whose retries ran out) or a structural problem the backend can
+    /// attribute to one task. Carries a [`FailureKind`] so callers can
+    /// distinguish transport trouble from graph/setup mistakes.
+    TaskFailed {
+        /// Which backend reported the failure.
+        backend: &'static str,
+        /// The task that failed.
+        task: TaskId,
+        /// Broad class of the failure.
+        kind: FailureKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Broad classification of a task-attributable failure, used by
+/// [`SimError::TaskFailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// The transport layer failed: socket errors, truncated frames,
+    /// byte-count mismatches, hung-up channels.
+    Transport,
+    /// The task graph or its routing was wrong: a task queued on the wrong
+    /// worker, a frame addressed to a non-flow task.
+    Graph,
+    /// The task ran on (or sent to) a host taken down by fault injection.
+    HostCrash,
+    /// An injected flow drop persisted past the retry budget.
+    RetriesExhausted,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FailureKind::Transport => "transport",
+            FailureKind::Graph => "graph",
+            FailureKind::HostCrash => "host-crash",
+            FailureKind::RetriesExhausted => "retries-exhausted",
+        };
+        f.write_str(name)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +88,17 @@ impl fmt::Display for SimError {
             }
             SimError::Backend { backend, message } => {
                 write!(f, "{backend} backend failed: {message}")
+            }
+            SimError::TaskFailed {
+                backend,
+                task,
+                kind,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{backend} backend: task {task} failed ({kind}): {detail}"
+                )
             }
         }
     }
@@ -63,6 +119,27 @@ mod tests {
         assert_eq!(e.to_string(), "task t3 uses device d9 not in the cluster");
         let s = SimError::Stalled { remaining: 2 };
         assert!(s.to_string().contains("2 tasks"));
+        let t = SimError::TaskFailed {
+            backend: "sim",
+            task: TaskId(7),
+            kind: FailureKind::HostCrash,
+            detail: "host h1 crashed at t=0.5s".into(),
+        };
+        assert_eq!(
+            t.to_string(),
+            "sim backend: task t7 failed (host-crash): host h1 crashed at t=0.5s"
+        );
+    }
+
+    #[test]
+    fn failure_kinds_display_as_slugs() {
+        assert_eq!(FailureKind::Transport.to_string(), "transport");
+        assert_eq!(FailureKind::Graph.to_string(), "graph");
+        assert_eq!(FailureKind::HostCrash.to_string(), "host-crash");
+        assert_eq!(
+            FailureKind::RetriesExhausted.to_string(),
+            "retries-exhausted"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod backend;
 mod chrome_trace;
 mod engine;
 mod error;
+mod faults;
 mod graph;
 mod topology;
 mod trace;
@@ -53,7 +54,8 @@ mod trace;
 pub use backend::{Backend, SimBackend};
 pub use chrome_trace::to_chrome_trace;
 pub use engine::Engine;
-pub use error::SimError;
+pub use error::{FailureKind, SimError};
+pub use faults::{Disruptions, NicScalePeriod};
 pub use graph::{Task, TaskGraph, TaskId, Work};
 pub use topology::{ClusterSpec, DeviceId, HostId, HostSpec, LinkParams};
-pub use trace::{ResourceUsage, TaskInterval, Trace, TraceBuilder};
+pub use trace::{FaultStats, ResourceUsage, TaskInterval, Trace, TraceBuilder};

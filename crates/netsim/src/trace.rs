@@ -58,12 +58,40 @@ impl ResourceUsage {
     }
 }
 
+/// Degradation counters accumulated while a run executes under fault
+/// injection. All zero (and `degraded_makespan` absent) for a fault-free
+/// run, so fault-free traces compare and serialize exactly as before.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Flow transmissions that had to be re-sent after an injected drop.
+    pub retries: u64,
+    /// Unit tasks re-assigned to a surviving sender by plan repair.
+    pub failovers: u64,
+    /// Flows that exhausted their retry budget and failed.
+    pub dropped_flows: u64,
+    /// End-to-end completion time including repair and re-execution,
+    /// when a recovery layer re-ran the plan; `None` otherwise.
+    pub degraded_makespan: Option<f64>,
+}
+
+impl FaultStats {
+    /// True if no fault left any mark on the run.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.failovers == 0
+            && self.dropped_flows == 0
+            && self.degraded_makespan.is_none()
+    }
+}
+
 /// The result of a simulation run: per-task intervals plus aggregates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     intervals: Vec<TaskInterval>,
     makespan: f64,
     usage: ResourceUsage,
+    faults: FaultStats,
+    failed_tasks: Vec<TaskId>,
 }
 
 /// Incrementally assembles a [`Trace`] from per-task timings, for execution
@@ -72,6 +100,8 @@ pub struct Trace {
 pub struct TraceBuilder {
     intervals: Vec<TaskInterval>,
     usage: ResourceUsage,
+    faults: FaultStats,
+    failed_tasks: Vec<TaskId>,
 }
 
 impl TraceBuilder {
@@ -80,6 +110,8 @@ impl TraceBuilder {
         TraceBuilder {
             intervals: Vec::with_capacity(tasks),
             usage: ResourceUsage::default(),
+            faults: FaultStats::default(),
+            failed_tasks: Vec::new(),
         }
     }
 
@@ -108,25 +140,58 @@ impl TraceBuilder {
         }
     }
 
+    /// Overrides the fault counters carried by the final trace (backends
+    /// that executed under fault injection report their retries here).
+    pub fn record_fault_stats(&mut self, faults: FaultStats) {
+        self.faults = faults;
+    }
+
+    /// Marks `task` as failed (it never completed; its interval is
+    /// whatever was recorded, typically zero-length).
+    pub fn record_failed_task(&mut self, task: TaskId) {
+        self.failed_tasks.push(task);
+    }
+
     /// Finalizes the trace; the makespan is the latest recorded finish.
     pub fn build(self) -> Trace {
-        Trace::new(self.intervals, self.usage)
+        let mut failed = self.failed_tasks;
+        failed.sort_unstable();
+        failed.dedup();
+        Trace::faulted(self.intervals, self.usage, self.faults, failed)
     }
 }
 
 impl Trace {
-    pub(crate) fn new(intervals: Vec<TaskInterval>, usage: ResourceUsage) -> Self {
+    pub(crate) fn faulted(
+        intervals: Vec<TaskInterval>,
+        usage: ResourceUsage,
+        faults: FaultStats,
+        failed_tasks: Vec<TaskId>,
+    ) -> Self {
         let makespan = intervals.iter().map(|i| i.finish).fold(0.0, f64::max);
         Trace {
             intervals,
             makespan,
             usage,
+            faults,
+            failed_tasks,
         }
     }
 
     /// Completion time of the last task, in simulated seconds.
     pub fn makespan(&self) -> f64 {
         self.makespan
+    }
+
+    /// Degradation counters from fault injection (all zero for a clean run).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults
+    }
+
+    /// Tasks that failed under fault injection instead of completing,
+    /// sorted by id. Empty for a clean run.
+    pub fn failed_tasks(&self) -> &[TaskId] {
+        &self.failed_tasks
     }
 
     /// The execution interval of `task`.
@@ -248,7 +313,7 @@ mod tests {
 
     #[test]
     fn makespan_is_last_finish() {
-        let t = Trace::new(
+        let t = Trace::faulted(
             vec![
                 TaskInterval {
                     start: 0.0,
@@ -260,8 +325,11 @@ mod tests {
                 },
             ],
             ResourceUsage::default(),
+            FaultStats::default(),
+            Vec::new(),
         );
         assert_eq!(t.makespan(), 3.0);
+        assert!(t.fault_stats().is_clean());
     }
 
     #[test]

@@ -159,7 +159,43 @@ pub fn simulate_with(
         graph.num_microbatches(),
         config.weight_delay,
     );
-    let mut lowering = Lowering::new(graph, &schedule, planner, config.comm);
+    simulate_schedule(graph, cluster, planner, config.comm, &schedule, backend)
+}
+
+/// Like [`simulate_with`], but runs an explicit per-stage [`Schedule`]
+/// instead of deriving one from a [`ScheduleKind`] — the entry point for
+/// custom schedules such as
+/// [`build_straggler_schedule`](crate::schedule::build_straggler_schedule).
+///
+/// # Errors
+///
+/// Propagates backend errors.
+///
+/// # Panics
+///
+/// Panics if the schedule's stage or microbatch count does not match
+/// `graph`, or if the schedule deadlocks.
+pub fn simulate_schedule(
+    graph: &StageGraph,
+    cluster: &ClusterSpec,
+    planner: &dyn Planner,
+    comm: CommMode,
+    schedule: &Schedule,
+    backend: &dyn Backend,
+) -> Result<PipelineReport, SimError> {
+    let num_stages = graph.stages().len();
+    assert!(num_stages > 0, "pipeline needs at least one stage");
+    assert_eq!(
+        schedule.num_stages(),
+        num_stages,
+        "schedule must cover every stage"
+    );
+    assert_eq!(
+        schedule.num_microbatches(),
+        graph.num_microbatches(),
+        "schedule and graph disagree on microbatch count"
+    );
+    let mut lowering = Lowering::new(graph, schedule, planner, comm);
     lowering.run();
     lowering.lower_grad_sync();
     let Lowering { task_graph, .. } = lowering;
@@ -726,6 +762,62 @@ mod tests {
         let expected = vec![m1.devices().to_vec()];
         let s = Stage::new("s1", m1, 1.0).with_grad_sync(1, 100.0);
         assert_eq!(s.grad_sync_groups(), expected);
+    }
+
+    #[test]
+    fn straggler_aware_schedule_is_no_worse_under_an_injected_straggler() {
+        use crate::schedule::build_straggler_schedule;
+        use crossmesh_faults::{FaultEvent, FaultSchedule, FaultyBackend};
+
+        let c = cluster();
+        let m = 8;
+        let slowdown = 3.0;
+        let g = two_stage(&c, m, 1.0, 2);
+        // Every device of stage 1 computes `slowdown`x slower.
+        let mut faults = FaultSchedule::new(0);
+        for d in g.stages()[1].mesh.devices() {
+            faults = faults.with_event(FaultEvent::Straggler {
+                device: d.0,
+                slowdown,
+            });
+        }
+        let backend = FaultyBackend::new(SimBackend, faults);
+        let vanilla = simulate_schedule(
+            &g,
+            &c,
+            &planner(),
+            CommMode::Overlapped,
+            &build_schedule(ScheduleKind::Eager1F1B, 2, m, WeightDelay::None),
+            &backend,
+        )
+        .unwrap();
+        let aware = simulate_schedule(
+            &g,
+            &c,
+            &planner(),
+            CommMode::Overlapped,
+            &build_straggler_schedule(2, m, WeightDelay::None, &[1.0, slowdown]),
+            &backend,
+        )
+        .unwrap();
+        assert!(
+            aware.iteration_seconds <= vanilla.iteration_seconds + 1e-9,
+            "aware {} must not lose to vanilla {}",
+            aware.iteration_seconds,
+            vanilla.iteration_seconds
+        );
+        // The injected straggler really bites: both are slower than the
+        // clean run.
+        let clean = simulate_schedule(
+            &g,
+            &c,
+            &planner(),
+            CommMode::Overlapped,
+            &build_schedule(ScheduleKind::Eager1F1B, 2, m, WeightDelay::None),
+            &SimBackend,
+        )
+        .unwrap();
+        assert!(vanilla.iteration_seconds > clean.iteration_seconds);
     }
 
     #[test]

@@ -42,9 +42,12 @@ mod schedule;
 mod stage;
 
 pub use exec::{
-    auto_weight_delay, simulate, simulate_with, CommMode, PipelineConfig, PipelineReport,
+    auto_weight_delay, simulate, simulate_schedule, simulate_with, CommMode, PipelineConfig,
+    PipelineReport,
 };
-pub use schedule::{build_schedule, Op, Schedule, ScheduleKind, WeightDelay};
+pub use schedule::{
+    build_schedule, build_straggler_schedule, Op, Schedule, ScheduleKind, WeightDelay,
+};
 pub use stage::{CommEdge, EdgeTensor, GradSync, Stage, StageGraph};
 
 pub use crossmesh_core::{CostParams, Planner, PlannerConfig, Strategy};

@@ -23,14 +23,16 @@
 
 use bytes::Bytes;
 use crossmesh_netsim::{
-    Backend, ClusterSpec, DeviceId, SimError, TaskGraph, Trace, TraceBuilder, Work,
+    Backend, ClusterSpec, DeviceId, FailureKind, FaultStats, SimError, TaskGraph, TaskId, Trace,
+    TraceBuilder, Work,
 };
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -45,6 +47,43 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Faults injected into a threaded run, resolved to mechanical terms by
+/// the `crossmesh-faults` crate (no randomness lives here).
+///
+/// The runtime interprets faults in wall-clock terms: dead hosts make
+/// every contact fail fast after a bounded backoff (emulating per-flow
+/// timeout → retry → failover), degraded hosts delay every frame they
+/// send, stragglers stretch compute occupancy, and dropped flows re-send
+/// their payload after an exponential backoff — tagged with an attempt
+/// number so receivers discard the partial bytes of a dropped attempt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InjectedFaults {
+    /// Hosts considered crashed for the whole run.
+    pub dead_hosts: Vec<u32>,
+    /// Per-device compute slowdown factors (device id, factor).
+    pub compute_slowdown: Vec<(u32, f64)>,
+    /// Extra wall delay added to every frame sent by a device on the
+    /// given host (host id, delay): link degradation.
+    pub frame_delay: Vec<(u32, Duration)>,
+    /// Per flow task id: how many transmission attempts are dropped.
+    pub flow_drops: BTreeMap<u32, u32>,
+    /// Re-transmissions allowed per flow before it fails.
+    pub max_retries: u32,
+    /// Base wall delay before the first re-transmission; attempt `k`
+    /// waits `backoff * 2^k`.
+    pub backoff: Duration,
+}
+
+impl InjectedFaults {
+    /// True if this value injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.dead_hosts.is_empty()
+            && self.compute_slowdown.is_empty()
+            && self.frame_delay.is_empty()
+            && self.flow_drops.is_empty()
+    }
+}
+
 /// A [`Backend`] that executes task graphs for real on OS threads.
 ///
 /// Construct with [`ThreadedBackend::threads`] or
@@ -56,6 +95,7 @@ pub struct ThreadedBackend {
     chunk_bytes: usize,
     channel_depth: usize,
     deadline: Duration,
+    faults: Arc<InjectedFaults>,
 }
 
 impl ThreadedBackend {
@@ -67,6 +107,7 @@ impl ThreadedBackend {
             chunk_bytes: 1 << 20,
             channel_depth: 256,
             deadline: Duration::from_secs(120),
+            faults: Arc::new(InjectedFaults::default()),
         }
     }
 
@@ -131,6 +172,28 @@ impl ThreadedBackend {
         self.deadline = deadline;
         self
     }
+
+    /// Injects the given faults into every run of this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slowdown factor is not positive and finite.
+    #[must_use]
+    pub fn with_faults(mut self, faults: InjectedFaults) -> Self {
+        for &(device, factor) in &faults.compute_slowdown {
+            assert!(
+                factor > 0.0 && factor.is_finite(),
+                "slowdown factor {factor} for d{device} must be positive and finite"
+            );
+        }
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// The faults currently injected into runs of this backend.
+    pub fn faults(&self) -> &InjectedFaults {
+        &self.faults
+    }
 }
 
 impl Backend for ThreadedBackend {
@@ -161,11 +224,8 @@ impl Backend for ThreadedBackend {
             return Ok(TraceBuilder::with_capacity(0).build());
         }
 
-        let (start_ns, finish_ns) =
-            run(self, cluster, graph).map_err(|message| SimError::Backend {
-                backend: self.name(),
-                message,
-            })?;
+        let (start_ns, finish_ns, retries) =
+            run(self, cluster, graph).map_err(|failure| failure.into_sim_error(self.name()))?;
 
         let mut tb = TraceBuilder::with_capacity(graph.len());
         for (id, task) in graph.iter() {
@@ -175,6 +235,12 @@ impl Backend for ThreadedBackend {
             if let Work::Flow { src, dst, bytes } = task.work {
                 tb.record_flow(cluster.host_of(src), cluster.host_of(dst), bytes);
             }
+        }
+        if retries > 0 {
+            tb.record_fault_stats(FaultStats {
+                retries,
+                ..FaultStats::default()
+            });
         }
         Ok(tb.build())
     }
@@ -192,6 +258,7 @@ enum Inbound {
         flow: u32,
         payload: Bytes,
         last: bool,
+        attempt: u8,
     },
     Quit,
 }
@@ -204,13 +271,63 @@ enum Kind {
     Marker,
 }
 
+/// A structured worker failure: which task (if attributable), what class
+/// of problem, and a human-readable message. Converted to
+/// [`SimError::TaskFailed`] (task known) or [`SimError::Backend`]
+/// (run-level) when the run returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunFailure {
+    task: Option<u32>,
+    kind: FailureKind,
+    message: String,
+}
+
+impl RunFailure {
+    /// A run-level failure not attributable to one task.
+    fn run(message: impl Into<String>) -> Self {
+        RunFailure {
+            task: None,
+            kind: FailureKind::Transport,
+            message: message.into(),
+        }
+    }
+
+    /// A failure attributable to `task`.
+    fn task(task: u32, kind: FailureKind, message: impl Into<String>) -> Self {
+        RunFailure {
+            task: Some(task),
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn into_sim_error(self, backend: &'static str) -> SimError {
+        match self.task {
+            Some(task) => SimError::TaskFailed {
+                backend,
+                task: TaskId(task),
+                kind: self.kind,
+                detail: self.message,
+            },
+            None => SimError::Backend {
+                backend,
+                message: self.message,
+            },
+        }
+    }
+}
+
 /// Completion bookkeeping shared by every worker.
 #[derive(Debug, Default)]
 struct RunState {
     finished: bool,
-    error: Option<String>,
+    error: Option<RunFailure>,
 }
 
+/// The monitor's mutex is a non-poisoning `parking_lot::Mutex`: a worker
+/// that panics while holding it (or while any other worker holds it) must
+/// not turn into a poisoned-lock panic storm across every thread that
+/// checks `is_finished` — the first failure is reported cleanly instead.
 #[derive(Debug)]
 struct Monitor {
     remaining: AtomicUsize,
@@ -230,54 +347,53 @@ impl Monitor {
     /// Called exactly once per task; the last one flips `finished`.
     fn task_done(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state.lock();
             st.finished = true;
             self.cv.notify_all();
         }
     }
 
     /// Records the first failure and aborts the run.
-    fn fail(&self, message: String) {
-        let mut st = self.state.lock().unwrap();
+    fn fail(&self, failure: RunFailure) {
+        let mut st = self.state.lock();
         if st.error.is_none() {
-            st.error = Some(message);
+            st.error = Some(failure);
         }
         st.finished = true;
         self.cv.notify_all();
     }
 
     fn is_finished(&self) -> bool {
-        self.state.lock().unwrap().finished
+        self.state.lock().finished
     }
 
     /// Blocks until the run finishes or `deadline` elapses (which marks
     /// the run failed so stuck workers bail out on their next check).
     fn wait(&self, deadline: Duration) {
         let t0 = Instant::now();
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         while !st.finished {
             match deadline.checked_sub(t0.elapsed()) {
                 None => {
                     st.error.get_or_insert_with(|| {
-                        format!("run exceeded the {deadline:?} wall-clock deadline")
+                        RunFailure::run(format!(
+                            "run exceeded the {deadline:?} wall-clock deadline"
+                        ))
                     });
                     st.finished = true;
                     self.cv.notify_all();
                     return;
                 }
                 Some(left) => {
-                    let (guard, _) = self
-                        .cv
-                        .wait_timeout(st, left.min(Duration::from_millis(100)))
-                        .unwrap();
-                    st = guard;
+                    self.cv
+                        .wait_for(&mut st, left.min(Duration::from_millis(100)));
                 }
             }
         }
     }
 
-    fn take_error(&self) -> Option<String> {
-        self.state.lock().unwrap().error.take()
+    fn take_error(&self) -> Option<RunFailure> {
+        self.state.lock().error.take()
     }
 }
 
@@ -310,6 +426,10 @@ struct Shared {
     /// channel path).
     zero: Bytes,
     chunk_bytes: usize,
+    /// Faults the workers interpret (empty by default).
+    faults: Arc<InjectedFaults>,
+    /// Flow re-transmissions performed (drop-triggered attempts).
+    retries: AtomicU64,
 }
 
 impl Shared {
@@ -367,6 +487,47 @@ impl Shared {
         self.task_device[t as usize] as usize
     }
 
+    /// True if the injected fault set declares `device`'s host crashed.
+    fn device_is_dead(&self, device: u32) -> bool {
+        self.faults
+            .dead_hosts
+            .contains(&self.device_host[device as usize])
+    }
+
+    /// Injected compute slowdown factor for `device` (1.0 when absent).
+    fn slowdown(&self, device: u32) -> f64 {
+        self.faults
+            .compute_slowdown
+            .iter()
+            .find(|&&(d, _)| d == device)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Injected per-frame delay for frames sent by `device`, if its host
+    /// is degraded.
+    fn frame_delay(&self, device: u32) -> Option<Duration> {
+        let host = self.device_host[device as usize];
+        self.faults
+            .frame_delay
+            .iter()
+            .find(|&&(h, _)| h == host)
+            .map(|&(_, d)| d)
+    }
+
+    /// Emulates a per-flow timeout against a dead peer: sleeps out the
+    /// full retry budget (bounded exponential backoff), bailing early if
+    /// the run already ended.
+    fn wait_out_retry_budget(&self) {
+        let mut delay = self.faults.backoff;
+        for _ in 0..=self.faults.max_retries {
+            if self.monitor.is_finished() {
+                return;
+            }
+            thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+    }
+
     /// Dispatches every task with no dependencies. Roots come from the
     /// static graph (`roots`), never from the live pending counters: a
     /// fast root may already have completed and released dependents to
@@ -390,6 +551,7 @@ impl Shared {
         flow: u32,
         payload: Bytes,
         last: bool,
+        attempt: u8,
     ) -> Result<(), String> {
         let (sh, dh) = (
             self.device_host[src as usize],
@@ -400,10 +562,8 @@ impl Shared {
                 .tcp_writers
                 .get(&(sh, dh))
                 .expect("a connection exists for every host pair");
-            let mut stream = stream
-                .lock()
-                .map_err(|_| "tcp writer poisoned".to_string())?;
-            let hdr = encode_header(dst, flow, payload.len() as u32, last);
+            let mut stream = stream.lock();
+            let hdr = encode_header(dst, flow, payload.len() as u32, last, attempt);
             write_full(&mut stream, &hdr, &self.monitor)?;
             write_full(&mut stream, &payload, &self.monitor)?;
             return Ok(());
@@ -412,6 +572,7 @@ impl Shared {
             flow,
             payload,
             last,
+            attempt,
         };
         loop {
             match self.inbound_tx[dst as usize].try_send(msg) {
@@ -431,16 +592,18 @@ impl Shared {
     }
 }
 
-/// Wire frame header: destination device, flow task, payload length, and
-/// a last-frame marker.
-const FRAME_HEADER: usize = 13;
+/// Wire frame header: destination device, flow task, payload length, a
+/// last-frame marker, and the transmission attempt number (receivers
+/// discard bytes from superseded attempts).
+const FRAME_HEADER: usize = 14;
 
-fn encode_header(dst: u32, flow: u32, len: u32, last: bool) -> [u8; FRAME_HEADER] {
+fn encode_header(dst: u32, flow: u32, len: u32, last: bool, attempt: u8) -> [u8; FRAME_HEADER] {
     let mut hdr = [0u8; FRAME_HEADER];
     hdr[0..4].copy_from_slice(&dst.to_le_bytes());
     hdr[4..8].copy_from_slice(&flow.to_le_bytes());
     hdr[8..12].copy_from_slice(&len.to_le_bytes());
     hdr[12] = last as u8;
+    hdr[13] = attempt;
     hdr
 }
 
@@ -494,13 +657,13 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], monitor: &Monitor) -> Resul
 
 /// Builds the shared state and fabric, spawns the workers, runs the graph
 /// to completion, and returns the per-task timestamp arrays (nanoseconds
-/// since the run's epoch).
+/// since the run's epoch) plus the flow re-transmission count.
 #[allow(clippy::type_complexity)]
 fn run(
     backend: &ThreadedBackend,
     cluster: &ClusterSpec,
     graph: &TaskGraph,
-) -> Result<(Vec<AtomicU64>, Vec<AtomicU64>), String> {
+) -> Result<(Vec<AtomicU64>, Vec<AtomicU64>, u64), RunFailure> {
     let n = graph.len();
     let num_devices = cluster.num_devices() as usize;
     let device_host: Vec<u32> = (0..num_devices as u32)
@@ -570,7 +733,7 @@ fn run(
     // TCP fabric first (if any), so the write halves can live inside the
     // shared state from the start; reader threads spawn after it exists.
     let (tcp_writers, reader_streams) = if backend.transport == TransportKind::Tcp {
-        tcp_fabric(cluster).map_err(|e| format!("tcp setup: {e}"))?
+        tcp_fabric(cluster).map_err(|e| RunFailure::run(format!("tcp setup: {e}")))?
     } else {
         (HashMap::new(), Vec::new())
     };
@@ -592,34 +755,40 @@ fn run(
         device_host,
         zero: Bytes::from(vec![0u8; backend.chunk_bytes]),
         chunk_bytes: backend.chunk_bytes,
+        faults: Arc::clone(&backend.faults),
+        retries: AtomicU64::new(0),
     });
 
     let mut workers = Vec::with_capacity(num_devices * 3 + reader_streams.len());
     for (d, rx) in compute_rx.into_iter().enumerate() {
-        let sh = Arc::clone(&shared);
-        workers.push(spawn_named(format!("cm-d{d}-compute"), move || {
-            compute_worker(rx, &sh)
-        }));
+        workers.push(spawn_named(
+            format!("cm-d{d}-compute"),
+            Arc::clone(&shared),
+            move |sh| compute_worker(rx, sh),
+        ));
     }
     for (d, rx) in send_rx.into_iter().enumerate() {
-        let sh = Arc::clone(&shared);
-        workers.push(spawn_named(format!("cm-d{d}-send"), move || {
-            send_worker(d as u32, rx, &sh)
-        }));
+        workers.push(spawn_named(
+            format!("cm-d{d}-send"),
+            Arc::clone(&shared),
+            move |sh| send_worker(d as u32, rx, sh),
+        ));
     }
     let mut recv_workers = Vec::with_capacity(num_devices);
     for (d, rx) in inbound_rx.into_iter().enumerate() {
-        let sh = Arc::clone(&shared);
-        recv_workers.push(spawn_named(format!("cm-d{d}-recv"), move || {
-            recv_worker(rx, &sh)
-        }));
+        recv_workers.push(spawn_named(
+            format!("cm-d{d}-recv"),
+            Arc::clone(&shared),
+            move |sh| recv_worker(rx, sh),
+        ));
     }
     let mut tcp_readers = Vec::with_capacity(reader_streams.len());
     for (i, stream) in reader_streams.into_iter().enumerate() {
-        let sh = Arc::clone(&shared);
-        tcp_readers.push(spawn_named(format!("cm-tcp-reader-{i}"), move || {
-            tcp_reader(stream, &sh)
-        }));
+        tcp_readers.push(spawn_named(
+            format!("cm-tcp-reader-{i}"),
+            Arc::clone(&shared),
+            move |sh| tcp_reader(stream, sh),
+        ));
     }
 
     shared.seed();
@@ -660,14 +829,39 @@ fn run(
         return Err(e);
     }
     let shared = Arc::try_unwrap(shared)
-        .map_err(|_| "internal: worker threads outlived the run".to_string())?;
-    Ok((shared.start_ns, shared.finish_ns))
+        .map_err(|_| RunFailure::run("internal: worker threads outlived the run"))?;
+    let retries = shared.retries.load(Ordering::Relaxed);
+    Ok((shared.start_ns, shared.finish_ns, retries))
 }
 
-fn spawn_named<F: FnOnce() + Send + 'static>(name: String, f: F) -> JoinHandle<()> {
+/// Fails the monitor if its worker thread unwinds: without this a
+/// panicking worker would leave the run to sit out its full wall-clock
+/// deadline with no explanation.
+struct PanicGuard {
+    shared: Arc<Shared>,
+    name: String,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.shared
+                .monitor
+                .fail(RunFailure::run(format!("worker {} panicked", self.name)));
+        }
+    }
+}
+
+fn spawn_named<F>(name: String, shared: Arc<Shared>, f: F) -> JoinHandle<()>
+where
+    F: FnOnce(&Shared) + Send + 'static,
+{
     thread::Builder::new()
-        .name(name)
-        .spawn(f)
+        .name(name.clone())
+        .spawn(move || {
+            let guard = PanicGuard { shared, name };
+            f(&guard.shared);
+        })
         .expect("spawning an OS thread")
 }
 
@@ -721,7 +915,7 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
             Ok(true) => {}
             Ok(false) => return, // clean shutdown
             Err(e) => {
-                shared.monitor.fail(e);
+                shared.monitor.fail(RunFailure::run(e));
                 return;
             }
         }
@@ -729,28 +923,34 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
         let flow = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
         let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
         let last = hdr[12] != 0;
+        let attempt = hdr[13];
         let mut payload = vec![0u8; len];
         if len > 0 {
             match read_full(&mut stream, &mut payload, &shared.monitor) {
                 Ok(true) => {}
                 Ok(false) | Err(_) => {
-                    shared
-                        .monitor
-                        .fail("tcp connection closed mid-frame".into());
+                    shared.monitor.fail(RunFailure::task(
+                        flow,
+                        FailureKind::Transport,
+                        "tcp connection closed mid-frame",
+                    ));
                     return;
                 }
             }
         }
         if dst as usize >= shared.inbound_tx.len() {
-            shared
-                .monitor
-                .fail(format!("tcp frame for unknown device d{dst}"));
+            shared.monitor.fail(RunFailure::task(
+                flow,
+                FailureKind::Graph,
+                format!("tcp frame for unknown device d{dst}"),
+            ));
             return;
         }
         let mut msg = Inbound::Data {
             flow,
             payload: Bytes::from(payload),
             last,
+            attempt,
         };
         loop {
             match shared.inbound_tx[dst as usize].try_send(msg) {
@@ -768,18 +968,34 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Runs compute tasks serially: wait out the calibrated wall duration,
-/// then release dependents.
+/// Runs compute tasks serially: wait out the calibrated wall duration
+/// (stretched by any injected straggler factor), then release dependents.
+/// A task landing on a crashed host times out and fails the run.
 fn compute_worker(rx: Receiver<Cmd>, shared: &Shared) {
     while let Ok(Cmd::Run(t)) = rx.recv() {
         shared.record_start(t);
         let Kind::Compute { wall } = shared.kinds[t as usize] else {
-            shared
-                .monitor
-                .fail(format!("task t{t} queued on the wrong worker"));
+            shared.monitor.fail(RunFailure::task(
+                t,
+                FailureKind::Graph,
+                format!("task t{t} queued on the wrong worker"),
+            ));
             return;
         };
-        precise_wait(wall);
+        let device = shared.task_device[t as usize];
+        if shared.device_is_dead(device) {
+            shared.wait_out_retry_budget();
+            shared.monitor.fail(RunFailure::task(
+                t,
+                FailureKind::HostCrash,
+                format!(
+                    "compute t{t} timed out: host h{} is down",
+                    shared.device_host[device as usize]
+                ),
+            ));
+            return;
+        }
+        precise_wait(wall.mul_f64(shared.slowdown(device)));
         shared.finish_task(t);
     }
 }
@@ -800,23 +1016,88 @@ fn precise_wait(d: Duration) {
 }
 
 /// Chunks each flow into frames and pushes them toward the destination.
+/// Injected faults are realized here: frames from degraded hosts are
+/// delayed, flows touching dead hosts time out after the retry budget,
+/// and each dropped attempt puts one partial frame on the wire, backs
+/// off exponentially, then re-sends under a higher attempt number.
 fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
     while let Ok(Cmd::Run(t)) = rx.recv() {
         shared.record_start(t);
         let Kind::Flow { dst, bytes } = shared.kinds[t as usize] else {
-            shared
-                .monitor
-                .fail(format!("task t{t} queued on the wrong worker"));
+            shared.monitor.fail(RunFailure::task(
+                t,
+                FailureKind::Graph,
+                format!("task t{t} queued on the wrong worker"),
+            ));
             return;
         };
+        if shared.device_is_dead(device) || shared.device_is_dead(dst) {
+            let host = if shared.device_is_dead(device) {
+                shared.device_host[device as usize]
+            } else {
+                shared.device_host[dst as usize]
+            };
+            shared.wait_out_retry_budget();
+            shared.monitor.fail(RunFailure::task(
+                t,
+                FailureKind::HostCrash,
+                format!("flow t{t} timed out: host h{host} is down"),
+            ));
+            return;
+        }
+        let drops = shared.faults.flow_drops.get(&t).copied().unwrap_or(0);
+        if drops > shared.faults.max_retries {
+            shared.wait_out_retry_budget();
+            shared.monitor.fail(RunFailure::task(
+                t,
+                FailureKind::RetriesExhausted,
+                format!(
+                    "flow t{t} dropped {drops} times, retry budget is {}",
+                    shared.faults.max_retries
+                ),
+            ));
+            return;
+        }
+        let delay = shared.frame_delay(device);
+        let mut backoff = shared.faults.backoff;
+        for a in 0..drops {
+            let n = bytes.min(shared.chunk_bytes as u64) as usize;
+            if let Some(d) = delay {
+                thread::sleep(d);
+            }
+            let partial = shared.zero.slice(0..n);
+            if let Err(e) =
+                shared.send_frame(device, dst, t, partial, false, a.min(u8::MAX as u32) as u8)
+            {
+                if !shared.monitor.is_finished() {
+                    shared.monitor.fail(RunFailure::task(
+                        t,
+                        FailureKind::Transport,
+                        format!("flow t{t}: {e}"),
+                    ));
+                }
+                return;
+            }
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let attempt = drops.min(u8::MAX as u32) as u8;
         let mut left = bytes;
         loop {
             let n = left.min(shared.chunk_bytes as u64) as usize;
             let last = left <= shared.chunk_bytes as u64;
             let payload = shared.zero.slice(0..n);
-            if let Err(e) = shared.send_frame(device, dst, t, payload, last) {
+            if let Some(d) = delay {
+                thread::sleep(d);
+            }
+            if let Err(e) = shared.send_frame(device, dst, t, payload, last, attempt) {
                 if !shared.monitor.is_finished() {
-                    shared.monitor.fail(format!("flow t{t}: {e}"));
+                    shared.monitor.fail(RunFailure::task(
+                        t,
+                        FailureKind::Transport,
+                        format!("flow t{t}: {e}"),
+                    ));
                 }
                 return;
             }
@@ -828,32 +1109,45 @@ fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
     }
 }
 
-/// Counts delivered bytes per flow; the final frame completes the flow
+/// Counts delivered bytes per flow and transmission attempt: a frame
+/// from a newer attempt discards the bytes of a superseded (dropped)
+/// one, a stale frame is ignored, and the final frame completes the flow
 /// task (so a flow's finish timestamp is taken on the receiving side).
 fn recv_worker(rx: Receiver<Inbound>, shared: &Shared) {
-    let mut progress: HashMap<u32, u64> = HashMap::new();
+    let mut progress: HashMap<u32, (u8, u64)> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             Inbound::Data {
                 flow,
                 payload,
                 last,
+                attempt,
             } => {
-                *progress.entry(flow).or_insert(0) += payload.len() as u64;
+                let entry = progress.entry(flow).or_insert((attempt, 0));
+                if attempt > entry.0 {
+                    *entry = (attempt, 0);
+                } else if attempt < entry.0 {
+                    continue; // stale frame from a dropped attempt
+                }
+                entry.1 += payload.len() as u64;
                 if last {
-                    let got = progress.remove(&flow).unwrap_or(0);
+                    let (_, got) = progress.remove(&flow).unwrap_or((attempt, 0));
                     let want = match shared.kinds[flow as usize] {
                         Kind::Flow { bytes, .. } => bytes,
                         _ => {
-                            shared
-                                .monitor
-                                .fail(format!("frame for non-flow task t{flow}"));
+                            shared.monitor.fail(RunFailure::task(
+                                flow,
+                                FailureKind::Graph,
+                                format!("frame for non-flow task t{flow}"),
+                            ));
                             return;
                         }
                     };
                     if got != want {
-                        shared.monitor.fail(format!(
-                            "flow t{flow} delivered {got} bytes, expected {want}"
+                        shared.monitor.fail(RunFailure::task(
+                            flow,
+                            FailureKind::Transport,
+                            format!("flow t{flow} delivered {got} bytes, expected {want}"),
                         ));
                         return;
                     }
@@ -1030,5 +1324,209 @@ mod tests {
         assert!(r.is_err());
         let r = std::panic::catch_unwind(|| ThreadedBackend::threads().with_chunk_bytes(0));
         assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| {
+            ThreadedBackend::threads().with_faults(InjectedFaults {
+                compute_slowdown: vec![(0, 0.0)],
+                ..InjectedFaults::default()
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn injected_straggler_stretches_compute() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let t = g.add(Work::compute(c.device(0, 0), 1.0), []);
+        let faults = InjectedFaults {
+            compute_slowdown: vec![(0, 5.0)],
+            ..InjectedFaults::default()
+        };
+        let trace = ThreadedBackend::threads()
+            .with_faults(faults)
+            .execute(&c, &g)
+            .unwrap();
+        let i = trace.interval(t);
+        // 1 simulated second at 1e-3 scale is 1 ms; slowed 5x it is >= 5 ms.
+        assert!(i.finish - i.start >= 5e-3);
+        assert!(trace.fault_stats().is_clean());
+    }
+
+    #[test]
+    fn dropped_flows_retry_and_are_counted() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4096.0), []);
+        let faults = InjectedFaults {
+            flow_drops: BTreeMap::from([(f.0, 2)]),
+            max_retries: 3,
+            backoff: Duration::from_micros(100),
+            ..InjectedFaults::default()
+        };
+        for backend in backends() {
+            let trace = backend.with_faults(faults.clone()).execute(&c, &g).unwrap();
+            assert_eq!(trace.fault_stats().retries, 2);
+            assert!(trace.interval(f).finish > trace.interval(f).start);
+            assert!(trace.failed_tasks().is_empty());
+        }
+    }
+
+    #[test]
+    fn drops_beyond_the_retry_budget_fail_the_flow() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4096.0), []);
+        let faults = InjectedFaults {
+            flow_drops: BTreeMap::from([(f.0, 5)]),
+            max_retries: 2,
+            backoff: Duration::from_micros(100),
+            ..InjectedFaults::default()
+        };
+        let err = ThreadedBackend::threads()
+            .with_faults(faults)
+            .execute(&c, &g)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::TaskFailed {
+                backend: "threads",
+                task,
+                kind: FailureKind::RetriesExhausted,
+                ..
+            } if task == f
+        ));
+    }
+
+    #[test]
+    fn flows_to_a_dead_host_fail_with_host_crash() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        let f = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4096.0), []);
+        let faults = InjectedFaults {
+            dead_hosts: vec![1],
+            max_retries: 1,
+            backoff: Duration::from_micros(100),
+            ..InjectedFaults::default()
+        };
+        for backend in backends() {
+            let err = backend
+                .with_faults(faults.clone())
+                .execute(&c, &g)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                SimError::TaskFailed {
+                    kind: FailureKind::HostCrash,
+                    task,
+                    ..
+                } if task == f
+            ));
+        }
+    }
+
+    #[test]
+    fn compute_on_a_dead_host_fails_with_host_crash() {
+        let c = cluster();
+        let mut g = TaskGraph::new();
+        g.add(Work::compute(c.device(1, 0), 0.1), []);
+        let faults = InjectedFaults {
+            dead_hosts: vec![1],
+            max_retries: 1,
+            backoff: Duration::from_micros(100),
+            ..InjectedFaults::default()
+        };
+        let err = ThreadedBackend::threads()
+            .with_faults(faults)
+            .execute(&c, &g)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::TaskFailed {
+                kind: FailureKind::HostCrash,
+                ..
+            }
+        ));
+    }
+
+    /// A shared state with no devices and no tasks: enough structure for
+    /// driving individual workers directly in failure-path tests.
+    fn bare_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            monitor: Monitor::new(1),
+            t0: Instant::now(),
+            kinds: Vec::new(),
+            task_device: Vec::new(),
+            roots: Vec::new(),
+            pending: Vec::new(),
+            dependents: Vec::new(),
+            start_ns: Vec::new(),
+            finish_ns: Vec::new(),
+            compute_tx: Vec::new(),
+            send_tx: Vec::new(),
+            inbound_tx: Vec::new(),
+            tcp_writers: HashMap::new(),
+            device_host: Vec::new(),
+            zero: Bytes::new(),
+            chunk_bytes: 1,
+            faults: Arc::new(InjectedFaults::default()),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let out = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (inc, _) = listener.accept().unwrap();
+        (out, inc)
+    }
+
+    #[test]
+    fn tcp_frame_for_an_unknown_device_fails_the_run() {
+        let shared = bare_shared();
+        let (mut out, inc) = loopback_pair();
+        out.write_all(&encode_header(3, 7, 0, true, 0)).unwrap();
+        drop(out);
+        tcp_reader(inc, &shared);
+        let err = shared
+            .monitor
+            .take_error()
+            .expect("reader reports a failure");
+        assert_eq!(err.task, Some(7));
+        assert_eq!(err.kind, FailureKind::Graph);
+        assert!(err.message.contains("unknown device d3"), "{}", err.message);
+    }
+
+    #[test]
+    fn tcp_connection_closed_mid_frame_is_reported() {
+        let shared = bare_shared();
+        let (mut out, inc) = loopback_pair();
+        // 5 of the 14 header bytes, then the peer vanishes.
+        out.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        drop(out);
+        tcp_reader(inc, &shared);
+        let err = shared
+            .monitor
+            .take_error()
+            .expect("reader reports a failure");
+        assert!(err.message.contains("closed mid-frame"), "{}", err.message);
+    }
+
+    #[test]
+    fn a_panicking_worker_fails_the_run_instead_of_hanging() {
+        let shared = bare_shared();
+        let h = spawn_named("cm-test-panic".into(), Arc::clone(&shared), |_| {
+            panic!("synthetic worker bug")
+        });
+        assert!(h.join().is_err());
+        let err = shared
+            .monitor
+            .take_error()
+            .expect("guard reports the panic");
+        assert_eq!(err.task, None);
+        assert!(
+            err.message.contains("cm-test-panic") && err.message.contains("panicked"),
+            "{}",
+            err.message
+        );
     }
 }

@@ -46,5 +46,5 @@
 mod backend;
 mod dataflow;
 
-pub use backend::{ThreadedBackend, TransportKind};
+pub use backend::{InjectedFaults, ThreadedBackend, TransportKind};
 pub use dataflow::{execute_plan, PlanDataError};

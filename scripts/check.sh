@@ -14,4 +14,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> fault-tolerance suite, per backend family"
+cargo test --offline -q --test fault_tolerance -- sim
+cargo test --offline -q --test fault_tolerance -- threads
+
 echo "All checks passed."

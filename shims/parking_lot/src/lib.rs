@@ -1,0 +1,192 @@
+//! Vendored stand-in for the `parking_lot` crate.
+//!
+//! Provides the surface this workspace uses: a non-poisoning [`Mutex`]
+//! whose `lock()` returns the guard directly (no `Result`), and a
+//! [`Condvar`] with `wait_for` / `notify_all`. Internally this wraps the
+//! std primitives and recovers from poisoning via
+//! [`PoisonError::into_inner`](std::sync::PoisonError::into_inner) — the
+//! semantic parking_lot guarantees (a panicking holder does not poison
+//! the lock for everyone else), without the custom futex machinery.
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+/// A mutual-exclusion primitive that does not poison on panic.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner std guard lives in an `Option` only so [`Condvar::wait_for`]
+/// can hand it to the std condvar by value and put it back; it is `Some`
+/// at every point user code can observe.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex`, a panic in another holder does not make this
+    /// return an error: the lock is simply acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is present")
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is present")
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable paired with the non-poisoning [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses. The guard is atomically
+    /// released while waiting and re-acquired before returning, matching
+    /// parking_lot's in-place signature.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard is present");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Wakes all threads blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn panic_does_not_poison() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        // A std mutex would now be poisoned; ours still hands out the lock.
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn condvar_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let res = cv.wait_for(&mut guard, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                let res = cv.wait_for(&mut done, Duration::from_secs(5));
+                assert!(!res.timed_out(), "should be woken, not timed out");
+            }
+        });
+        thread::sleep(Duration::from_millis(20));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -19,6 +19,10 @@
 //!   lowered task graphs for real (one OS thread trio per device, byte
 //!   payloads over channels or TCP loopback) behind the same
 //!   [`Backend`](netsim::Backend) trait as the simulator.
+//! * [`faults`] — deterministic fault injection (host crashes, link
+//!   degradation, stragglers, flow drops) and fault-tolerant recovery:
+//!   sender failover via `Plan::repair` plus degradation reporting, with
+//!   one seeded schedule driving both the simulator and the runtime.
 //! * [`pipeline`] — GPipe / 1F1B / eager-1F1B schedules, overlap modes,
 //!   backward weight delaying.
 //! * [`models`] — GPT-3-like and U-Transformer workload models and the AWS
@@ -56,6 +60,7 @@
 pub use crossmesh_autoshard as autoshard;
 pub use crossmesh_collectives as collectives;
 pub use crossmesh_core as core;
+pub use crossmesh_faults as faults;
 pub use crossmesh_mesh as mesh;
 pub use crossmesh_models as models;
 pub use crossmesh_netsim as netsim;
