@@ -13,6 +13,7 @@
 //! | [`fig8`] | Figure 8 — load-balance ablation |
 //! | [`fig9`] | Figure 9 — overlap-friendly schedule ablation |
 //! | [`faults`] | extension — throughput vs injected fault rate (not in the paper) |
+//! | [`planner`] | extension — planner wall-clock vs pool width + plan cache (not in the paper) |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
 //! is a simulator, not the authors' AWS cluster — but the *shapes* (who
@@ -27,5 +28,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod planner;
 pub mod table1;
 pub mod table_fmt;

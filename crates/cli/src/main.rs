@@ -7,18 +7,21 @@
 //!                    [--strategy broadcast|send_recv|local_allgather|global_allgather|alpa]
 //!                    [--planner ours|naive|lpt|dfs|greedy] [--verify] [--json]
 //! crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
-//!                    [--comm overlap|sync|signal] [--microbatches N] [--json]
+//!                    [--comm overlap|sync|signal] [--microbatches N] [--iterations N] [--json]
 //! crossmesh cluster  [--hosts N] [--gpus-per-host N] [--inter-bw B] [--intra-bw B] ...
 //! ```
 //!
 //! Bandwidths default to the paper's p3.8xlarge class (NVLink intra-host,
 //! 10 Gbps inter-host); `--inter-bw` / `--intra-bw` override them in
-//! bytes/s.
+//! bytes/s. `--threads N` (or the `CROSSMESH_THREADS` environment
+//! variable) sets the planner worker-pool width; plans are identical at
+//! any width.
 
 mod args;
 
 use args::{parse_mesh, parse_shape, Args};
 use crossmesh_autoshard::{search, AutoShardProblem};
+use crossmesh_core::PlanCache;
 use crossmesh_core::{
     dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner,
     PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, Strategy, StrategyChoice,
@@ -29,7 +32,9 @@ use crossmesh_models::gpt::GptConfig;
 use crossmesh_models::utransformer::UTransformerConfig;
 use crossmesh_models::{presets, ModelJob, Precision};
 use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
-use crossmesh_pipeline::{simulate_with, CommMode, PipelineConfig, ScheduleKind, WeightDelay};
+use crossmesh_pipeline::{
+    simulate_with_cache, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
+};
 use crossmesh_runtime::ThreadedBackend;
 use std::error::Error;
 use std::process::ExitCode;
@@ -41,9 +46,10 @@ USAGE:
   crossmesh reshard  --src-spec <SPEC> --dst-spec <SPEC> --src-mesh <RxC> --dst-mesh <RxC>
                      --shape <AxBxC> [--elem-bytes N] [--strategy S] [--planner P]
                      [--backend B] [--seed N] [--inter-bw B] [--intra-bw B]
-                     [--faults FILE] [--verify] [--json]
+                     [--faults FILE] [--threads N] [--verify] [--json]
   crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
-                     [--comm overlap|sync|signal] [--microbatches N] [--backend B] [--json]
+                     [--comm overlap|sync|signal] [--microbatches N] [--iterations N]
+                     [--backend B] [--threads N] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
 
@@ -55,7 +61,11 @@ USAGE:
   specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR
   --seed:     RNG seed for the randomized-greedy planner (ours/greedy)
   --faults:   JSON fault schedule (crossmesh-faults format) injected into the
-              run; sender crashes trigger failover onto surviving replicas";
+              run; sender crashes trigger failover onto surviving replicas
+  --threads:  planner worker-pool width (default: CROSSMESH_THREADS env var,
+              else all cores); plans are byte-identical at any width
+  --iterations: training iterations to simulate; the plan cache carries
+              resharding plans across them and the hit rate is reported";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -76,12 +86,23 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
     if args.has_flag("help") {
         return Ok(USAGE.to_string());
     }
-    match args.command.as_deref() {
+    let dispatch = || match args.command.as_deref() {
         Some("reshard") => reshard(&args),
         Some("pipeline") => pipeline(&args),
         Some("autospec") => autospec(&args),
         None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}").into()),
+    };
+    // --threads installs a fixed-width planner pool around the whole
+    // command; without it, the global pool (CROSSMESH_THREADS env var or
+    // all cores) is used. Planning is deterministic either way.
+    match args.get_parsed("threads", 0usize)? {
+        0 => dispatch(),
+        n => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .map_err(|e| format!("cannot build a {n}-thread pool: {e}"))?
+            .install(dispatch),
     }
 }
 
@@ -348,17 +369,36 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
     };
     let backend = backend_for(args.get_or("backend", "sim"))?;
     let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
-    let report = simulate_with(
-        &job.graph,
-        &cluster,
-        &planner,
-        &PipelineConfig {
-            schedule,
-            comm,
-            weight_delay: WeightDelay::None,
-        },
-        &*backend,
-    )?;
+    let config = PipelineConfig {
+        schedule,
+        comm,
+        weight_delay: WeightDelay::None,
+    };
+    let iterations = args.get_parsed("iterations", 1usize)?.max(1);
+    // One plan cache across all iterations: every iteration after the
+    // first replays its resharding plans instead of re-planning them.
+    let cache = PlanCache::new();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut report = None;
+    for _ in 0..iterations {
+        let r = simulate_with_cache(
+            &job.graph,
+            &cluster,
+            &planner,
+            &config,
+            &*backend,
+            Some(&cache),
+        )?;
+        hits += r.plan_cache_hits;
+        misses += r.plan_cache_misses;
+        report = Some(r);
+    }
+    let report = report.expect("at least one iteration ran");
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
 
     if args.has_flag("json") {
         let out = serde_json::json!({
@@ -366,24 +406,30 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
             "backend": backend.name(),
             "schedule": schedule.to_string(),
             "microbatches": job.graph.num_microbatches(),
+            "iterations": iterations,
             "iteration_seconds": report.iteration_seconds,
             "aggregate_tflops": job.aggregate_tflops(report.iteration_seconds),
             "per_gpu_tflops": job.per_gpu_tflops(report.iteration_seconds),
             "cross_host_bytes": report.cross_host_bytes,
             "peak_memory_bytes": report.peak_memory_bytes,
+            "plan_cache_hits": hits,
+            "plan_cache_misses": misses,
+            "plan_cache_hit_rate": hit_rate,
         });
         return Ok(serde_json::to_string_pretty(&out)?);
     }
     Ok(format!(
-        "{name}: schedule {schedule}, {} microbatches\n\
+        "{name}: schedule {schedule}, {} microbatches, {iterations} iteration(s)\n\
          iteration {:.3}s — {:.1} aggregate TFLOPS ({:.1}/GPU)\n\
-         cross-host traffic {:.2} GB, peak memory/GPU {:.2} GB",
+         cross-host traffic {:.2} GB, peak memory/GPU {:.2} GB\n\
+         plan cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
         job.graph.num_microbatches(),
         report.iteration_seconds,
         job.aggregate_tflops(report.iteration_seconds),
         job.per_gpu_tflops(report.iteration_seconds),
         report.cross_host_bytes / 1e9,
         report.peak_memory_bytes[0] / 1e9,
+        hit_rate * 100.0,
     ))
 }
 
@@ -430,6 +476,40 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v["aggregate_tflops"].as_f64().unwrap() > 0.0);
         assert_eq!(v["microbatches"].as_u64().unwrap(), 8);
+    }
+
+    #[test]
+    fn pipeline_iterations_hit_the_plan_cache() {
+        let out = run(toks(
+            "pipeline --model gpt-case1 --microbatches 4 --iterations 3 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["iterations"].as_u64(), Some(3));
+        assert!(v["plan_cache_hits"].as_u64().unwrap() > 0);
+        assert!(v["plan_cache_hit_rate"].as_f64().unwrap() > 0.5);
+        let text = run(toks(
+            "pipeline --model gpt-case1 --microbatches 4 --iterations 3",
+        ))
+        .unwrap();
+        assert!(text.contains("plan cache:"), "got: {text}");
+    }
+
+    #[test]
+    fn thread_pool_width_does_not_change_the_plan() {
+        let cmd = |threads: usize| {
+            format!(
+                "reshard --src-spec RS0R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+                 --shape 64x64x8 --threads {threads} --json"
+            )
+        };
+        let narrow = run(toks(&cmd(1))).unwrap();
+        let wide = run(toks(&cmd(4))).unwrap();
+        let vn: serde_json::Value = serde_json::from_str(&narrow).unwrap();
+        let vw: serde_json::Value = serde_json::from_str(&wide).unwrap();
+        assert_eq!(vn["estimate_seconds"], vw["estimate_seconds"]);
+        assert_eq!(vn["simulated_seconds"], vw["simulated_seconds"]);
+        assert!(run(toks("reshard --threads nope")).is_err());
     }
 
     #[test]

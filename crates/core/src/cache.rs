@@ -1,0 +1,288 @@
+//! Content-addressed plan cache: amortizes planning across iterations.
+//!
+//! Pipeline execution re-plans the identical stage-pair reshard on every
+//! microbatch, and fault recovery re-plans on every repair round. Both
+//! inputs are content-addressable: the planning problem is fully described
+//! by (task signature, sender exclusions, planner fingerprint), so a plan
+//! computed once can be replayed for free until any component changes.
+//! Exclusions are part of the key — a crash *changes the key* rather than
+//! mutating an entry, so stale plans through dead hosts are structurally
+//! impossible; a defensive re-check on every hit enforces it anyway.
+
+use crate::exclusions::{RepairError, SenderExclusions};
+use crate::plan::{Assignment, Plan};
+use crate::planners::{plan_with_exclusions, Planner};
+use crate::task::ReshardingTask;
+use crossmesh_collectives::CostParams;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cached plan, stored task-independently as its assignment list; a hit
+/// re-binds it with [`Plan::new`], which revalidates it against the task.
+struct Entry {
+    assignments: Vec<Assignment>,
+    params: CostParams,
+}
+
+/// Hit/miss/size counters of a [`PlanCache`], taken with
+/// [`stats`](PlanCache::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the planner.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, content-addressed cache of resharding plans.
+///
+/// Keys combine the [`ReshardingTask::cache_signature`], the
+/// [`SenderExclusions`], and the [`Planner::fingerprint`] (plus, for
+/// [`repair`](PlanCache::repair), the incumbent plan's assignments, since
+/// the repair patch depends on them). The planner only runs on a miss;
+/// a hit replays the stored assignments through [`Plan::new`], which
+/// re-asserts their validity for the task at hand.
+#[derive(Default)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Plans `task` with `planner`, serving a cached result when this
+    /// exact (task, planner) pair was planned before.
+    pub fn plan<'t, P: Planner + ?Sized>(&self, planner: &P, task: &'t ReshardingTask) -> Plan<'t> {
+        self.plan_with_exclusions(planner, task, &SenderExclusions::none())
+            .expect("empty exclusions cannot cause data loss")
+    }
+
+    /// Plans `task` with the excluded senders removed, serving a cached
+    /// result when this exact (task, exclusions, planner) triple was
+    /// planned before. The returned plan is bound to the *original* task,
+    /// exactly like [`plan_with_exclusions`].
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::DataLoss`] if a unit task loses every replica holder.
+    pub fn plan_with_exclusions<'t, P: Planner + ?Sized>(
+        &self,
+        planner: &P,
+        task: &'t ReshardingTask,
+        exclusions: &SenderExclusions,
+    ) -> Result<Plan<'t>, RepairError> {
+        let mut h = DefaultHasher::new();
+        task.cache_signature().hash(&mut h);
+        exclusions.hash(&mut h);
+        planner.fingerprint().hash(&mut h);
+        let key = h.finish();
+
+        if let Some(plan) = self.lookup(key, task, exclusions) {
+            return Ok(plan);
+        }
+        let plan = plan_with_exclusions(planner, task, exclusions)?;
+        self.insert(key, &plan);
+        Ok(plan)
+    }
+
+    /// Repairs `plan` around `exclusions` (see [`Plan::repair`]), caching
+    /// the result. The key includes the incumbent plan's assignments: the
+    /// repair's *patch* candidate keeps surviving slots, so two different
+    /// incumbent plans can repair differently.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::DataLoss`] if a unit task loses every replica holder.
+    pub fn repair<'t>(
+        &self,
+        plan: &Plan<'t>,
+        exclusions: &SenderExclusions,
+    ) -> Result<Plan<'t>, RepairError> {
+        let task = plan.task();
+        let mut h = DefaultHasher::new();
+        "repair".hash(&mut h);
+        task.cache_signature().hash(&mut h);
+        exclusions.hash(&mut h);
+        plan.assignments().hash(&mut h);
+        plan.params().inter_bw.to_bits().hash(&mut h);
+        plan.params().intra_bw.to_bits().hash(&mut h);
+        plan.params().inter_latency.to_bits().hash(&mut h);
+        plan.params().intra_latency.to_bits().hash(&mut h);
+        let key = h.finish();
+
+        if let Some(repaired) = self.lookup(key, task, exclusions) {
+            return Ok(repaired);
+        }
+        let repaired = plan.repair(exclusions)?;
+        self.insert(key, &repaired);
+        Ok(repaired)
+    }
+
+    /// Counters since construction (or the last [`clear`](PlanCache::clear)).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().len(),
+        }
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Looks `key` up and re-binds the stored assignments to `task`,
+    /// re-checking that no assignment routes through an excluded sender —
+    /// a violation means the entry is unusable (it can only arise from a
+    /// key collision) and is dropped as a miss.
+    fn lookup<'t>(
+        &self,
+        key: u64,
+        task: &'t ReshardingTask,
+        exclusions: &SenderExclusions,
+    ) -> Option<Plan<'t>> {
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get(&key) {
+            let poisoned = entry
+                .assignments
+                .iter()
+                .any(|a| exclusions.excludes(a.sender, a.sender_host));
+            if poisoned {
+                entries.remove(&key);
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let plan = Plan::new(task, entry.assignments.clone(), entry.params);
+                return Some(plan);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a freshly planned result. Raced duplicate misses overwrite
+    /// each other with identical content (planning is deterministic).
+    fn insert(&self, key: u64, plan: &Plan<'_>) {
+        self.entries.lock().insert(
+            key,
+            Entry {
+                assignments: plan.assignments().to_vec(),
+                params: *plan.params(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planners::testutil::*;
+    use crate::planners::{EnsemblePlanner, NaivePlanner};
+    use crossmesh_netsim::HostId;
+
+    #[test]
+    fn second_plan_is_a_hit_and_identical() {
+        let t = task("RS0R", "S0RR", &[16, 8, 8]);
+        let planner = EnsemblePlanner::new(config());
+        let cache = PlanCache::new();
+        let cold = cache.plan(&planner, &t);
+        let warm = cache.plan(&planner, &t);
+        assert_eq!(cold.assignments(), warm.assignments());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn different_planners_do_not_share_entries() {
+        let t = task("RS0R", "S0RR", &[16, 8, 8]);
+        let cache = PlanCache::new();
+        let a = cache.plan(&EnsemblePlanner::new(config()), &t);
+        let b = cache.plan(&NaivePlanner::new(config()), &t);
+        assert_eq!(cache.stats().misses, 2);
+        // Naive really ran (it pins everything on the lowest host).
+        assert!(b.estimate() >= a.estimate() - 1e-9);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn exclusions_change_the_key() {
+        let t = task("RS1R", "S0RR", &[8, 8, 8]);
+        let planner = EnsemblePlanner::new(config());
+        let cache = PlanCache::new();
+        let _ = cache.plan(&planner, &t);
+        let dead = HostId(0);
+        let excl = SenderExclusions::none().with_host(dead);
+        let repaired = cache
+            .plan_with_exclusions(&planner, &t, &excl)
+            .expect("replicas survive");
+        assert!(repaired.assignments().iter().all(|a| a.sender_host != dead));
+        assert_eq!(
+            cache.stats().hits,
+            0,
+            "exclusions must not hit the base key"
+        );
+        // Replaying the same exclusions IS a hit, still avoiding the host.
+        let again = cache.plan_with_exclusions(&planner, &t, &excl).unwrap();
+        assert_eq!(again.assignments(), repaired.assignments());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn repair_is_cached_per_incumbent_plan() {
+        let t = task("RS1R", "S0RR", &[8, 8, 8]);
+        let planner = EnsemblePlanner::new(config());
+        let cache = PlanCache::new();
+        let plan = planner.plan(&t);
+        let excl = SenderExclusions::none().with_host(HostId(1));
+        let a = cache.repair(&plan, &excl).unwrap();
+        let b = cache.repair(&plan, &excl).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(cache.stats().hits, 1);
+        assert!(a.assignments().iter().all(|x| x.sender_host != HostId(1)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = task("RS0R", "S0RR", &[8, 8, 8]);
+        let cache = PlanCache::new();
+        let _ = cache.plan(&EnsemblePlanner::new(config()), &t);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -13,7 +13,7 @@ use std::fmt;
 
 /// A set of senders that planning must avoid: whole hosts (crashes) and
 /// individual devices (e.g. a wedged NIC queue).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct SenderExclusions {
     hosts: BTreeSet<HostId>,
     devices: BTreeSet<DeviceId>,

@@ -26,17 +26,26 @@
 //!
 //! The produced [`Plan`] can be [`estimate`](Plan::estimate)d analytically
 //! or [`execute`](Plan::execute)d on the flow-level simulator.
+//!
+//! Planning is parallel: the ensemble members run concurrently, greedy
+//! restarts and DFS branches fan out over the current rayon pool, and every
+//! planner is byte-identical to its sequential self at any thread count. A
+//! [`PlanCache`] amortizes planning across repeated identical tasks (every
+//! pipeline microbatch, every repair round), keyed by task content,
+//! [`SenderExclusions`], and planner fingerprint.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dataplane;
 
+mod cache;
 mod exclusions;
 mod plan;
 mod planners;
 mod task;
 
+pub use cache::{CacheStats, PlanCache};
 pub use exclusions::{RepairError, SenderExclusions};
 pub use plan::{Assignment, ExecutionReport, Plan};
 pub use planners::{

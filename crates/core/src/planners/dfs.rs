@@ -5,7 +5,10 @@ use crate::plan::{involved_hosts, Assignment, Plan};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::estimate_unit_task;
 use crossmesh_netsim::HostId;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The paper's "DFS with pruning" (§3.2): a depth-first search over sender
 /// assignments. Partial assignments are pruned when the heaviest sender
@@ -16,6 +19,19 @@ use std::collections::BTreeMap;
 /// The search is bounded by a node budget; the paper notes the exact search
 /// stops being useful beyond ~20 unit tasks, which is why the ensemble also
 /// runs the randomized greedy.
+///
+/// # Parallelism and determinism
+///
+/// The search splits at the shallowest tree levels into independent
+/// *branches* (fixed sender choices for the first one or two items) that
+/// run on the current rayon pool. Each branch gets a fixed share of the
+/// node budget and its own bound, seeded from the LPT estimate, so its
+/// result depends only on the branch — never on thread timing. A shared
+/// atomic best-makespan is consulted *only* to skip a whole branch whose
+/// load lower bound strictly exceeds another branch's published result;
+/// such a branch can never win the final `(estimate, branch index)`
+/// reduction, so skipping it is invisible in the output. The plan is
+/// therefore byte-identical across thread counts.
 #[derive(Debug, Clone)]
 pub struct DfsPlanner {
     config: PlannerConfig,
@@ -48,105 +64,323 @@ impl DfsPlanner {
     }
 }
 
-struct Search<'t, 'c> {
-    task: &'t ReshardingTask,
-    config: &'c PlannerConfig,
-    /// Unit indices in search order with per-candidate (host, duration).
-    items: Vec<(usize, Vec<(HostId, f64)>)>,
-    nodes_left: usize,
-    best_est: f64,
-    best: Option<Vec<Assignment>>,
-    chosen: Vec<(HostId, f64)>,
-    load: BTreeMap<HostId, f64>,
+/// How many top-of-tree branches the search is split into (at least — the
+/// last expanded level may overshoot). A constant rather than the pool
+/// size: the decomposition must not depend on how many threads happen to
+/// run it. 16 gives an 8-thread pool two branches per thread to balance
+/// uneven subtree costs.
+const BRANCH_TARGET: usize = 16;
+
+/// One sender candidate of a search item, with everything the hot loop
+/// needs precomputed: the dense host slot it loads, its analytic duration,
+/// and the dense slots of every host the transfer occupies (ascending host
+/// order, matching [`involved_hosts`]).
+struct Cand {
+    host: HostId,
+    slot: u32,
+    duration: f64,
+    involved: Vec<u32>,
 }
 
-impl<'t> Search<'t, '_> {
+/// One unit task in search order with its candidate senders.
+struct Item {
+    unit: usize,
+    cands: Vec<Cand>,
+}
+
+/// Immutable search context shared by every branch.
+struct SearchCtx<'t, 'c> {
+    task: &'t ReshardingTask,
+    config: &'c PlannerConfig,
+    items: Vec<Item>,
+    n_slots: usize,
+    seed_est: f64,
+}
+
+impl<'t, 'c> SearchCtx<'t, 'c> {
+    fn build(task: &'t ReshardingTask, config: &'c PlannerConfig, seed_est: f64) -> Self {
+        // Dense host -> slot mapping over every host any candidate touches,
+        // in ascending host order so slot order == host order.
+        let mut slots: BTreeMap<HostId, u32> = BTreeMap::new();
+        for unit in task.units() {
+            for h in unit.sender_hosts() {
+                for ih in involved_hosts(unit, h) {
+                    let next = slots.len() as u32;
+                    slots.entry(ih).or_insert(next);
+                }
+            }
+        }
+        let mut items: Vec<Item> = task
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, unit)| {
+                let strategy = config.strategy.resolve(unit);
+                let cands = unit
+                    .sender_hosts()
+                    .into_iter()
+                    .map(|h| Cand {
+                        host: h,
+                        slot: slots[&h],
+                        duration: estimate_unit_task(&config.params, unit, h, strategy),
+                        involved: involved_hosts(unit, h).iter().map(|ih| slots[ih]).collect(),
+                    })
+                    .collect();
+                Item { unit: i, cands }
+            })
+            .collect();
+        // Longest first: prunes earlier.
+        items.sort_by(|a, b| {
+            let da = a
+                .cands
+                .iter()
+                .map(|c| c.duration)
+                .fold(f64::INFINITY, f64::min);
+            let db = b
+                .cands
+                .iter()
+                .map(|c| c.duration)
+                .fold(f64::INFINITY, f64::min);
+            db.total_cmp(&da).then(a.unit.cmp(&b.unit))
+        });
+        SearchCtx {
+            task,
+            config,
+            items,
+            n_slots: slots.len(),
+            seed_est,
+        }
+    }
+
+    /// Enumerates the top-of-tree branches: every candidate combination for
+    /// a prefix of items, the prefix grown until there are at least
+    /// [`BRANCH_TARGET`] branches (or the items run out). The target is a
+    /// constant — NOT the pool size — so the decomposition, the per-branch
+    /// budget shares, and therefore the search result are identical at
+    /// every thread count; the pool only decides how many branches run
+    /// concurrently.
+    fn branches(&self) -> Vec<Vec<u32>> {
+        let target = BRANCH_TARGET;
+        let mut depth = 0usize;
+        let mut count = 1usize;
+        while depth < self.items.len() && count < target {
+            count = count.saturating_mul(self.items[depth].cands.len().max(1));
+            depth += 1;
+        }
+        let mut branches: Vec<Vec<u32>> = vec![Vec::new()];
+        for item in &self.items[..depth] {
+            let mut next = Vec::with_capacity(branches.len() * item.cands.len());
+            for prefix in &branches {
+                for ci in 0..item.cands.len() as u32 {
+                    let mut p = prefix.clone();
+                    p.push(ci);
+                    next.push(p);
+                }
+            }
+            branches = next;
+        }
+        branches
+    }
+
+    /// Runs one branch to completion with its own budget share. Returns the
+    /// branch's best `(makespan estimate, per-item candidate choice)` if it
+    /// improved on the LPT seed.
+    fn run_branch(
+        &self,
+        prefix: &[u32],
+        budget: usize,
+        shared_best: &AtomicU64,
+    ) -> Option<(f64, Vec<u32>)> {
+        let mut load = vec![0.0f64; self.n_slots];
+        let mut branch_lb = 0.0f64;
+        for (depth, &ci) in prefix.iter().enumerate() {
+            let c = &self.items[depth].cands[ci as usize];
+            load[c.slot as usize] += c.duration;
+            if load[c.slot as usize] >= self.seed_est {
+                // The sequential bound (which every branch starts from)
+                // already prunes this prefix — deterministic skip.
+                return None;
+            }
+            branch_lb = branch_lb.max(load[c.slot as usize]);
+        }
+        // Opportunistic skip: every leaf under this prefix has makespan
+        // >= branch_lb, so a *strictly* smaller published result from some
+        // other branch proves this branch cannot win the reduction. Timing
+        // only decides whether we skip, never what the reduction returns.
+        if branch_lb > f64::from_bits(shared_best.load(Ordering::Relaxed)) {
+            return None;
+        }
+        let n = self.items.len();
+        let mut search = BranchSearch {
+            ctx: self,
+            load,
+            chosen: {
+                let mut v = vec![0u32; n];
+                v[..prefix.len()].copy_from_slice(prefix);
+                v
+            },
+            nodes_left: budget,
+            best_est: self.seed_est,
+            best_choice: None,
+            order_scratch: vec![Vec::new(); n],
+            cursor: vec![0.0f64; self.n_slots],
+            remaining: Vec::with_capacity(n),
+        };
+        search.dfs(prefix.len());
+        let best_est = search.best_est;
+        search.best_choice.map(|choice| {
+            shared_best.fetch_min(best_est.to_bits(), Ordering::Relaxed);
+            (best_est, choice)
+        })
+    }
+
+    /// Builds the ordered assignments for a complete choice using an
+    /// earliest-start list schedule over host availability, returning the
+    /// assignments and their makespan. Each candidate's start is computed
+    /// once per selection scan.
+    fn schedule_choice(&self, choice: &[u32]) -> (Vec<Assignment>, f64) {
+        let mut cursor = vec![0.0f64; self.n_slots];
+        let mut remaining: Vec<u32> = (0..self.items.len() as u32).collect();
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut makespan = 0.0f64;
+        while !remaining.is_empty() {
+            let (pos, start) = self.next_scheduled(&cursor, &remaining, choice);
+            let it = remaining.swap_remove(pos) as usize;
+            let item = &self.items[it];
+            let c = &item.cands[choice[it] as usize];
+            let finish = start + c.duration;
+            for &s in &c.involved {
+                cursor[s as usize] = finish;
+            }
+            makespan = makespan.max(finish);
+            let unit = &self.task.units()[item.unit];
+            out.push(Assignment {
+                unit: item.unit,
+                sender: replica_on(unit, c.host),
+                sender_host: c.host,
+                strategy: self.config.strategy.resolve(unit),
+            });
+        }
+        (out, makespan)
+    }
+
+    /// Selects the next list-schedule entry: minimal `(earliest start,
+    /// -duration, unit)`. Returns its position in `remaining` and its
+    /// start time.
+    fn next_scheduled(&self, cursor: &[f64], remaining: &[u32], choice: &[u32]) -> (usize, f64) {
+        let mut best_pos = 0usize;
+        let mut best: Option<(f64, f64, usize)> = None;
+        for (pos, &it) in remaining.iter().enumerate() {
+            let item = &self.items[it as usize];
+            let c = &item.cands[choice[it as usize] as usize];
+            let start = c
+                .involved
+                .iter()
+                .map(|&s| cursor[s as usize])
+                .fold(0.0, f64::max);
+            let key = (start, -c.duration, item.unit);
+            let better = match &best {
+                None => true,
+                Some(b) => key
+                    .0
+                    .total_cmp(&b.0)
+                    .then(key.1.total_cmp(&b.1))
+                    .then(key.2.cmp(&b.2))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(key);
+                best_pos = pos;
+            }
+        }
+        (best_pos, best.expect("remaining is non-empty").0)
+    }
+}
+
+/// Mutable per-branch search state; all buffers are reused across nodes.
+struct BranchSearch<'a, 't, 'c> {
+    ctx: &'a SearchCtx<'t, 'c>,
+    /// Accumulated duration per host slot.
+    load: Vec<f64>,
+    /// Candidate index per item (prefix fixed, rest in flux).
+    chosen: Vec<u32>,
+    nodes_left: usize,
+    best_est: f64,
+    best_choice: Option<Vec<u32>>,
+    /// Per-depth candidate-order buffers (avoids per-node allocation).
+    order_scratch: Vec<Vec<u32>>,
+    /// Leaf-evaluation host cursors.
+    cursor: Vec<f64>,
+    /// Leaf-evaluation worklist.
+    remaining: Vec<u32>,
+}
+
+impl BranchSearch<'_, '_, '_> {
     fn dfs(&mut self, depth: usize) {
         if self.nodes_left == 0 {
             return;
         }
         self.nodes_left -= 1;
 
-        if depth == self.items.len() {
-            let assignments = self.leaf_assignments();
-            let plan = Plan::new(self.task, assignments.clone(), self.config.params);
-            let est = plan.estimate();
+        if depth == self.ctx.items.len() {
+            let est = self.eval_leaf();
             if est < self.best_est {
                 self.best_est = est;
-                self.best = Some(assignments);
+                self.best_choice = Some(self.chosen.clone());
             }
             return;
         }
 
         // Try lighter hosts first to reach good leaves early.
-        let mut candidates = self.items[depth].1.clone();
-        candidates.sort_by(|&(ha, da), &(hb, db)| {
-            let la = self.load.get(&ha).copied().unwrap_or(0.0) + da;
-            let lb = self.load.get(&hb).copied().unwrap_or(0.0) + db;
-            la.total_cmp(&lb).then(ha.cmp(&hb))
+        let item = &self.ctx.items[depth];
+        let mut order = std::mem::take(&mut self.order_scratch[depth]);
+        order.clear();
+        order.extend(0..item.cands.len() as u32);
+        order.sort_by(|&a, &b| {
+            let ca = &item.cands[a as usize];
+            let cb = &item.cands[b as usize];
+            let la = self.load[ca.slot as usize] + ca.duration;
+            let lb = self.load[cb.slot as usize] + cb.duration;
+            la.total_cmp(&lb).then(ca.host.cmp(&cb.host))
         });
-        for (host, duration) in candidates {
-            let new_load = self.load.get(&host).copied().unwrap_or(0.0) + duration;
+        for &ci in &order {
+            let (slot, duration) = {
+                let c = &item.cands[ci as usize];
+                (c.slot as usize, c.duration)
+            };
+            let new_load = self.load[slot] + duration;
             if new_load >= self.best_est {
                 continue; // Eq. 4 lower bound: this host alone busts the best.
             }
-            *self.load.entry(host).or_insert(0.0) += duration;
-            self.chosen.push((host, duration));
+            self.load[slot] += duration;
+            self.chosen[depth] = ci;
             self.dfs(depth + 1);
-            self.chosen.pop();
-            *self.load.get_mut(&host).expect("host load present") -= duration;
+            self.load[slot] -= duration;
         }
+        self.order_scratch[depth] = order;
     }
 
-    /// Builds the ordered assignments for the current complete choice using
-    /// an earliest-start list schedule over host availability.
-    fn leaf_assignments(&self) -> Vec<Assignment> {
-        let entries: Vec<(usize, HostId, f64)> = self
-            .items
-            .iter()
-            .zip(&self.chosen)
-            .map(|(&(unit, _), &(host, duration))| (unit, host, duration))
-            .collect();
-        let mut cursor: BTreeMap<HostId, f64> = BTreeMap::new();
-        let mut remaining: Vec<(usize, HostId, f64)> = entries;
-        let mut out = Vec::with_capacity(remaining.len());
-        while !remaining.is_empty() {
-            let (pos, _) = remaining
-                .iter()
-                .enumerate()
-                .map(|(pos, &(unit, host, duration))| {
-                    let hosts = involved_hosts(&self.task.units()[unit], host);
-                    let start = hosts
-                        .iter()
-                        .map(|h| cursor.get(h).copied().unwrap_or(0.0))
-                        .fold(0.0, f64::max);
-                    (pos, (start, -duration, unit))
-                })
-                .min_by(|a, b| {
-                    a.1 .0
-                        .total_cmp(&b.1 .0)
-                        .then(a.1 .1.total_cmp(&b.1 .1))
-                        .then(a.1 .2.cmp(&b.1 .2))
-                })
-                .expect("remaining is non-empty");
-            let (unit, host, duration) = remaining.swap_remove(pos);
-            let hosts = involved_hosts(&self.task.units()[unit], host);
-            let start = hosts
-                .iter()
-                .map(|h| cursor.get(h).copied().unwrap_or(0.0))
-                .fold(0.0, f64::max);
-            for h in hosts {
-                cursor.insert(h, start + duration);
+    /// Evaluates the current complete choice: the makespan of its
+    /// earliest-start list schedule, computed incrementally over the reused
+    /// cursor buffer — no plan construction, no candidate rescans.
+    fn eval_leaf(&mut self) -> f64 {
+        self.cursor.fill(0.0);
+        self.remaining.clear();
+        self.remaining.extend(0..self.ctx.items.len() as u32);
+        let mut makespan = 0.0f64;
+        while !self.remaining.is_empty() {
+            let (pos, start) = self
+                .ctx
+                .next_scheduled(&self.cursor, &self.remaining, &self.chosen);
+            let it = self.remaining.swap_remove(pos) as usize;
+            let c = &self.ctx.items[it].cands[self.chosen[it] as usize];
+            let finish = start + c.duration;
+            for &s in &c.involved {
+                self.cursor[s as usize] = finish;
             }
-            let u = &self.task.units()[unit];
-            out.push(Assignment {
-                unit,
-                sender: replica_on(u, host),
-                sender_host: host,
-                strategy: self.config.strategy.resolve(u),
-            });
+            makespan = makespan.max(finish);
         }
-        out
+        makespan
     }
 }
 
@@ -155,52 +389,60 @@ impl Planner for DfsPlanner {
         // Start from the LPT solution: the search can only improve on it.
         let seed_plan = LoadBalancePlanner::new(self.config).plan(task);
         let seed_est = seed_plan.estimate();
+        if task.units().is_empty() {
+            return seed_plan;
+        }
 
-        let mut items: Vec<(usize, Vec<(HostId, f64)>)> = task
-            .units()
-            .iter()
-            .enumerate()
-            .map(|(i, unit)| {
-                let strategy = self.config.strategy.resolve(unit);
-                let cands = unit
-                    .sender_hosts()
-                    .into_iter()
-                    .map(|h| {
-                        (
-                            h,
-                            estimate_unit_task(&self.config.params, unit, h, strategy),
-                        )
-                    })
-                    .collect();
-                (i, cands)
+        let ctx = SearchCtx::build(task, &self.config, seed_est);
+        let branches = ctx.branches();
+        let k = branches.len();
+        let shared_best = AtomicU64::new(seed_est.to_bits());
+        let budget = self.node_budget;
+        let jobs: Vec<(usize, Vec<u32>)> = branches.into_iter().enumerate().collect();
+        let results: Vec<Option<(f64, Vec<u32>)>> = jobs
+            .par_iter()
+            .map(|(i, prefix)| {
+                // Fixed, thread-count-independent budget share per branch.
+                let share = budget / k + usize::from(*i < budget % k);
+                ctx.run_branch(prefix, share, &shared_best)
             })
             .collect();
-        // Longest first: prunes earlier.
-        items.sort_by(|a, b| {
-            let da = a.1.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
-            let db = b.1.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
-            db.total_cmp(&da).then(a.0.cmp(&b.0))
-        });
 
-        let mut search = Search {
-            task,
-            config: &self.config,
-            items,
-            nodes_left: self.node_budget,
-            best_est: seed_est,
-            best: None,
-            chosen: Vec::new(),
-            load: BTreeMap::new(),
-        };
-        search.dfs(0);
-        match search.best {
-            Some(assignments) => Plan::new(task, assignments, self.config.params),
+        // Deterministic reduction: min (estimate, branch index), strict, so
+        // the earliest branch wins ties.
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        for result in results.into_iter().flatten() {
+            let better = match &best {
+                None => true,
+                Some((est, _)) => result.0 < *est,
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        match best {
+            Some((est, choice)) => {
+                let (assignments, makespan) = ctx.schedule_choice(&choice);
+                debug_assert!(
+                    (makespan - est).abs() <= 1e-12 * est.abs().max(1.0),
+                    "leaf evaluation diverged from the materialized schedule"
+                );
+                Plan::new(task, assignments, self.config.params)
+            }
             None => seed_plan,
         }
     }
 
     fn name(&self) -> &'static str {
         "dfs"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name().hash(&mut h);
+        super::hash_planner_config(&mut h, &self.config);
+        self.node_budget.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -242,5 +484,118 @@ mod tests {
         let t = task("RS0R", "S0RR", &[8, 8, 8]);
         let plan = DfsPlanner::new(config()).plan(&t);
         assert!(plan.lower_bound() <= plan.estimate() + 1e-9);
+    }
+
+    /// The pre-optimization `leaf_assignments`: recomputes each candidate's
+    /// involved hosts and start twice per placement. Kept as the reference
+    /// the incremental scheduler must match exactly.
+    fn reference_leaf_assignments(
+        task: &crate::ReshardingTask,
+        config: &PlannerConfig,
+        entries: Vec<(usize, HostId, f64)>,
+    ) -> Vec<Assignment> {
+        let mut cursor: BTreeMap<HostId, f64> = BTreeMap::new();
+        let mut remaining = entries;
+        let mut out = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &(unit, host, duration))| {
+                    let hosts = involved_hosts(&task.units()[unit], host);
+                    let start = hosts
+                        .iter()
+                        .map(|h| cursor.get(h).copied().unwrap_or(0.0))
+                        .fold(0.0, f64::max);
+                    (pos, (start, -duration, unit))
+                })
+                .min_by(|a, b| {
+                    a.1 .0
+                        .total_cmp(&b.1 .0)
+                        .then(a.1 .1.total_cmp(&b.1 .1))
+                        .then(a.1 .2.cmp(&b.1 .2))
+                })
+                .expect("remaining is non-empty");
+            let (unit, host, duration) = remaining.swap_remove(pos);
+            let hosts = involved_hosts(&task.units()[unit], host);
+            let start = hosts
+                .iter()
+                .map(|h| cursor.get(h).copied().unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            for h in hosts {
+                cursor.insert(h, start + duration);
+            }
+            let u = &task.units()[unit];
+            out.push(Assignment {
+                unit,
+                sender: replica_on(u, host),
+                sender_host: host,
+                strategy: config.strategy.resolve(u),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_schedule_matches_the_old_rescanning_one() {
+        for (src, dst, shape) in [
+            ("RRR", "S0RR", [16u64, 8, 8]),
+            ("RS0R", "S0RR", [8, 8, 8]),
+            ("S0RR", "S01RR", [16, 8, 8]),
+            ("RS1R", "S0RR", [8, 8, 8]),
+        ] {
+            let t = task(src, dst, &shape);
+            let cfg = config();
+            let ctx = SearchCtx::build(&t, &cfg, f64::INFINITY);
+            // Exercise every first-candidate choice plus a rotated one.
+            for rot in 0..2usize {
+                let choice: Vec<u32> = ctx
+                    .items
+                    .iter()
+                    .map(|it| (rot % it.cands.len()) as u32)
+                    .collect();
+                let entries: Vec<(usize, HostId, f64)> = ctx
+                    .items
+                    .iter()
+                    .zip(&choice)
+                    .map(|(it, &ci)| {
+                        let c = &it.cands[ci as usize];
+                        (it.unit, c.host, c.duration)
+                    })
+                    .collect();
+                let expected = reference_leaf_assignments(&t, &cfg, entries);
+                let (got, makespan) = ctx.schedule_choice(&choice);
+                assert_eq!(got, expected, "{src}->{dst} rot {rot}");
+                let plan_est = Plan::new(&t, got, cfg.params).estimate();
+                assert_eq!(
+                    makespan.to_bits(),
+                    plan_est.to_bits(),
+                    "incremental makespan must equal the plan estimate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let t = task("RS1R", "S01RR", &[16, 8, 8]);
+        let planner = DfsPlanner::new(config());
+        let baseline = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| planner.plan(&t));
+        for threads in [2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let plan = pool.install(|| planner.plan(&t));
+            assert_eq!(
+                plan.assignments(),
+                baseline.assignments(),
+                "threads = {threads}"
+            );
+        }
     }
 }

@@ -67,11 +67,13 @@ impl Planner for EnsemblePlanner {
         // DFS explodes on large task counts; skip it there, as the paper
         // observes it "fails to produce an efficient schedule ... when
         // there are > 20 unit communication tasks".
-        let greedy = self.greedy.plan(task);
         if task.units().len() > 20 {
-            return greedy;
+            return self.greedy.plan(task);
         }
-        let dfs = self.dfs.plan(task);
+        // Both members run concurrently on the current rayon pool; each is
+        // internally deterministic, and the tie prefers DFS (the fixed
+        // planner-priority order), so the choice is thread-count-invariant.
+        let (dfs, greedy) = rayon::join(|| self.dfs.plan(task), || self.greedy.plan(task));
         if dfs.estimate() <= greedy.estimate() {
             dfs
         } else {
@@ -81,6 +83,14 @@ impl Planner for EnsemblePlanner {
 
     fn name(&self) -> &'static str {
         "ours"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        self.name().hash(&mut h);
+        (self.dfs.fingerprint(), self.greedy.fingerprint()).hash(&mut h);
+        h.finish()
     }
 }
 

@@ -7,7 +7,9 @@ use crossmesh_netsim::HostId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 
 /// The paper's randomized greedy: iteratively pack *rounds* of mutually
 /// non-conflicting unit tasks (no shared sender or receiver host). Each
@@ -16,12 +18,20 @@ use std::collections::BTreeSet;
 /// task's unit tasks are mostly identical and uniformly spread over
 /// devices, a few random permutations routinely find optimal rounds.
 ///
+/// The planner runs several independent *restarts*, each with its own
+/// seeded RNG stream, fanned out over the current rayon pool; the best
+/// plan wins, ties broken by restart index, so the result is byte-identical
+/// at every thread count. Restart 0 reuses `seed` directly, which makes a
+/// single-restart planner behave exactly like the historical
+/// single-stream one.
+///
 /// Deterministic for a fixed `seed`.
 #[derive(Debug, Clone)]
 pub struct RandomizedGreedyPlanner {
     config: PlannerConfig,
     permutations: usize,
     seed: u64,
+    restarts: usize,
 }
 
 impl Default for RandomizedGreedyPlanner {
@@ -30,6 +40,7 @@ impl Default for RandomizedGreedyPlanner {
             config: PlannerConfig::default(),
             permutations: 16,
             seed: 0x5eed,
+            restarts: 4,
         }
     }
 }
@@ -61,6 +72,65 @@ impl RandomizedGreedyPlanner {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Returns a copy with the number of independent restarts replaced.
+    /// Restarts are the planner's parallel grain: each runs the full
+    /// round-packing loop with its own RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restarts` is zero.
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        assert!(restarts > 0, "need at least one restart");
+        self.restarts = restarts;
+        self
+    }
+
+    /// The seed of restart `r`: the configured seed verbatim for restart 0
+    /// (preserving the historical stream), a golden-ratio-mixed variant for
+    /// the rest (`SmallRng` splitmixes it further, decorrelating streams).
+    fn restart_seed(&self, r: usize) -> u64 {
+        self.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r as u64)
+    }
+
+    /// One full restart: the historical single-stream round-packing loop.
+    fn run_restart(&self, task: &ReshardingTask, seed: u64) -> Vec<Assignment> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut remaining: Vec<usize> = (0..task.units().len()).collect();
+        let mut assignments = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let mut best: Option<(Vec<(usize, HostId)>, usize)> = None;
+            for p in 0..self.permutations {
+                let mut order = remaining.clone();
+                // First permutation is the deterministic index order; the
+                // rest are random.
+                if p > 0 {
+                    order.shuffle(&mut rng);
+                }
+                let (picked, score) = self.select_round(task, &order);
+                if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                    best = Some((picked, score));
+                }
+            }
+            let (mut picked, _) = best.expect("at least one permutation ran");
+            debug_assert!(!picked.is_empty(), "a round always fits one task");
+            // Deterministic intra-round order.
+            picked.sort_by_key(|&(u, _)| u);
+            let selected: BTreeSet<usize> = picked.iter().map(|&(u, _)| u).collect();
+            for (u, host) in picked {
+                let unit = &task.units()[u];
+                assignments.push(Assignment {
+                    unit: u,
+                    sender: replica_on(unit, host),
+                    sender_host: host,
+                    strategy: self.config.strategy.resolve(unit),
+                });
+            }
+            remaining.retain(|u| !selected.contains(u));
+        }
+        assignments
     }
 
     /// Greedily selects a conflict-free set following `order`, preferring
@@ -96,44 +166,34 @@ impl RandomizedGreedyPlanner {
 
 impl Planner for RandomizedGreedyPlanner {
     fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut remaining: Vec<usize> = (0..task.units().len()).collect();
-        let mut assignments = Vec::with_capacity(remaining.len());
-        while !remaining.is_empty() {
-            let mut best: Option<(Vec<(usize, HostId)>, usize)> = None;
-            for p in 0..self.permutations {
-                let mut order = remaining.clone();
-                // First permutation is the deterministic index order; the
-                // rest are random.
-                if p > 0 {
-                    order.shuffle(&mut rng);
-                }
-                let (picked, score) = self.select_round(task, &order);
-                if best.as_ref().is_none_or(|(_, s)| score > *s) {
-                    best = Some((picked, score));
-                }
-            }
-            let (mut picked, _) = best.expect("at least one permutation ran");
-            debug_assert!(!picked.is_empty(), "a round always fits one task");
-            // Deterministic intra-round order.
-            picked.sort_by_key(|&(u, _)| u);
-            let selected: BTreeSet<usize> = picked.iter().map(|&(u, _)| u).collect();
-            for (u, host) in picked {
-                let unit = &task.units()[u];
-                assignments.push(Assignment {
-                    unit: u,
-                    sender: replica_on(unit, host),
-                    sender_host: host,
-                    strategy: self.config.strategy.resolve(unit),
-                });
-            }
-            remaining.retain(|u| !selected.contains(u));
-        }
-        Plan::new(task, assignments, self.config.params)
+        let seeds: Vec<u64> = (0..self.restarts).map(|r| self.restart_seed(r)).collect();
+        let candidates: Vec<(f64, Vec<Assignment>)> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let assignments = self.run_restart(task, seed);
+                let est = Plan::new(task, assignments.clone(), self.config.params).estimate();
+                (est, assignments)
+            })
+            .collect();
+        // Deterministic reduction: min (estimate, restart index), strict,
+        // so the earliest restart wins ties at every thread count.
+        let best = candidates
+            .into_iter()
+            .reduce(|best, next| if next.0 < best.0 { next } else { best })
+            .expect("at least one restart ran");
+        Plan::new(task, best.1, self.config.params)
     }
 
     fn name(&self) -> &'static str {
         "randomized_greedy"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name().hash(&mut h);
+        super::hash_planner_config(&mut h, &self.config);
+        (self.permutations, self.seed, self.restarts).hash(&mut h);
+        h.finish()
     }
 }
 
@@ -209,5 +269,48 @@ mod tests {
     #[should_panic(expected = "at least one permutation")]
     fn zero_permutations_panics() {
         let _ = RandomizedGreedyPlanner::new(config()).with_permutations(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_panics() {
+        let _ = RandomizedGreedyPlanner::new(config()).with_restarts(0);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let t = task("RS0R", "S01RR", &[16, 8, 8]);
+        let one = RandomizedGreedyPlanner::new(config())
+            .with_restarts(1)
+            .plan(&t)
+            .estimate();
+        let eight = RandomizedGreedyPlanner::new(config())
+            .with_restarts(8)
+            .plan(&t)
+            .estimate();
+        assert!(eight <= one + 1e-9, "restarts made the plan worse");
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let t = task("RS1R", "S01RR", &[16, 8, 8]);
+        let planner = RandomizedGreedyPlanner::new(config()).with_restarts(8);
+        let baseline = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| planner.plan(&t));
+        for threads in [2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let plan = pool.install(|| planner.plan(&t));
+            assert_eq!(
+                plan.assignments(),
+                baseline.assignments(),
+                "threads = {threads}"
+            );
+        }
     }
 }

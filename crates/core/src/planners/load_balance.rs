@@ -84,6 +84,14 @@ impl Planner for LoadBalancePlanner {
     fn name(&self) -> &'static str {
         "load_balance"
     }
+
+    fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name().hash(&mut h);
+        super::hash_planner_config(&mut h, &self.config);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,31 @@ pub trait Planner {
 
     /// A short name for reports and figures.
     fn name(&self) -> &'static str;
+
+    /// A stable fingerprint of the planner's identity and configuration,
+    /// mixed into [`PlanCache`](crate::PlanCache) keys so
+    /// differently-configured planners never share cache entries.
+    ///
+    /// The default hashes only [`name`](Planner::name); planners with
+    /// tunable knobs (budgets, seeds, cost parameters) override it to
+    /// include them.
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        self.name().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Hashes a [`PlannerConfig`] into `h` for planner fingerprints: cost
+/// parameters bit-exactly, the strategy via its debug form.
+pub(crate) fn hash_planner_config<H: std::hash::Hasher>(h: &mut H, config: &PlannerConfig) {
+    use std::hash::Hash;
+    config.params.inter_bw.to_bits().hash(h);
+    config.params.intra_bw.to_bits().hash(h);
+    config.params.inter_latency.to_bits().hash(h);
+    config.params.intra_latency.to_bits().hash(h);
+    format!("{:?}", config.strategy).hash(h);
 }
 
 /// Runs `planner` on the task with the excluded senders removed, then

@@ -91,6 +91,34 @@ impl ReshardingTask {
         self.units.iter().map(|u| u.bytes).sum()
     }
 
+    /// A content signature of the task for plan-cache keys: two tasks with
+    /// the same signature describe the same planning problem.
+    ///
+    /// Hashes the sharding specs, meshes, tensor shape, element size, and
+    /// every unit task's replica/receiver structure — everything a planner
+    /// reads. Senders removed by [`excluding`](ReshardingTask::excluding)
+    /// change the signature, so a filtered task never aliases its parent.
+    pub fn cache_signature(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.src_mesh.to_string().hash(&mut h);
+        self.src_spec.to_string().hash(&mut h);
+        self.dst_mesh.to_string().hash(&mut h);
+        self.dst_spec.to_string().hash(&mut h);
+        self.shape.hash(&mut h);
+        self.elem_bytes.hash(&mut h);
+        self.units.len().hash(&mut h);
+        for unit in &self.units {
+            unit.index.hash(&mut h);
+            unit.bytes.hash(&mut h);
+            unit.senders.hash(&mut h);
+            for r in &unit.receivers {
+                (r.device, r.host).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// The same task with the excluded senders removed from every unit
     /// task's replica set `N_i` — the planning input after failures.
     ///

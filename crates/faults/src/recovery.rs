@@ -10,7 +10,7 @@
 
 use crate::backend::FaultInjectable;
 use crate::schedule::FaultSchedule;
-use crossmesh_core::{ExecutionReport, Plan, RepairError, SenderExclusions};
+use crossmesh_core::{ExecutionReport, Plan, PlanCache, RepairError, SenderExclusions};
 use crossmesh_netsim::{ClusterSpec, FailureKind, HostId, SimError, TaskGraph, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -74,6 +74,11 @@ pub struct RecoveryReport {
     pub degraded_makespan: Option<f64>,
     /// Flow re-transmissions absorbed across both attempts.
     pub retries: u64,
+    /// Repair plans served from the plan cache (0 without a cache).
+    pub plan_cache_hits: u64,
+    /// Repair plans that had to run the repair logic (0 without a cache,
+    /// even though the repair then runs uncached).
+    pub plan_cache_misses: u64,
 }
 
 /// Converts a trace with failed tasks into the error
@@ -128,6 +133,37 @@ pub fn execute_with_repair<B: FaultInjectable>(
     backend: &B,
     schedule: &FaultSchedule,
 ) -> Result<RecoveryReport, RecoveryError> {
+    execute_with_repair_cached(plan, cluster, backend, schedule, None)
+}
+
+/// [`execute_with_repair`], with the repair step served from a
+/// [`PlanCache`] when one is supplied: a repeated (plan, crashed-hosts)
+/// pair replays the previously computed failover plan instead of
+/// re-running `Plan::repair`. The exclusions are part of the cache key, so
+/// a cached entry can never assign an excluded sender; the cache re-checks
+/// that invariant on every hit anyway. The report's
+/// [`plan_cache_hits`](RecoveryReport::plan_cache_hits) /
+/// [`plan_cache_misses`](RecoveryReport::plan_cache_misses) are the
+/// deltas this call contributed to the cache's counters.
+///
+/// # Errors
+///
+/// Same as [`execute_with_repair`].
+pub fn execute_with_repair_cached<B: FaultInjectable>(
+    plan: &Plan<'_>,
+    cluster: &ClusterSpec,
+    backend: &B,
+    schedule: &FaultSchedule,
+    cache: Option<&PlanCache>,
+) -> Result<RecoveryReport, RecoveryError> {
+    let stats_before = cache.map(|c| c.stats()).unwrap_or_default();
+    let cache_delta = |c: Option<&PlanCache>| {
+        let after = c.map(|c| c.stats()).unwrap_or_default();
+        (
+            after.hits - stats_before.hits,
+            after.misses - stats_before.misses,
+        )
+    };
     let mut graph = TaskGraph::new();
     let lowered = plan.lower(&mut graph, &[]);
     let (wasted, mut retries, failure) =
@@ -145,6 +181,8 @@ pub fn execute_with_repair<B: FaultInjectable>(
                     excluded_hosts: Vec::new(),
                     degraded_makespan: stats.degraded_makespan,
                     retries: stats.retries,
+                    plan_cache_hits: 0,
+                    plan_cache_misses: 0,
                 });
             }
             // The simulator completes a faulted run and reports failed
@@ -166,7 +204,10 @@ pub fn execute_with_repair<B: FaultInjectable>(
         return Err(RecoveryError::Sim(failure));
     }
     let exclusions = SenderExclusions::for_hosts(excluded_hosts.iter().copied());
-    let repaired = plan.repair(&exclusions)?;
+    let repaired = match cache {
+        Some(c) => c.repair(plan, &exclusions)?,
+        None => plan.repair(&exclusions)?,
+    };
 
     let mut graph = TaskGraph::new();
     let lowered = repaired.lower(&mut graph, &[]);
@@ -193,6 +234,7 @@ pub fn execute_with_repair<B: FaultInjectable>(
         .filter(|a| original.get(&a.unit) != Some(&a.sender))
         .count();
     let finish = trace.interval(lowered.done).finish;
+    let (plan_cache_hits, plan_cache_misses) = cache_delta(cache);
     Ok(RecoveryReport {
         report: ExecutionReport {
             simulated_seconds: finish,
@@ -204,6 +246,8 @@ pub fn execute_with_repair<B: FaultInjectable>(
         excluded_hosts,
         degraded_makespan: Some(wasted + finish),
         retries,
+        plan_cache_hits,
+        plan_cache_misses,
     })
 }
 
@@ -300,6 +344,31 @@ mod tests {
         assert!(r.repaired);
         assert_eq!(r.excluded_hosts, vec![HostId(0)]);
         assert!(r.failovers > 0);
+    }
+
+    #[test]
+    fn a_cached_repair_matches_the_uncached_one_and_avoids_the_crash() {
+        let c = cluster();
+        let t = replicated_task(&c);
+        let plan = EnsemblePlanner::new(config()).plan(&t);
+        let schedule = FaultSchedule::new(0).with_event(FaultEvent::HostCrash { host: 0, at: 0.0 });
+        let cache = crossmesh_core::PlanCache::new();
+
+        let uncached = execute_with_repair(&plan, &c, &SimBackend, &schedule).unwrap();
+        let cold =
+            execute_with_repair_cached(&plan, &c, &SimBackend, &schedule, Some(&cache)).unwrap();
+        assert_eq!((cold.plan_cache_hits, cold.plan_cache_misses), (0, 1));
+        assert_eq!(cold.report, uncached.report);
+        assert_eq!(cold.failovers, uncached.failovers);
+
+        // The second identical failure replays the repair from the cache
+        // and the served plan still routes around the crashed host.
+        let warm =
+            execute_with_repair_cached(&plan, &c, &SimBackend, &schedule, Some(&cache)).unwrap();
+        assert_eq!((warm.plan_cache_hits, warm.plan_cache_misses), (1, 0));
+        assert_eq!(warm.report, cold.report);
+        assert_eq!(warm.excluded_hosts, vec![HostId(0)]);
+        assert_eq!(warm.failovers, cold.failovers);
     }
 
     #[test]

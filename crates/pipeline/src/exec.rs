@@ -3,7 +3,7 @@
 use crate::schedule::{build_schedule, Op, Schedule, ScheduleKind, WeightDelay};
 use crate::stage::StageGraph;
 use crossmesh_collectives::estimate_unit_task;
-use crossmesh_core::{CostParams, Plan, Planner};
+use crossmesh_core::{CostParams, Plan, PlanCache, Planner};
 use crossmesh_netsim::{
     Backend, ClusterSpec, DeviceId, SimBackend, SimError, TaskGraph, TaskId, Work,
 };
@@ -68,6 +68,25 @@ pub struct PipelineReport {
     pub mean_device_utilization: f64,
     /// Number of simulator tasks lowered.
     pub tasks_lowered: usize,
+    /// Resharding plans served from the [`PlanCache`] during this call
+    /// (0 when no cache was supplied).
+    pub plan_cache_hits: u64,
+    /// Resharding plans that had to be computed during this call (0 when
+    /// no cache was supplied).
+    pub plan_cache_misses: u64,
+}
+
+impl PipelineReport {
+    /// Plan-cache hits as a fraction of this call's plan lookups (0 when
+    /// planning was uncached).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The least weight delay whose overlap window covers the slowest backward
@@ -151,6 +170,31 @@ pub fn simulate_with(
     config: &PipelineConfig,
     backend: &dyn Backend,
 ) -> Result<PipelineReport, SimError> {
+    simulate_with_cache(graph, cluster, planner, config, backend, None)
+}
+
+/// Like [`simulate_with`], with an optional [`PlanCache`]: resharding plans
+/// are looked up by content before running the planner, so repeated
+/// iterations (or edges resharding identical tensors) plan once. The
+/// report's `plan_cache_hits`/`plan_cache_misses` carry this call's share
+/// of the cache traffic.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+///
+/// # Panics
+///
+/// Panics if the schedule deadlocks (impossible for the built-in schedule
+/// kinds) or the stage graph is empty.
+pub fn simulate_with_cache(
+    graph: &StageGraph,
+    cluster: &ClusterSpec,
+    planner: &dyn Planner,
+    config: &PipelineConfig,
+    backend: &dyn Backend,
+    cache: Option<&PlanCache>,
+) -> Result<PipelineReport, SimError> {
     let num_stages = graph.stages().len();
     assert!(num_stages > 0, "pipeline needs at least one stage");
     let schedule = build_schedule(
@@ -159,7 +203,15 @@ pub fn simulate_with(
         graph.num_microbatches(),
         config.weight_delay,
     );
-    simulate_schedule(graph, cluster, planner, config.comm, &schedule, backend)
+    simulate_schedule_with_cache(
+        graph,
+        cluster,
+        planner,
+        config.comm,
+        &schedule,
+        backend,
+        cache,
+    )
 }
 
 /// Like [`simulate_with`], but runs an explicit per-stage [`Schedule`]
@@ -183,6 +235,30 @@ pub fn simulate_schedule(
     schedule: &Schedule,
     backend: &dyn Backend,
 ) -> Result<PipelineReport, SimError> {
+    simulate_schedule_with_cache(graph, cluster, planner, comm, schedule, backend, None)
+}
+
+/// Like [`simulate_schedule`], with an optional [`PlanCache`] consulted for
+/// every per-edge resharding plan.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+///
+/// # Panics
+///
+/// Panics if the schedule's stage or microbatch count does not match
+/// `graph`, or if the schedule deadlocks.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_schedule_with_cache(
+    graph: &StageGraph,
+    cluster: &ClusterSpec,
+    planner: &dyn Planner,
+    comm: CommMode,
+    schedule: &Schedule,
+    backend: &dyn Backend,
+    cache: Option<&PlanCache>,
+) -> Result<PipelineReport, SimError> {
     let num_stages = graph.stages().len();
     assert!(num_stages > 0, "pipeline needs at least one stage");
     assert_eq!(
@@ -195,7 +271,8 @@ pub fn simulate_schedule(
         graph.num_microbatches(),
         "schedule and graph disagree on microbatch count"
     );
-    let mut lowering = Lowering::new(graph, schedule, planner, comm);
+    let stats_before = cache.map(|c| c.stats()).unwrap_or_default();
+    let mut lowering = Lowering::new(graph, schedule, planner, comm, cache);
     lowering.run();
     lowering.lower_grad_sync();
     let Lowering { task_graph, .. } = lowering;
@@ -216,6 +293,7 @@ pub fn simulate_schedule(
     } else {
         utilization.values().sum::<f64>() / utilization.len() as f64
     };
+    let stats_after = cache.map(|c| c.stats()).unwrap_or_default();
     Ok(PipelineReport {
         iteration_seconds: trace.makespan(),
         peak_live_activations: peak_live,
@@ -224,6 +302,8 @@ pub fn simulate_schedule(
         comm_busy_seconds: trace.cross_host_comm_seconds(&task_graph, cluster),
         mean_device_utilization,
         tasks_lowered: task_graph.len(),
+        plan_cache_hits: stats_after.hits - stats_before.hits,
+        plan_cache_misses: stats_after.misses - stats_before.misses,
     })
 }
 
@@ -257,8 +337,13 @@ impl<'a> Lowering<'a> {
         schedule: &'a Schedule,
         planner: &dyn Planner,
         comm: CommMode,
+        cache: Option<&PlanCache>,
     ) -> Self {
         let n = graph.stages().len();
+        let plan_task = |task: &'a crossmesh_core::ReshardingTask| match cache {
+            Some(c) => c.plan(planner, task),
+            None => planner.plan(task),
+        };
         let (fwd_plans, bwd_plans) = match comm {
             CommMode::Signal => (
                 graph.edges().iter().map(|_| None).collect(),
@@ -268,12 +353,12 @@ impl<'a> Lowering<'a> {
                 graph
                     .edges()
                     .iter()
-                    .map(|e| Some(planner.plan(&e.forward)))
+                    .map(|e| Some(plan_task(&e.forward)))
                     .collect(),
                 graph
                     .edges()
                     .iter()
-                    .map(|e| Some(planner.plan(&e.backward)))
+                    .map(|e| Some(plan_task(&e.backward)))
                     .collect(),
             ),
         };
@@ -818,6 +903,29 @@ mod tests {
         )
         .unwrap();
         assert!(vanilla.iteration_seconds > clean.iteration_seconds);
+    }
+
+    #[test]
+    fn plan_cache_hits_across_iterations() {
+        let c = cluster();
+        let g = two_stage(&c, 6, 1.0, 2);
+        let cache = crossmesh_core::PlanCache::new();
+        let cfg = PipelineConfig::ours();
+        let p = planner();
+        let first = simulate_with_cache(&g, &c, &p, &cfg, &SimBackend, Some(&cache)).unwrap();
+        assert!(first.plan_cache_misses > 0, "cold call must plan");
+        let second = simulate_with_cache(&g, &c, &p, &cfg, &SimBackend, Some(&cache)).unwrap();
+        assert_eq!(second.plan_cache_misses, 0, "warm call must not re-plan");
+        assert!(second.plan_cache_hit_rate() > 0.0);
+        // Cached plans are the same plans: identical iteration.
+        assert_eq!(first.iteration_seconds, second.iteration_seconds);
+        // Uncached calls report no cache traffic.
+        let uncached = simulate(&g, &c, &p, &cfg).unwrap();
+        assert_eq!(
+            (uncached.plan_cache_hits, uncached.plan_cache_misses),
+            (0, 0)
+        );
+        assert_eq!(uncached.iteration_seconds, first.iteration_seconds);
     }
 
     #[test]

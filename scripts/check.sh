@@ -21,4 +21,10 @@ echo "==> fault-tolerance suite, per backend family"
 cargo test --offline -q --test fault_tolerance -- sim
 cargo test --offline -q --test fault_tolerance -- threads
 
+echo "==> planner determinism suite (parallel == sequential, cache identity)"
+cargo test --offline -q --test planner_parallel
+
+echo "==> planner bench smoke (1 vs 4 threads)"
+cargo run --offline --release -p crossmesh-bench --bin repro_planner -- --smoke > /dev/null
+
 echo "All checks passed."
