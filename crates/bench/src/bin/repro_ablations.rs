@@ -1,15 +1,8 @@
 //! Runs the design-choice ablation sweeps (chunk count, DFS budget,
 //! greedy permutations, weight delay, receiver-host scaling).
 
+use crossmesh_bench::ablations;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let a = crossmesh_bench::ablations::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&a).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::ablations::render(&a));
-    }
+    crossmesh_bench::repro_main("ablations", ablations::run, ablations::render);
 }

@@ -1,28 +1,24 @@
 //! Runs every reproduction harness in sequence (Table 1, Figures 5-9).
+//! With `--json`, emits one JSON object keyed by artifact name instead of
+//! the rendered tables.
+
+use crossmesh_bench::{fig5, fig6, fig7, fig8, fig9, section, table1};
 
 fn main() {
-    println!(
-        "{}",
-        crossmesh_bench::table1::render(&crossmesh_bench::table1::run())
-    );
-    println!(
-        "{}",
-        crossmesh_bench::fig5::render(&crossmesh_bench::fig5::run())
-    );
-    println!(
-        "{}",
-        crossmesh_bench::fig6::render(&crossmesh_bench::fig6::run())
-    );
-    println!(
-        "{}",
-        crossmesh_bench::fig7::render(&crossmesh_bench::fig7::run())
-    );
-    println!(
-        "{}",
-        crossmesh_bench::fig8::render(&crossmesh_bench::fig8::run())
-    );
-    println!(
-        "{}",
-        crossmesh_bench::fig9::render(&crossmesh_bench::fig9::run())
-    );
+    let json = std::env::args().any(|a| a == "--json");
+    let sections = [
+        section("table1", json, table1::run, table1::render),
+        section("fig5", json, fig5::run, |r| fig5::render(r)),
+        section("fig6", json, fig6::run, |r| fig6::render(r)),
+        section("fig7", json, fig7::run, |r| fig7::render(r)),
+        section("fig8", json, fig8::run, |r| fig8::render(r)),
+        section("fig9", json, fig9::run, |r| fig9::render(r)),
+    ];
+    if json {
+        println!("{{{}}}", sections.join(","));
+    } else {
+        for s in sections {
+            println!("{s}");
+        }
+    }
 }

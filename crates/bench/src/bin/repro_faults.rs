@@ -1,15 +1,8 @@
 //! Regenerates the fault-degradation sweep; prints the rows and, with
 //! `--json`, a machine-readable dump.
 
+use crossmesh_bench::faults;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let rows = crossmesh_bench::faults::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::faults::render(&rows));
-    }
+    crossmesh_bench::repro_main("faults", faults::run, |r| faults::render(r));
 }

@@ -1,15 +1,8 @@
 //! Regenerates the paper's fig6 artifact; prints the rows/series and, with
 //! `--json`, a machine-readable dump.
 
+use crossmesh_bench::fig6;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let rows = crossmesh_bench::fig6::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::fig6::render(&rows));
-    }
+    crossmesh_bench::repro_main("fig6", fig6::run, |r| fig6::render(r));
 }

@@ -1,15 +1,8 @@
 //! Regenerates the paper's fig7 artifact; prints the rows/series and, with
 //! `--json`, a machine-readable dump.
 
+use crossmesh_bench::fig7;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let rows = crossmesh_bench::fig7::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::fig7::render(&rows));
-    }
+    crossmesh_bench::repro_main("fig7", fig7::run, |r| fig7::render(r));
 }

@@ -1,15 +1,8 @@
 //! Regenerates the paper's fig9 artifact; prints the rows/series and, with
 //! `--json`, a machine-readable dump.
 
+use crossmesh_bench::fig9;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let rows = crossmesh_bench::fig9::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::fig9::render(&rows));
-    }
+    crossmesh_bench::repro_main("fig9", fig9::run, |r| fig9::render(r));
 }

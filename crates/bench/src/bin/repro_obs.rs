@@ -1,0 +1,12 @@
+//! Measures observability overhead: planner wall-clock with collectors
+//! disabled vs. a counting collector installed. `--smoke` trims the run
+//! for CI; `--json` dumps the report.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    crossmesh_bench::repro_main(
+        "obs_overhead",
+        || crossmesh_bench::obs_overhead::run(smoke),
+        crossmesh_bench::obs_overhead::render,
+    );
+}

@@ -1,15 +1,8 @@
 //! Regenerates Table 1; prints the memory breakdown and, with `--json`, a
 //! machine-readable dump.
 
+use crossmesh_bench::table1;
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let m = crossmesh_bench::table1::run();
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&m).expect("serializable")
-        );
-    } else {
-        println!("{}", crossmesh_bench::table1::render(&m));
-    }
+    crossmesh_bench::repro_main("table1", table1::run, table1::render);
 }

@@ -1,0 +1,124 @@
+//! Observability overhead microbench: wall-clock per `plan()` with no
+//! collector installed vs. with a [`CountingCollector`] swallowing every
+//! span and event.
+//!
+//! Not a paper figure — this guards crossmesh-obs's "zero overhead when
+//! disabled" claim (disabled is a relaxed atomic load per site) and bounds
+//! the enabled cost. It also re-checks the determinism contract from the
+//! observability side: the planner's estimate must be byte-identical with
+//! and without a collector watching.
+
+use crate::planner;
+use crossmesh_core::{EnsemblePlanner, Planner, PlannerConfig};
+use crossmesh_models::presets;
+use crossmesh_obs::{self as obs, CountingCollector};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The overhead measurement: one (units, iters) cell, both sides timed on
+/// the same task and planner instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Unit tasks in the planning case (a [`planner::case`] size).
+    pub units: usize,
+    /// Timed `plan()` calls per side.
+    pub iters: usize,
+    /// Mean milliseconds per plan with no collector installed.
+    pub disabled_ms: f64,
+    /// Mean milliseconds per plan with a counting collector installed.
+    pub enabled_ms: f64,
+    /// `(enabled / disabled - 1) * 100`. Noisy on small cases; the
+    /// contract is "no measurable regression with collectors disabled",
+    /// which the CI smoke run checks only loosely.
+    pub overhead_pct: f64,
+    /// Spans + events the collector saw across the enabled side.
+    pub observed: u64,
+    /// Whether the estimate was byte-identical across both sides — the
+    /// observer-passivity half of the determinism contract.
+    pub identical_estimates: bool,
+}
+
+/// Runs the measurement. `smoke` trims it (8 units, 5 iters) for CI; the
+/// full run uses the 20-unit case over 30 iterations per side.
+///
+/// Takes the global collector test lock for the duration, since it
+/// installs a process-wide collector for the enabled side.
+pub fn run(smoke: bool) -> Report {
+    let _guard = obs::collect::test_lock();
+    let units = if smoke { 8 } else { 20 };
+    let iters = if smoke { 5 } else { 30 };
+    let (_cluster, task) = planner::case(units);
+    let plnr = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
+
+    // One warm-up plan so lazy statics and allocator state don't bias
+    // whichever side runs first.
+    let warmup = plnr.plan(&task).estimate();
+
+    let mut disabled_est = warmup;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        disabled_est = plnr.plan(&task).estimate();
+    }
+    let disabled_ms = t0.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
+
+    let counting = Arc::new(CountingCollector::new());
+    let installed = obs::install(counting.clone());
+    let mut enabled_est = warmup;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        enabled_est = plnr.plan(&task).estimate();
+    }
+    let enabled_ms = t0.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
+    drop(installed);
+
+    Report {
+        units,
+        iters,
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: (enabled_ms / disabled_ms - 1.0) * 100.0,
+        observed: counting.total(),
+        identical_estimates: disabled_est.to_bits() == enabled_est.to_bits()
+            && disabled_est.to_bits() == warmup.to_bits(),
+    }
+}
+
+/// Renders the measurement as a one-cell summary.
+pub fn render(r: &Report) -> String {
+    format!(
+        "Obs overhead — {}-unit ensemble, {} plans/side: disabled {:.3} ms, \
+         enabled {:.3} ms ({:+.1}%), {} spans+events observed, estimates {}\n",
+        r.units,
+        r.iters,
+        r.disabled_ms,
+        r.enabled_ms,
+        r.overhead_pct,
+        r.observed,
+        if r.identical_estimates {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_observes_work_and_stays_deterministic() {
+        let r = run(true);
+        assert!(r.disabled_ms > 0.0 && r.enabled_ms > 0.0);
+        assert!(
+            r.observed > 0,
+            "the enabled side must reach the collector; saw nothing"
+        );
+        assert!(
+            r.identical_estimates,
+            "installing a collector changed the plan estimate"
+        );
+        assert!(render(&r).contains("byte-identical"));
+    }
+}

@@ -31,7 +31,8 @@ use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::gpt::GptConfig;
 use crossmesh_models::utransformer::UTransformerConfig;
 use crossmesh_models::{presets, ModelJob, Precision};
-use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
+use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend, TaskGraph, Trace, Work};
+use crossmesh_obs as obs;
 use crossmesh_pipeline::{
     simulate_with_cache, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
 };
@@ -52,6 +53,7 @@ USAGE:
                      [--backend B] [--threads N] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
+  crossmesh validate-trace --trace FILE.json [--against OTHER.json] [--json]
 
   strategies: broadcast (default) | send_recv | local_allgather | global_allgather
               | tree_broadcast | alpa
@@ -65,7 +67,14 @@ USAGE:
   --threads:  planner worker-pool width (default: CROSSMESH_THREADS env var,
               else all cores); plans are byte-identical at any width
   --iterations: training iterations to simulate; the plan cache carries
-              resharding plans across them and the hit rate is reported";
+              resharding plans across them and the hit rate is reported
+  --trace-out: write the unified Chrome/Perfetto timeline (device rows,
+              compute/comm events, counter tracks) — same schema for every
+              backend; open at https://ui.perfetto.dev
+  --metrics:  append the global metrics registry (planner, plan cache,
+              recovery, runtime) to the output
+  --log-level: error|warn|info|debug|trace — stream structured spans and
+              events to stderr";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -82,28 +91,110 @@ fn main() -> ExitCode {
 }
 
 fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
-    let args = Args::parse(tokens, &["json", "verify", "help"])?;
+    let args = Args::parse(tokens, &["json", "verify", "help", "metrics"])?;
     if args.has_flag("help") {
         return Ok(USAGE.to_string());
     }
+    // --log-level streams spans/events to stderr for the whole command;
+    // the guard restores the previous (usually absent) collector on exit.
+    let _logger = match args.get("log-level") {
+        Some(name) => {
+            let level =
+                obs::Level::parse(name).ok_or_else(|| format!("unknown --log-level {name:?}"))?;
+            Some(obs::install(std::sync::Arc::new(obs::StderrLogger::new(
+                level,
+            ))))
+        }
+        None => None,
+    };
     let dispatch = || match args.command.as_deref() {
         Some("reshard") => reshard(&args),
         Some("pipeline") => pipeline(&args),
         Some("autospec") => autospec(&args),
+        Some("validate-trace") => validate_trace(&args),
         None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}").into()),
     };
     // --threads installs a fixed-width planner pool around the whole
     // command; without it, the global pool (CROSSMESH_THREADS env var or
     // all cores) is used. Planning is deterministic either way.
-    match args.get_parsed("threads", 0usize)? {
+    let out = match args.get_parsed("threads", 0usize)? {
         0 => dispatch(),
         n => rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build()
             .map_err(|e| format!("cannot build a {n}-thread pool: {e}"))?
             .install(dispatch),
+    }?;
+    if args.has_flag("metrics") {
+        let text = obs::metrics().render_text();
+        return Ok(format!("{out}\n\n== metrics ==\n{}", text.trim_end()));
     }
+    Ok(out)
+}
+
+/// Parses and structurally validates an exported timeline; with
+/// `--against`, additionally checks the two documents share one schema.
+fn validate_trace(args: &Args) -> Result<String, Box<dyn Error>> {
+    let path = args.get("trace").ok_or("missing --trace")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --trace {path:?}: {e}"))?;
+    let summary = obs::export::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = vec![format!(
+        "{path}: OK — {} events, {} device rows, {} counter tracks, categories [{}]",
+        summary.events,
+        summary.device_rows.len(),
+        summary.counter_tracks.len(),
+        summary
+            .categories
+            .iter()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", "),
+    )];
+    if let Some(other_path) = args.get("against") {
+        let other_text = std::fs::read_to_string(other_path)
+            .map_err(|e| format!("cannot read --against {other_path:?}: {e}"))?;
+        let other = obs::export::validate(&other_text).map_err(|e| format!("{other_path}: {e}"))?;
+        if !summary.schema_matches(&other) {
+            return Err(format!("{path} and {other_path} do not share a schema").into());
+        }
+        lines.push(format!("{other_path}: OK — schema matches"));
+    }
+    if args.has_flag("json") {
+        let out = serde_json::json!({
+            "events": summary.events,
+            "device_rows": summary.device_rows.len(),
+            "counter_tracks": summary.counter_tracks.iter().collect::<Vec<_>>(),
+            "categories": summary.categories.iter().collect::<Vec<_>>(),
+            "phases": summary.phases.iter().collect::<Vec<_>>(),
+            "schema_matches": args.get("against").map(|_| true),
+        });
+        return Ok(serde_json::to_string_pretty(&out)?);
+    }
+    Ok(lines.join("\n"))
+}
+
+/// The number of in-flight flows over time, derived from the executed
+/// trace — rendered as a Perfetto counter track so both backends' exports
+/// carry a `C`-phase series.
+fn inflight_flow_samples(graph: &TaskGraph, trace: &Trace) -> Vec<(f64, f64)> {
+    let mut deltas: Vec<(f64, f64)> = Vec::new();
+    for (id, task) in graph.iter() {
+        if let Work::Flow { .. } = task.work {
+            let interval = trace.interval(id);
+            deltas.push((interval.start * 1e6, 1.0));
+            deltas.push((interval.finish * 1e6, -1.0));
+        }
+    }
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("trace timestamps are finite"));
+    let mut level = 0.0;
+    let mut samples = vec![(0.0, 0.0)];
+    for (ts, delta) in deltas {
+        level += delta;
+        samples.push((ts, level));
+    }
+    samples
 }
 
 fn autospec(args: &Args) -> Result<String, Box<dyn Error>> {
@@ -243,10 +334,25 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     if let Some(path) = args.get("trace") {
         // Re-run the lowering to export a Chrome trace of the transfer
         // through the selected backend.
-        let mut graph = crossmesh_netsim::TaskGraph::new();
+        let mut graph = TaskGraph::new();
         plan.lower(&mut graph, &[]);
         let trace = backend.execute(&cluster, &graph)?;
         std::fs::write(path, crossmesh_netsim::to_chrome_trace(&graph, &trace))?;
+    }
+    if let Some(path) = args.get("trace-out") {
+        // The unified timeline: same JSON schema whichever backend ran —
+        // host/device rows, compute/comm complete events, marker instants,
+        // and an in-flight-flow counter track.
+        let mut graph = TaskGraph::new();
+        plan.lower(&mut graph, &[]);
+        let trace = backend.execute(&cluster, &graph)?;
+        let mut export = obs::export::TraceExport::new();
+        export.push_run(&graph, &trace, &cluster, obs::export::RunKind::Primary, 0.0);
+        export.add_counter(
+            "comm.inflight_flows",
+            &inflight_flow_samples(&graph, &trace),
+        );
+        std::fs::write(path, export.render())?;
     }
 
     let verified = if args.has_flag("verify") {
@@ -637,6 +743,65 @@ mod tests {
         ))
         .is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_out_exports_one_schema_on_both_backends() {
+        let dir = std::env::temp_dir();
+        let sim = dir.join("crossmesh_cli_obs_sim.json");
+        let thr = dir.join("crossmesh_cli_obs_threads.json");
+        for (backend, path) in [("sim", &sim), ("threads", &thr)] {
+            run(toks(&format!(
+                "reshard --src-spec S0R --dst-spec S1R --src-mesh 1x2 --dst-mesh 1x2 \
+                 --shape 16x16 --backend {backend} --trace-out {}",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let each = run(toks(&format!(
+            "validate-trace --trace {} --json",
+            sim.display()
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&each).unwrap();
+        assert!(v["events"].as_u64().unwrap() > 0);
+        assert_eq!(v["counter_tracks"][0].as_str(), Some("comm.inflight_flows"));
+        let both = run(toks(&format!(
+            "validate-trace --trace {} --against {}",
+            sim.display(),
+            thr.display()
+        )))
+        .unwrap();
+        assert!(both.contains("schema matches"), "got: {both}");
+        assert!(run(toks("validate-trace --trace /nonexistent.json")).is_err());
+        let _ = std::fs::remove_file(&sim);
+        let _ = std::fs::remove_file(&thr);
+    }
+
+    #[test]
+    fn metrics_flag_appends_the_registry() {
+        let out = run(toks(
+            "reshard --src-spec RS0R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+             --shape 64x64x8 --metrics",
+        ))
+        .unwrap();
+        assert!(out.contains("== metrics =="), "got: {out}");
+        assert!(out.contains("planner.greedy.plans"), "got: {out}");
+    }
+
+    #[test]
+    fn log_level_parses_or_errors() {
+        assert!(run(toks(
+            "reshard --src-spec S0R --dst-spec S1R --src-mesh 1x2 --dst-mesh 1x2 \
+             --shape 8x8 --log-level nope"
+        ))
+        .is_err());
+        let out = run(toks(
+            "reshard --src-spec S0R --dst-spec S1R --src-mesh 1x2 --dst-mesh 1x2 \
+             --shape 8x8 --log-level error",
+        ))
+        .unwrap();
+        assert!(out.contains("simulated:"));
     }
 
     #[test]

@@ -14,11 +14,33 @@ use crate::plan::{Assignment, Plan};
 use crate::planners::{plan_with_exclusions, Planner};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::CostParams;
+use crossmesh_obs as obs;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide mirror counters: every cache reports into these in
+/// addition to its own registry, so the CLI's `--metrics` dump shows
+/// aggregate cache behaviour without threading cache references around.
+struct GlobalCacheMetrics {
+    hits: obs::Counter,
+    misses: obs::Counter,
+    invalidations: obs::Counter,
+}
+
+fn global_cache_metrics() -> &'static GlobalCacheMetrics {
+    static METRICS: OnceLock<GlobalCacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        GlobalCacheMetrics {
+            hits: m.counter("plan_cache.hits"),
+            misses: m.counter("plan_cache.misses"),
+            invalidations: m.counter("plan_cache.invalidations"),
+        }
+    })
+}
 
 /// A cached plan, stored task-independently as its assignment list; a hit
 /// re-binds it with [`Plan::new`], which revalidates it against the task.
@@ -29,6 +51,11 @@ struct Entry {
 
 /// Hit/miss/size counters of a [`PlanCache`], taken with
 /// [`stats`](PlanCache::stats).
+///
+/// Since the observability rework these are *views* over the cache's
+/// private metrics registry (see [`PlanCache::registry`]); the struct is
+/// kept so existing callers and the `PipelineReport` / `RecoveryReport`
+/// delta fields keep working unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -59,11 +86,31 @@ impl CacheStats {
 /// the repair patch depends on them). The planner only runs on a miss;
 /// a hit replays the stored assignments through [`Plan::new`], which
 /// re-asserts their validity for the task at hand.
-#[derive(Default)]
 pub struct PlanCache {
     entries: Mutex<HashMap<u64, Entry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Per-cache metrics registry: keeps this cache's statistics isolated
+    /// from other caches (and from the process-wide registry, which only
+    /// receives mirrored aggregates).
+    registry: obs::MetricsRegistry,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    invalidations: obs::Counter,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        let registry = obs::MetricsRegistry::new();
+        let hits = registry.counter("plan_cache.hits");
+        let misses = registry.counter("plan_cache.misses");
+        let invalidations = registry.counter("plan_cache.invalidations");
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            registry,
+            hits,
+            misses,
+            invalidations,
+        }
+    }
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -151,20 +198,30 @@ impl PlanCache {
         Ok(repaired)
     }
 
-    /// Counters since construction (or the last [`clear`](PlanCache::clear)).
+    /// Counters since construction (or the last [`clear`](PlanCache::clear)),
+    /// read from the cache's private metrics registry.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.entries.lock().len(),
         }
     }
 
-    /// Drops every entry and resets the counters.
+    /// The cache's private metrics registry. Holds `plan_cache.hits`,
+    /// `plan_cache.misses`, and `plan_cache.invalidations`; [`stats`]
+    /// (and through it the report delta fields) are views over it.
+    ///
+    /// [`stats`]: PlanCache::stats
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.registry
+    }
+
+    /// Drops every entry and resets the counters (the process-wide mirror
+    /// counters are monotone and unaffected).
     pub fn clear(&self) {
         self.entries.lock().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.registry.reset();
     }
 
     /// Looks `key` up and re-binds the stored assignments to `task`,
@@ -177,6 +234,7 @@ impl PlanCache {
         task: &'t ReshardingTask,
         exclusions: &SenderExclusions,
     ) -> Option<Plan<'t>> {
+        let global = global_cache_metrics();
         let mut entries = self.entries.lock();
         if let Some(entry) = entries.get(&key) {
             let poisoned = entry
@@ -185,13 +243,23 @@ impl PlanCache {
                 .any(|a| exclusions.excludes(a.sender, a.sender_host));
             if poisoned {
                 entries.remove(&key);
+                self.invalidations.inc();
+                global.invalidations.inc();
+                obs::event(
+                    obs::Level::Warn,
+                    "plan_cache",
+                    "invalidated",
+                    &[obs::Field::u64("key", key)],
+                );
             } else {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
+                global.hits.inc();
                 let plan = Plan::new(task, entry.assignments.clone(), entry.params);
                 return Some(plan);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        global.misses.inc();
         None
     }
 

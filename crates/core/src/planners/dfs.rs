@@ -5,10 +5,37 @@ use crate::plan::{involved_hosts, Assignment, Plan};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::estimate_unit_task;
 use crossmesh_netsim::HostId;
+use crossmesh_obs as obs;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Registry handles for the DFS search, resolved once. The hot search loop
+/// counts into plain locals; each branch flushes its totals with a handful
+/// of sharded-counter adds, so observation never perturbs search order.
+struct DfsMetrics {
+    plans: obs::Counter,
+    branches: obs::Counter,
+    branch_skips: obs::Counter,
+    nodes: obs::Counter,
+    pruned: obs::Counter,
+}
+
+fn dfs_metrics() -> &'static DfsMetrics {
+    static METRICS: OnceLock<DfsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        DfsMetrics {
+            plans: m.counter("planner.dfs.plans"),
+            branches: m.counter("planner.dfs.branches"),
+            branch_skips: m.counter("planner.dfs.branch_skips"),
+            nodes: m.counter("planner.dfs.nodes"),
+            pruned: m.counter("planner.dfs.pruned"),
+        }
+    })
+}
 
 /// The paper's "DFS with pruning" (§3.2): a depth-first search over sender
 /// assignments. Partial assignments are pruned when the heaviest sender
@@ -191,6 +218,7 @@ impl<'t, 'c> SearchCtx<'t, 'c> {
         budget: usize,
         shared_best: &AtomicU64,
     ) -> Option<(f64, Vec<u32>)> {
+        let metrics = dfs_metrics();
         let mut load = vec![0.0f64; self.n_slots];
         let mut branch_lb = 0.0f64;
         for (depth, &ci) in prefix.iter().enumerate() {
@@ -199,6 +227,7 @@ impl<'t, 'c> SearchCtx<'t, 'c> {
             if load[c.slot as usize] >= self.seed_est {
                 // The sequential bound (which every branch starts from)
                 // already prunes this prefix — deterministic skip.
+                metrics.branch_skips.inc();
                 return None;
             }
             branch_lb = branch_lb.max(load[c.slot as usize]);
@@ -208,6 +237,7 @@ impl<'t, 'c> SearchCtx<'t, 'c> {
         // other branch proves this branch cannot win the reduction. Timing
         // only decides whether we skip, never what the reduction returns.
         if branch_lb > f64::from_bits(shared_best.load(Ordering::Relaxed)) {
+            metrics.branch_skips.inc();
             return None;
         }
         let n = self.items.len();
@@ -225,8 +255,11 @@ impl<'t, 'c> SearchCtx<'t, 'c> {
             order_scratch: vec![Vec::new(); n],
             cursor: vec![0.0f64; self.n_slots],
             remaining: Vec::with_capacity(n),
+            pruned: 0,
         };
         search.dfs(prefix.len());
+        metrics.nodes.add((budget - search.nodes_left) as u64);
+        metrics.pruned.add(search.pruned);
         let best_est = search.best_est;
         search.best_choice.map(|choice| {
             shared_best.fetch_min(best_est.to_bits(), Ordering::Relaxed);
@@ -313,6 +346,9 @@ struct BranchSearch<'a, 't, 'c> {
     cursor: Vec<f64>,
     /// Leaf-evaluation worklist.
     remaining: Vec<u32>,
+    /// Eq. 4 lower-bound prune edges taken, flushed to the metrics
+    /// registry when the branch finishes.
+    pruned: u64,
 }
 
 impl BranchSearch<'_, '_, '_> {
@@ -350,6 +386,7 @@ impl BranchSearch<'_, '_, '_> {
             };
             let new_load = self.load[slot] + duration;
             if new_load >= self.best_est {
+                self.pruned += 1;
                 continue; // Eq. 4 lower bound: this host alone busts the best.
             }
             self.load[slot] += duration;
@@ -386,6 +423,12 @@ impl BranchSearch<'_, '_, '_> {
 
 impl Planner for DfsPlanner {
     fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        let span = obs::Span::enter(
+            obs::Level::Debug,
+            "planner.dfs",
+            "plan",
+            &[obs::Field::u64("units", task.units().len() as u64)],
+        );
         // Start from the LPT solution: the search can only improve on it.
         let seed_plan = LoadBalancePlanner::new(self.config).plan(task);
         let seed_est = seed_plan.estimate();
@@ -393,9 +436,13 @@ impl Planner for DfsPlanner {
             return seed_plan;
         }
 
+        let metrics = dfs_metrics();
+        metrics.plans.inc();
         let ctx = SearchCtx::build(task, &self.config, seed_est);
         let branches = ctx.branches();
         let k = branches.len();
+        metrics.branches.add(k as u64);
+        span.record(&[obs::Field::u64("branches", k as u64)]);
         let shared_best = AtomicU64::new(seed_est.to_bits());
         let budget = self.node_budget;
         let jobs: Vec<(usize, Vec<u32>)> = branches.into_iter().enumerate().collect();

@@ -3,6 +3,7 @@
 use super::{DfsPlanner, Planner, PlannerConfig, RandomizedGreedyPlanner};
 use crate::plan::Plan;
 use crate::task::ReshardingTask;
+use crossmesh_obs as obs;
 
 /// Runs both [`DfsPlanner`] and [`RandomizedGreedyPlanner`] and keeps the
 /// plan with the smaller estimated makespan — the configuration used for
@@ -64,17 +65,29 @@ impl EnsemblePlanner {
 
 impl Planner for EnsemblePlanner {
     fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        let span = obs::Span::enter(
+            obs::Level::Debug,
+            "planner.ensemble",
+            "plan",
+            &[obs::Field::u64("units", task.units().len() as u64)],
+        );
         // DFS explodes on large task counts; skip it there, as the paper
         // observes it "fails to produce an efficient schedule ... when
         // there are > 20 unit communication tasks".
         if task.units().len() > 20 {
+            span.record(&[obs::Field::str("winner", "greedy (dfs skipped)")]);
             return self.greedy.plan(task);
         }
         // Both members run concurrently on the current rayon pool; each is
         // internally deterministic, and the tie prefers DFS (the fixed
         // planner-priority order), so the choice is thread-count-invariant.
         let (dfs, greedy) = rayon::join(|| self.dfs.plan(task), || self.greedy.plan(task));
-        if dfs.estimate() <= greedy.estimate() {
+        let dfs_wins = dfs.estimate() <= greedy.estimate();
+        span.record(&[obs::Field::str(
+            "winner",
+            if dfs_wins { "dfs" } else { "greedy" },
+        )]);
+        if dfs_wins {
             dfs
         } else {
             greedy

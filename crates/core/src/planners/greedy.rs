@@ -4,12 +4,34 @@ use super::{replica_on, Planner, PlannerConfig};
 use crate::plan::{Assignment, Plan};
 use crate::task::ReshardingTask;
 use crossmesh_netsim::HostId;
+use crossmesh_obs as obs;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// Registry handles for the greedy search, resolved once. Rounds are
+/// counted locally per restart and flushed in one add.
+struct GreedyMetrics {
+    plans: obs::Counter,
+    restarts: obs::Counter,
+    rounds: obs::Counter,
+}
+
+fn greedy_metrics() -> &'static GreedyMetrics {
+    static METRICS: OnceLock<GreedyMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        GreedyMetrics {
+            plans: m.counter("planner.greedy.plans"),
+            restarts: m.counter("planner.greedy.restarts"),
+            rounds: m.counter("planner.greedy.rounds"),
+        }
+    })
+}
 
 /// The paper's randomized greedy: iteratively pack *rounds* of mutually
 /// non-conflicting unit tasks (no shared sender or receiver host). Each
@@ -100,7 +122,9 @@ impl RandomizedGreedyPlanner {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut remaining: Vec<usize> = (0..task.units().len()).collect();
         let mut assignments = Vec::with_capacity(remaining.len());
+        let mut rounds = 0u64;
         while !remaining.is_empty() {
+            rounds += 1;
             let mut best: Option<(Vec<(usize, HostId)>, usize)> = None;
             for p in 0..self.permutations {
                 let mut order = remaining.clone();
@@ -130,6 +154,9 @@ impl RandomizedGreedyPlanner {
             }
             remaining.retain(|u| !selected.contains(u));
         }
+        let metrics = greedy_metrics();
+        metrics.restarts.inc();
+        metrics.rounds.add(rounds);
         assignments
     }
 
@@ -166,6 +193,16 @@ impl RandomizedGreedyPlanner {
 
 impl Planner for RandomizedGreedyPlanner {
     fn plan<'t>(&self, task: &'t ReshardingTask) -> Plan<'t> {
+        let _span = obs::Span::enter(
+            obs::Level::Debug,
+            "planner.greedy",
+            "plan",
+            &[
+                obs::Field::u64("units", task.units().len() as u64),
+                obs::Field::u64("restarts", self.restarts as u64),
+            ],
+        );
+        greedy_metrics().plans.inc();
         let seeds: Vec<u64> = (0..self.restarts).map(|r| self.restart_seed(r)).collect();
         let candidates: Vec<(f64, Vec<Assignment>)> = seeds
             .par_iter()

@@ -12,8 +12,33 @@ use crate::backend::FaultInjectable;
 use crate::schedule::FaultSchedule;
 use crossmesh_core::{ExecutionReport, Plan, PlanCache, RepairError, SenderExclusions};
 use crossmesh_netsim::{ClusterSpec, FailureKind, HostId, SimError, TaskGraph, Trace};
+use crossmesh_obs as obs;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Registry handles for the recovery loop, resolved once.
+struct RecoveryMetrics {
+    runs: obs::Counter,
+    rounds: obs::Counter,
+    repairs: obs::Counter,
+    failovers: obs::Counter,
+    degraded_makespan: obs::Gauge,
+}
+
+fn recovery_metrics() -> &'static RecoveryMetrics {
+    static METRICS: OnceLock<RecoveryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        RecoveryMetrics {
+            runs: m.counter("recovery.runs"),
+            rounds: m.counter("recovery.rounds"),
+            repairs: m.counter("recovery.repairs"),
+            failovers: m.counter("recovery.failovers"),
+            degraded_makespan: m.gauge("recovery.degraded_makespan_s"),
+        }
+    })
+}
 
 /// Why fault-tolerant execution gave up.
 #[derive(Debug)]
@@ -156,6 +181,18 @@ pub fn execute_with_repair_cached<B: FaultInjectable>(
     schedule: &FaultSchedule,
     cache: Option<&PlanCache>,
 ) -> Result<RecoveryReport, RecoveryError> {
+    let span = obs::Span::enter(
+        obs::Level::Debug,
+        "faults.recovery",
+        "execute_with_repair",
+        &[
+            obs::Field::str("backend", backend.name()),
+            obs::Field::bool("cached", cache.is_some()),
+        ],
+    );
+    let metrics = recovery_metrics();
+    metrics.runs.inc();
+    metrics.rounds.inc();
     let stats_before = cache.map(|c| c.stats()).unwrap_or_default();
     let cache_delta = |c: Option<&PlanCache>| {
         let after = c.map(|c| c.stats()).unwrap_or_default();
@@ -170,6 +207,7 @@ pub fn execute_with_repair_cached<B: FaultInjectable>(
         match backend.execute_with_faults(cluster, &graph, schedule) {
             Ok(trace) if trace.failed_tasks().is_empty() => {
                 let stats = trace.fault_stats();
+                span.record(&[obs::Field::bool("repaired", false)]);
                 return Ok(RecoveryReport {
                     report: ExecutionReport {
                         simulated_seconds: trace.interval(lowered.done).finish,
@@ -204,6 +242,19 @@ pub fn execute_with_repair_cached<B: FaultInjectable>(
         return Err(RecoveryError::Sim(failure));
     }
     let exclusions = SenderExclusions::for_hosts(excluded_hosts.iter().copied());
+    metrics.repairs.inc();
+    metrics.rounds.inc();
+    if obs::enabled() {
+        obs::event(
+            obs::Level::Info,
+            "faults.recovery",
+            "repair",
+            &[obs::Field::u64(
+                "excluded_hosts",
+                excluded_hosts.len() as u64,
+            )],
+        );
+    }
     let repaired = match cache {
         Some(c) => c.repair(plan, &exclusions)?,
         None => plan.repair(&exclusions)?,
@@ -235,6 +286,13 @@ pub fn execute_with_repair_cached<B: FaultInjectable>(
         .count();
     let finish = trace.interval(lowered.done).finish;
     let (plan_cache_hits, plan_cache_misses) = cache_delta(cache);
+    metrics.failovers.add(failovers as u64);
+    metrics.degraded_makespan.set(wasted + finish);
+    span.record(&[
+        obs::Field::bool("repaired", true),
+        obs::Field::u64("failovers", failovers as u64),
+        obs::Field::f64("degraded_makespan_s", wasted + finish),
+    ]);
     Ok(RecoveryReport {
         report: ExecutionReport {
             simulated_seconds: finish,

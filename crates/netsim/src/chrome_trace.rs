@@ -1,33 +1,60 @@
 //! Chrome tracing export: visualize simulated executions in
 //! `chrome://tracing` / Perfetto.
 //!
-//! Each device becomes a "thread"; compute tasks, flows (attributed to
-//! their source device), and markers become complete events (`ph: "X"`)
-//! with microsecond timestamps.
+//! Each device becomes a "thread"; compute tasks and flows (attributed to
+//! their source device) become complete events (`ph: "X"`) with
+//! microsecond timestamps; markers become instant events (`ph: "i"`) named
+//! from their graph label.
 
 use crate::graph::{TaskGraph, Work};
 use crate::trace::Trace;
-use serde::Serialize;
 
-/// One Chrome trace event (the "complete event" form).
-#[derive(Debug, Clone, Serialize)]
+/// One Chrome trace event: a complete event (`ph: "X"`, with `dur`) or a
+/// thread-scoped instant (`ph: "i"`, with `s`). Rendered by hand so the
+/// field set can differ per phase and the byte output stays stable.
+#[derive(Debug, Clone)]
 struct ChromeEvent {
     name: String,
     cat: &'static str,
     ph: &'static str,
     /// Start, microseconds.
     ts: f64,
-    /// Duration, microseconds.
-    dur: f64,
+    /// Duration, microseconds. Omitted on instant events.
+    dur: Option<f64>,
     pid: u32,
     tid: u32,
+    /// Instant-event scope (`"t"` = thread). Omitted on complete events.
+    s: Option<&'static str>,
+}
+
+impl ChromeEvent {
+    fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}",
+            serde_json::to_string(&self.name).expect("strings serialize"),
+            self.cat,
+            self.ph,
+            self.ts
+        );
+        if let Some(dur) = self.dur {
+            out.push_str(&format!(",\"dur\":{dur}"));
+        }
+        out.push_str(&format!(",\"pid\":{},\"tid\":{}", self.pid, self.tid));
+        if let Some(s) = self.s {
+            out.push_str(&format!(",\"s\":\"{s}\""));
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// Renders `trace` of `graph` as a Chrome-tracing JSON array.
 ///
 /// Compute tasks appear on their device's row; flows appear on the *source*
-/// device's row under the `comm` category; markers are omitted (they are
-/// instantaneous bookkeeping).
+/// device's row under the `comm` category; markers appear as thread-scoped
+/// instant events (`ph: "i"`, category `marker`) named from their graph
+/// label, so schedule epochs and phase boundaries show up as vertical
+/// pins on the timeline.
 ///
 /// The result loads directly into `chrome://tracing` or
 /// [Perfetto](https://ui.perfetto.dev).
@@ -42,19 +69,33 @@ pub fn to_chrome_trace(graph: &TaskGraph, trace: &Trace) -> String {
             Work::Flow { src, dst, bytes } => {
                 ("comm", src.0, format!("flow {id} -> {dst} ({bytes:.0} B)"))
             }
-            Work::Marker => continue,
+            Work::Marker => {
+                events.push(ChromeEvent {
+                    name: task.label.clone().unwrap_or_else(|| format!("marker {id}")),
+                    cat: "marker",
+                    ph: "i",
+                    ts: interval.start * 1e6,
+                    dur: None,
+                    pid: 0,
+                    tid: 0,
+                    s: Some("t"),
+                });
+                continue;
+            }
         };
         events.push(ChromeEvent {
             name: task.label.clone().unwrap_or(default_name),
             cat,
             ph: "X",
             ts: interval.start * 1e6,
-            dur: (interval.finish - interval.start).max(0.0) * 1e6,
+            dur: Some((interval.finish - interval.start).max(0.0) * 1e6),
             pid: 0,
             tid,
+            s: None,
         });
     }
-    serde_json::to_string(&events).expect("chrome events serialize")
+    let rendered: Vec<String> = events.iter().map(ChromeEvent::render).collect();
+    format!("[{}]", rendered.join(","))
 }
 
 #[cfg(test)]
@@ -72,17 +113,23 @@ mod tests {
             Some("payload"),
         );
         g.add(Work::compute(c.device(1, 0), 1.0), [f]);
+        g.add_labeled(Work::Marker, [], Some("epoch"));
         g.add(Work::Marker, []);
         let trace = Engine::new(&c).run(&g).unwrap();
         let json = to_chrome_trace(&g, &trace);
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let events = parsed.as_array().unwrap();
-        // Marker omitted: exactly two events.
-        assert_eq!(events.len(), 2);
+        // Two complete events plus two marker instants.
+        assert_eq!(events.len(), 4);
         assert_eq!(events[0]["name"], "payload");
         assert_eq!(events[0]["cat"], "comm");
         assert_eq!(events[1]["cat"], "compute");
         assert!(events[1]["ts"].as_f64().unwrap() >= 5.0e6 * 0.99);
+        assert_eq!(events[2]["ph"], "i");
+        assert_eq!(events[2]["name"], "epoch");
+        assert_eq!(events[2]["s"], "t");
+        assert!(events[2].get("dur").is_none());
+        assert_eq!(events[3]["name"], "marker t3");
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//!
+//! Counters are sharded across a small fixed set of cache-line-aligned
+//! atomic cells; each worker thread is pinned to one shard on first use, so
+//! concurrent increments from the rayon-shim pool rarely contend. Draining
+//! (`get` / `snapshot`) merges shards by unsigned addition — commutative,
+//! so the merged value is deterministic regardless of which thread
+//! incremented which shard.
+//!
+//! The process-wide registry behind [`metrics()`] is what the CLI's
+//! `--metrics` flag dumps; instrumented crates may also hold private
+//! [`MetricsRegistry`] instances (the `PlanCache` keeps one per cache so
+//! per-cache statistics stay isolated).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of counter shards. A small power of two: enough to keep the
+/// rayon-shim pool (≤ 16 workers) off each other's cache lines.
+const SHARDS: usize = 16;
+
+/// A cache-line-aligned atomic cell, so neighbouring shards don't
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomic(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin on first use.
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn shard_index() -> usize {
+    SHARD.with(|s| *s)
+}
+
+#[derive(Default)]
+struct CounterCells {
+    shards: [PaddedAtomic; SHARDS],
+}
+
+/// A monotonically increasing counter, cheap to clone (an `Arc` to the
+/// shared cells) and cheap to bump from any thread.
+#[derive(Clone)]
+pub struct Counter {
+    cells: Arc<CounterCells>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            cells: Arc::new(CounterCells::default()),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Deterministic merge of all shards.
+    pub fn get(&self) -> u64 {
+        self.cells
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    fn reset(&self) {
+        for s in &self.cells.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed upper-bound buckets plus an overflow bucket.
+/// Bucket counts are plain atomic adds, so the drained counts merge
+/// deterministically; the running sum is a CAS-add of `f64` bits and is
+/// deterministic only up to floating-point reassociation.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCells>,
+}
+
+struct HistogramCells {
+    /// Inclusive upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramCells {
+                bounds: bounds.to_vec(),
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            count: counts.iter().sum(),
+            sum: f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)),
+            counts,
+        }
+    }
+
+    fn reset(&self) {
+        for c in &self.inner.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A drained histogram: bucket bounds, per-bucket counts (the final entry
+/// is the overflow bucket), total count, and the (approximate) sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-metric registry. `counter` / `gauge` / `histogram` get-or-create
+/// by name; handles are cheap clones, so call sites should cache them
+/// (e.g. in a `OnceLock`) rather than re-looking-up in hot loops.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with the given bucket bounds
+    /// (ignored if the histogram already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if `bounds` is not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Drains every metric into a deterministic, name-ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every registered metric (registrations and handles survive).
+    pub fn reset(&self) {
+        let metrics = self.lock();
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.set(0.0),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders the registry as an aligned plain-text dump (the `--metrics`
+    /// output), one metric per line in name order.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// A point-in-time, name-ordered copy of a registry's values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter's value, or 0 if absent (makes delta code total).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("# counters\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("# gauges\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("# histograms\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!("{name} count={} mean={:.6}", h.count, h.mean()));
+                for (i, c) in h.counts.iter().enumerate() {
+                    match h.bounds.get(i) {
+                        Some(b) => out.push_str(&format!(" le{b}={c}")),
+                        None => out.push_str(&format!(" inf={c}")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-wide registry every instrumented crate reports into.
+pub fn metrics() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merges_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.count");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(reg.snapshot().counter("t.count"), 4000);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn same_name_returns_same_counter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        assert_eq!(reg.counter("a").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 7.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 562.5).abs() < 1e-9);
+        assert!((snap.mean() - 112.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(3.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn render_text_is_name_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(2);
+        reg.gauge("m.mid").set(1.5);
+        reg.histogram("h.one", &[1.0]).observe(0.5);
+        let text = reg.render_text();
+        let a = text.find("a.first 2").unwrap();
+        let z = text.find("z.last 1").unwrap();
+        assert!(a < z);
+        assert!(text.contains("m.mid 1.5"));
+        assert!(text.contains("h.one count=1"));
+    }
+}

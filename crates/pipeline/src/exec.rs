@@ -7,8 +7,32 @@ use crossmesh_core::{CostParams, Plan, PlanCache, Planner};
 use crossmesh_netsim::{
     Backend, ClusterSpec, DeviceId, SimBackend, SimError, TaskGraph, TaskId, Work,
 };
+use crossmesh_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Registry handles for pipeline execution, resolved once. Bubble time is
+/// the per-stage idle fraction of the iteration, in seconds — the gap the
+/// schedule failed to hide behind compute.
+struct PipelineMetrics {
+    iterations: obs::Counter,
+    stage_bubble: obs::Histogram,
+}
+
+fn pipeline_metrics() -> &'static PipelineMetrics {
+    static METRICS: OnceLock<PipelineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        PipelineMetrics {
+            iterations: m.counter("pipeline.iterations"),
+            stage_bubble: m.histogram(
+                "pipeline.stage_bubble_s",
+                &[0.01, 0.1, 1.0, 10.0, 100.0, 1000.0],
+            ),
+        }
+    })
+}
 
 /// How cross-mesh resharding interacts with stage compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -271,6 +295,17 @@ pub fn simulate_schedule_with_cache(
         graph.num_microbatches(),
         "schedule and graph disagree on microbatch count"
     );
+    let span = obs::Span::enter(
+        obs::Level::Debug,
+        "pipeline",
+        "simulate",
+        &[
+            obs::Field::u64("stages", num_stages as u64),
+            obs::Field::u64("microbatches", graph.num_microbatches() as u64),
+            obs::Field::str("backend", backend.name()),
+        ],
+    );
+    pipeline_metrics().iterations.inc();
     let stats_before = cache.map(|c| c.stats()).unwrap_or_default();
     let mut lowering = Lowering::new(graph, schedule, planner, comm, cache);
     lowering.run();
@@ -294,6 +329,25 @@ pub fn simulate_schedule_with_cache(
         utilization.values().sum::<f64>() / utilization.len() as f64
     };
     let stats_after = cache.map(|c| c.stats()).unwrap_or_default();
+    let iteration = trace.makespan();
+    // Per-stage bubble: the mean idle time of the stage's devices over the
+    // iteration — what the schedule failed to hide behind compute.
+    for stage in graph.stages() {
+        let devs = stage.mesh.devices();
+        let busy: f64 = devs
+            .iter()
+            .map(|d| utilization.get(&d.0).copied().unwrap_or(0.0))
+            .sum();
+        let mean_util = if devs.is_empty() {
+            0.0
+        } else {
+            busy / devs.len() as f64
+        };
+        pipeline_metrics()
+            .stage_bubble
+            .observe(iteration * (1.0 - mean_util));
+    }
+    span.record(&[obs::Field::f64("iteration_seconds", iteration)]);
     Ok(PipelineReport {
         iteration_seconds: trace.makespan(),
         peak_live_activations: peak_live,

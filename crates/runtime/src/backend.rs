@@ -26,15 +26,39 @@ use crossmesh_netsim::{
     Backend, ClusterSpec, DeviceId, FailureKind, FaultStats, SimError, TaskGraph, TaskId, Trace,
     TraceBuilder, Work,
 };
+use crossmesh_obs as obs;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Registry handles for the threaded backend, resolved once. Counters are
+/// sharded, so the per-frame cost is one relaxed atomic add.
+struct RuntimeMetrics {
+    flows: obs::Counter,
+    frames: obs::Counter,
+    queue_depth: obs::Histogram,
+}
+
+fn runtime_metrics() -> &'static RuntimeMetrics {
+    static METRICS: OnceLock<RuntimeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        RuntimeMetrics {
+            flows: m.counter("runtime.flows"),
+            frames: m.counter("runtime.frames"),
+            queue_depth: m.histogram(
+                "runtime.queue_depth",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
+        }
+    })
+}
 
 /// How inter-host flows move their bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -418,6 +442,10 @@ struct Shared {
     send_tx: Vec<Sender<Cmd>>,
     /// Per device: inbound frame queue (bounded; this is the backpressure).
     inbound_tx: Vec<SyncSender<Inbound>>,
+    /// Per device: frames currently queued (enqueued by senders/readers,
+    /// drained by the receive worker). Observed into the
+    /// `runtime.queue_depth` histogram at every enqueue.
+    queue_depth: Vec<AtomicI64>,
     /// `(src_host, dst_host) -> write half`, non-empty in TCP mode only.
     tcp_writers: HashMap<(u32, u32), Mutex<TcpStream>>,
     /// Device -> host, for routing.
@@ -435,6 +463,22 @@ struct Shared {
 impl Shared {
     fn now_ns(&self) -> u64 {
         self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Accounts one frame landing on `dst`'s inbound queue. Every frame
+    /// passes through exactly one enqueue (the channel path directly, the
+    /// TCP path via its reader thread), so `runtime.frames` counts
+    /// deliveries and the histogram samples the post-enqueue depth.
+    fn note_enqueued(&self, dst: u32) {
+        let depth = self.queue_depth[dst as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        let m = runtime_metrics();
+        m.frames.inc();
+        m.queue_depth.observe(depth as f64);
+    }
+
+    /// Accounts the receive worker of `device` draining one frame.
+    fn note_dequeued(&self, device: u32) {
+        self.queue_depth[device as usize].fetch_sub(1, Ordering::Relaxed);
     }
 
     fn record_start(&self, t: u32) {
@@ -576,7 +620,10 @@ impl Shared {
         };
         loop {
             match self.inbound_tx[dst as usize].try_send(msg) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.note_enqueued(dst);
+                    return Ok(());
+                }
                 Err(TrySendError::Full(m)) => {
                     if self.monitor.is_finished() {
                         return Err("run aborted while queue was full".into());
@@ -751,6 +798,7 @@ fn run(
         compute_tx,
         send_tx,
         inbound_tx,
+        queue_depth: (0..num_devices).map(|_| AtomicI64::new(0)).collect(),
         tcp_writers,
         device_host,
         zero: Bytes::from(vec![0u8; backend.chunk_bytes]),
@@ -779,7 +827,7 @@ fn run(
         recv_workers.push(spawn_named(
             format!("cm-d{d}-recv"),
             Arc::clone(&shared),
-            move |sh| recv_worker(rx, sh),
+            move |sh| recv_worker(d as u32, rx, sh),
         ));
     }
     let mut tcp_readers = Vec::with_capacity(reader_streams.len());
@@ -954,7 +1002,10 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
         };
         loop {
             match shared.inbound_tx[dst as usize].try_send(msg) {
-                Ok(()) => break,
+                Ok(()) => {
+                    shared.note_enqueued(dst);
+                    break;
+                }
                 Err(TrySendError::Full(m)) => {
                     if shared.monitor.is_finished() {
                         return;
@@ -1058,6 +1109,21 @@ fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
             ));
             return;
         }
+        runtime_metrics().flows.inc();
+        if obs::enabled() {
+            obs::event(
+                obs::Level::Trace,
+                "runtime.flow",
+                "send_start",
+                &[
+                    obs::Field::u64("flow", t as u64),
+                    obs::Field::u64("src", device as u64),
+                    obs::Field::u64("dst", dst as u64),
+                    obs::Field::u64("bytes", bytes),
+                    obs::Field::u64("t_ns", shared.now_ns()),
+                ],
+            );
+        }
         let delay = shared.frame_delay(device);
         let mut backoff = shared.faults.backoff;
         for a in 0..drops {
@@ -1106,6 +1172,19 @@ fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
             }
             left -= n as u64;
         }
+        if obs::enabled() {
+            obs::event(
+                obs::Level::Trace,
+                "runtime.flow",
+                "send_done",
+                &[
+                    obs::Field::u64("flow", t as u64),
+                    obs::Field::u64("src", device as u64),
+                    obs::Field::u64("dst", dst as u64),
+                    obs::Field::u64("t_ns", shared.now_ns()),
+                ],
+            );
+        }
     }
 }
 
@@ -1113,7 +1192,7 @@ fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
 /// from a newer attempt discards the bytes of a superseded (dropped)
 /// one, a stale frame is ignored, and the final frame completes the flow
 /// task (so a flow's finish timestamp is taken on the receiving side).
-fn recv_worker(rx: Receiver<Inbound>, shared: &Shared) {
+fn recv_worker(device: u32, rx: Receiver<Inbound>, shared: &Shared) {
     let mut progress: HashMap<u32, (u8, u64)> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -1123,6 +1202,7 @@ fn recv_worker(rx: Receiver<Inbound>, shared: &Shared) {
                 last,
                 attempt,
             } => {
+                shared.note_dequeued(device);
                 let entry = progress.entry(flow).or_insert((attempt, 0));
                 if attempt > entry.0 {
                     *entry = (attempt, 0);
@@ -1152,6 +1232,19 @@ fn recv_worker(rx: Receiver<Inbound>, shared: &Shared) {
                         return;
                     }
                     shared.finish_task(flow);
+                    if obs::enabled() {
+                        obs::event(
+                            obs::Level::Trace,
+                            "runtime.flow",
+                            "ack",
+                            &[
+                                obs::Field::u64("flow", flow as u64),
+                                obs::Field::u64("dst", device as u64),
+                                obs::Field::u64("bytes", got),
+                                obs::Field::u64("t_ns", shared.now_ns()),
+                            ],
+                        );
+                    }
                 }
             }
             Inbound::Quit => return,
@@ -1464,6 +1557,7 @@ mod tests {
             compute_tx: Vec::new(),
             send_tx: Vec::new(),
             inbound_tx: Vec::new(),
+            queue_depth: Vec::new(),
             tcp_writers: HashMap::new(),
             device_host: Vec::new(),
             zero: Bytes::new(),

@@ -27,4 +27,19 @@ cargo test --offline -q --test planner_parallel
 echo "==> planner bench smoke (1 vs 4 threads)"
 cargo run --offline --release -p crossmesh-bench --bin repro_planner -- --smoke > /dev/null
 
+echo "==> obs overhead smoke (collectors off vs on, determinism)"
+cargo run --offline --release -p crossmesh-bench --bin repro_obs -- --smoke
+
+echo "==> unified timeline export, one schema across backends"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+reshard_case=(reshard --src-spec RR --dst-spec S01R --src-mesh 2x4 --dst-mesh 2x4
+              --shape 256x256)
+cargo run --offline --release -p crossmesh-cli -- "${reshard_case[@]}" \
+    --backend sim --trace-out "$trace_dir/sim.json" > /dev/null
+cargo run --offline --release -p crossmesh-cli -- "${reshard_case[@]}" \
+    --backend threads --trace-out "$trace_dir/threads.json" > /dev/null
+cargo run --offline --release -p crossmesh-cli -- validate-trace \
+    --trace "$trace_dir/sim.json" --against "$trace_dir/threads.json"
+
 echo "All checks passed."

@@ -25,6 +25,8 @@
 //!   one seeded schedule driving both the simulator and the runtime.
 //! * [`pipeline`] — GPipe / 1F1B / eager-1F1B schedules, overlap modes,
 //!   backward weight delaying.
+//! * [`obs`] — structured tracing facade, sharded metrics registry, and
+//!   the unified Chrome/Perfetto timeline export shared by both backends.
 //! * [`models`] — GPT-3-like and U-Transformer workload models and the AWS
 //!   p3.8xlarge cluster preset used in the paper's evaluation.
 //! * [`autoshard`] — sharding-spec search for stage-boundary tensors (the
@@ -64,5 +66,6 @@ pub use crossmesh_faults as faults;
 pub use crossmesh_mesh as mesh;
 pub use crossmesh_models as models;
 pub use crossmesh_netsim as netsim;
+pub use crossmesh_obs as obs;
 pub use crossmesh_pipeline as pipeline;
 pub use crossmesh_runtime as runtime;
