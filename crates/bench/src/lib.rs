@@ -23,6 +23,7 @@
 
 pub mod ablations;
 pub mod cases;
+pub mod check_overhead;
 pub mod faults;
 pub mod fig5;
 pub mod fig6;

@@ -1,0 +1,65 @@
+//! Determinism lint runner: scans the workspace sources and exits non-zero
+//! on any finding. CI's lint gate.
+//!
+//! ```text
+//! cargo run -p crossmesh-check --bin crossmesh-lint [-- --root DIR] [--allow FILE] [--format text|json]
+//! ```
+
+use crossmesh_check::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let root = PathBuf::from(get("--root").unwrap_or("."));
+    let allow_path = get("--allow")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("crates/check/lint-allow.txt"));
+    let format = get("--format").unwrap_or("text");
+
+    let allow = match lint::load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("crossmesh-lint: reading {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match lint::lint_repo(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("crossmesh-lint: scanning {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if format == "json" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.diagnostics).expect("diagnostics serialize")
+        );
+    } else if report.diagnostics.is_empty() {
+        println!(
+            "crossmesh-lint: clean ({} files, {} allowlist entries)",
+            report.files_scanned,
+            allow.len()
+        );
+    } else {
+        println!("{}", crossmesh_check::render_text(&report.diagnostics));
+        println!(
+            "crossmesh-lint: {} finding(s) in {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounded model-checker runner: exhaustively explores the interleavings
+//! of a suite of representative dataflow programs (the shapes the threaded
+//! runtime actually runs) and exits non-zero on any violation. Also
+//! self-tests the checker by asserting it convicts a known-deadlocking and
+//! a known-double-delivering program.
+//!
+//! ```text
+//! cargo run -p crossmesh-check --bin crossmesh-modelcheck [-- --smoke] [--max-transitions N]
+//! ```
+
+use crossmesh_check::model::{check, program_from_plan, Bound, Channel, Op, Program, Thread};
+use crossmesh_check::verify::AssignmentView;
+use crossmesh_check::Rule;
+use crossmesh_collectives::Strategy;
+use crossmesh_mesh::{Receiver, Tile, UnitTask};
+use crossmesh_netsim::{DeviceId, HostId};
+use std::process::ExitCode;
+
+/// A fan-out resharding shape: `senders` source devices each shipping one
+/// unit to `receivers` destination devices.
+fn fan_program(senders: u32, receivers: u32, capacity: usize) -> Program {
+    let mut units = Vec::new();
+    let mut views = Vec::new();
+    for s in 0..senders {
+        let slice = Tile::new([u64::from(s)..u64::from(s) + 1, 0..u64::from(receivers)]);
+        units.push(UnitTask {
+            index: s as usize,
+            slice: slice.clone(),
+            bytes: slice.volume(),
+            senders: vec![(DeviceId(s), HostId(0))],
+            receivers: (0..receivers)
+                .map(|r| Receiver {
+                    device: DeviceId(100 + r),
+                    host: HostId(1),
+                    needed: Tile::new([
+                        u64::from(s)..u64::from(s) + 1,
+                        u64::from(r)..u64::from(r) + 1,
+                    ]),
+                })
+                .collect(),
+        });
+        views.push(AssignmentView {
+            unit: s as usize,
+            sender: DeviceId(s),
+            sender_host: HostId(0),
+            strategy: Strategy::SendRecv,
+        });
+    }
+    program_from_plan(&units, &views, capacity)
+}
+
+fn deadlocking_program() -> Program {
+    let send = |chan, piece| Op::Send {
+        chan,
+        piece,
+        bytes: 1,
+    };
+    Program {
+        channels: vec![Channel { capacity: 1 }, Channel { capacity: 1 }],
+        threads: vec![
+            Thread {
+                name: "t0".into(),
+                ops: vec![send(0, 0), send(0, 1), Op::Recv { chan: 1 }],
+            },
+            Thread {
+                name: "t1".into(),
+                ops: vec![send(1, 2), send(1, 3), Op::Recv { chan: 0 }],
+            },
+        ],
+    }
+}
+
+fn double_delivery_program() -> Program {
+    let send = |piece| Op::Send {
+        chan: 0,
+        piece,
+        bytes: 4,
+    };
+    Program {
+        channels: vec![Channel { capacity: 4 }],
+        threads: vec![
+            Thread {
+                name: "send:a".into(),
+                ops: vec![send(9), send(9)],
+            },
+            Thread {
+                name: "asm".into(),
+                ops: vec![Op::Recv { chan: 0 }; 3],
+            },
+        ],
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_transitions = args
+        .iter()
+        .position(|a| a == "--max-transitions")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 100_000 } else { 2_000_000 });
+    let bound = Bound { max_transitions };
+
+    // Dataflow shapes the runtime actually executes. Smoke trims the suite
+    // to what CI can exhaust in well under a second.
+    let suite: Vec<(String, Program)> = if smoke {
+        vec![
+            ("fan 1x2".into(), fan_program(1, 2, 2)),
+            ("fan 2x2".into(), fan_program(2, 2, 2)),
+            ("fan 2x2 cap1".into(), fan_program(2, 2, 1)),
+        ]
+    } else {
+        vec![
+            ("fan 1x2".into(), fan_program(1, 2, 2)),
+            ("fan 2x2".into(), fan_program(2, 2, 2)),
+            ("fan 2x2 cap1".into(), fan_program(2, 2, 1)),
+            ("fan 3x2".into(), fan_program(3, 2, 2)),
+            ("fan 2x3 cap1".into(), fan_program(2, 3, 1)),
+        ]
+    };
+
+    let mut failed = false;
+    for (name, program) in &suite {
+        let r = check(program, bound);
+        let status = if r.violations.is_empty() {
+            "ok"
+        } else {
+            failed = true;
+            "VIOLATION"
+        };
+        println!(
+            "modelcheck {name}: {status} ({} interleavings, {} transitions{})",
+            r.interleavings,
+            r.transitions,
+            if r.truncated { ", TRUNCATED" } else { "" }
+        );
+        for v in &r.violations {
+            println!("  {v}");
+        }
+        if r.truncated {
+            // A truncated clean run proves nothing; treat as failure so CI
+            // bounds are always honest.
+            println!("  bound too small: raise --max-transitions");
+            failed = true;
+        }
+    }
+
+    // Self-test: the checker must convict seeded defects, or a silent
+    // regression in the checker would make every "ok" above meaningless.
+    let dl = check(&deadlocking_program(), bound);
+    if !dl.violations.iter().any(|d| d.rule == Rule::ModelDeadlock) {
+        println!("modelcheck self-test: FAILED to catch seeded deadlock");
+        failed = true;
+    } else {
+        println!("modelcheck self-test: seeded deadlock caught");
+    }
+    let dd = check(&double_delivery_program(), bound);
+    if !dd
+        .violations
+        .iter()
+        .any(|d| d.rule == Rule::ModelDoubleDelivery)
+    {
+        println!("modelcheck self-test: FAILED to catch seeded double delivery");
+        failed = true;
+    } else {
+        println!("modelcheck self-test: seeded double delivery caught");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,330 @@
+//! Determinism lint: a line-oriented source scanner enforcing the
+//! workspace's determinism rules. Planner output must be byte-identical
+//! across runs and thread counts, so the layers that compute it may not
+//! consult hash-order collections, wall clocks, or unseeded randomness —
+//! and the runtime's send/recv paths may not `unwrap()` (a poisoned
+//! channel must surface as a transport error, not a panic).
+//!
+//! Three rules, each scoped to the directories where the invariant holds:
+//!
+//! | rule | scope | bans |
+//! |---|---|---|
+//! | `lint.hash-iteration` | `crates/core/src/planners/` | `HashMap`, `HashSet` |
+//! | `lint.wall-clock` | core, collectives, mesh, netsim, pipeline | `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`, `rand::random` |
+//! | `lint.unwrap` | `crates/runtime/src/` | `.unwrap()` |
+//!
+//! Lines inside `#[cfg(test)]` regions and comment lines are skipped.
+//! Findings can be suppressed through an allowlist file (see
+//! [`parse_allowlist`]); the canonical allowlist lives at
+//! `crates/check/lint-allow.txt` and is enforced in CI via the
+//! `crossmesh-lint` binary.
+
+use crate::{record_lint_findings, Diagnostic, Rule};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories (workspace-relative) scanned for the wall-clock/RNG rule.
+const DETERMINISTIC_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/collectives/src/",
+    "crates/mesh/src/",
+    "crates/netsim/src/",
+    "crates/pipeline/src/",
+];
+
+/// Directory scanned for the hash-iteration rule.
+const PLANNER_SCOPE: &str = "crates/core/src/planners/";
+
+/// Directory scanned for the unwrap rule.
+const RUNTIME_SCOPE: &str = "crates/runtime/src/";
+
+/// One allowlist entry: suppresses `rule` findings in files whose
+/// workspace-relative path ends with `path_suffix`, on lines containing
+/// `pattern`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id to suppress, e.g. `lint.unwrap`.
+    pub rule: String,
+    /// Path suffix the entry applies to.
+    pub path_suffix: String,
+    /// Substring the offending line must contain.
+    pub pattern: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, rule: Rule, rel_path: &str, line: &str) -> bool {
+        self.rule == rule.id()
+            && rel_path.ends_with(&self.path_suffix)
+            && line.contains(&self.pattern)
+    }
+}
+
+/// Parses an allowlist document: one entry per line, `|`-separated fields
+/// `rule | path-suffix | line-substring`; `#` starts a comment.
+///
+/// Malformed lines (fewer than three fields) are ignored rather than
+/// fatal, so a stray comment cannot brick CI.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, '|').map(str::trim);
+            Some(AllowEntry {
+                rule: parts.next()?.to_string(),
+                path_suffix: parts.next()?.to_string(),
+                pattern: parts.next()?.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn in_scope(rel_path: &str, scopes: &[&str]) -> bool {
+    scopes.iter().any(|s| rel_path.starts_with(s))
+}
+
+/// Lints one source file. `rel_path` is the workspace-relative path (used
+/// both for rule scoping and in diagnostics); `content` is the file text.
+///
+/// Everything from the first `#[cfg(test)]` line onward is skipped — the
+/// workspace convention keeps test modules at the end of each file — as
+/// are comment-only lines (a doc comment may legitimately *mention*
+/// `Instant::now`).
+pub fn lint_source(rel_path: &str, content: &str, allow: &[AllowEntry]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if !rel_path.ends_with(".rs") {
+        return diags;
+    }
+    let hash_scope = rel_path.starts_with(PLANNER_SCOPE);
+    let clock_scope = in_scope(rel_path, DETERMINISTIC_SCOPES);
+    let unwrap_scope = rel_path.starts_with(RUNTIME_SCOPE);
+    if !(hash_scope || clock_scope || unwrap_scope) {
+        return diags;
+    }
+
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut push = |rule: Rule, what: &str, why: &str| {
+            if allow.iter().any(|e| e.matches(rule, rel_path, line)) {
+                return;
+            }
+            diags.push(Diagnostic::error(
+                rule,
+                format!("{rel_path}:{lineno}"),
+                format!("{what}: {why}"),
+            ));
+        };
+        if hash_scope {
+            for token in ["HashMap", "HashSet"] {
+                if line.contains(token) {
+                    push(
+                        Rule::LintHashIteration,
+                        token,
+                        "hash iteration order would leak into plans; use BTreeMap/BTreeSet",
+                    );
+                }
+            }
+        }
+        if clock_scope {
+            for token in [
+                "Instant::now",
+                "SystemTime::now",
+                "thread_rng",
+                "from_entropy",
+                "rand::random",
+            ] {
+                if line.contains(token) {
+                    push(
+                        Rule::LintWallClock,
+                        token,
+                        "wall clock / unseeded RNG in a deterministic layer; thread seeds through the API",
+                    );
+                }
+            }
+        }
+        if unwrap_scope && line.contains(".unwrap()") {
+            push(
+                Rule::LintUnwrap,
+                ".unwrap()",
+                "runtime send/recv paths must surface errors, not panic; use expect with a message or propagate",
+            );
+        }
+    }
+    diags
+}
+
+/// The outcome of a repository lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Files scanned (in-scope `.rs` files found under the root).
+    pub files_scanned: usize,
+    /// All findings, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope source file under the workspace `root`, applying
+/// the allowlist.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the source tree.
+pub fn lint_repo(root: &Path, allow: &[AllowEntry]) -> io::Result<LintReport> {
+    let mut scopes: Vec<&str> = DETERMINISTIC_SCOPES.to_vec();
+    scopes.push(RUNTIME_SCOPE);
+    let mut files = Vec::new();
+    for scope in &scopes {
+        let dir = root.join(scope);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(path)?;
+        files_scanned += 1;
+        diagnostics.extend(lint_source(&rel, &content, allow));
+    }
+    record_lint_findings(diagnostics.len() as u64);
+    Ok(LintReport {
+        files_scanned,
+        diagnostics,
+    })
+}
+
+/// Loads and parses the allowlist at `path`; a missing file is an empty
+/// allowlist.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than `NotFound`.
+pub fn load_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
+    match fs::read_to_string(path) {
+        Ok(text) => Ok(parse_allowlist(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banned_constructs_are_flagged_in_scope() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();\n";
+        let diags = lint_source("crates/core/src/planners/bad.rs", src, &[]);
+        assert!(diags.iter().any(|d| d.rule == Rule::LintHashIteration));
+        // Same content outside the planner scope: clean.
+        assert!(lint_source("crates/models/src/gpt.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_unwrap_rules_scope_correctly() {
+        let clock = "let t0 = std::time::Instant::now();\n";
+        assert!(lint_source("crates/core/src/plan.rs", clock, &[])
+            .iter()
+            .any(|d| d.rule == Rule::LintWallClock));
+        // The runtime may use wall clocks (it measures real time)...
+        assert!(lint_source("crates/runtime/src/backend.rs", clock, &[]).is_empty());
+        // ...but may not unwrap.
+        let unwrap = "let x = rx.recv().unwrap();\n";
+        assert!(lint_source("crates/runtime/src/backend.rs", unwrap, &[])
+            .iter()
+            .any(|d| d.rule == Rule::LintUnwrap));
+    }
+
+    #[test]
+    fn comments_and_test_modules_are_skipped() {
+        let src = "// Instant::now is banned here\n/// docs: thread_rng\n#[cfg(test)]\nmod tests { fn f() { let _ = std::time::Instant::now(); } }\n";
+        assert!(lint_source("crates/core/src/plan.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings_only() {
+        let src = "let x = header.try_into().unwrap();\nlet y = rx.recv().unwrap();\n";
+        let allow = parse_allowlist(
+            "# suppress the infallible header parse\nlint.unwrap | backend.rs | try_into()\n",
+        );
+        let diags = lint_source("crates/runtime/src/backend.rs", src, &allow);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].explanation.contains(".unwrap()"));
+        assert!(diags[0].location.ends_with(":2"));
+    }
+
+    #[test]
+    fn allowlist_parser_ignores_junk() {
+        let entries = parse_allowlist("# comment\n\nnot-enough-fields\na | b | c\n");
+        assert_eq!(
+            entries,
+            vec![AllowEntry {
+                rule: "a".into(),
+                path_suffix: "b".into(),
+                pattern: "c".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn fixture_file_with_banned_constructs_is_caught() {
+        let fixture = include_str!("../tests/fixtures/nondeterministic_planner.rs");
+        let diags = lint_source(
+            "crates/core/src/planners/nondeterministic_planner.rs",
+            fixture,
+            &[],
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::LintHashIteration),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.rule == Rule::LintWallClock));
+    }
+
+    #[test]
+    fn the_workspace_itself_is_lint_clean() {
+        // The crate sits at crates/check; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let allow = load_allowlist(&root.join("crates/check/lint-allow.txt")).expect("allowlist");
+        let report = lint_repo(&root, &allow).expect("lint runs");
+        assert!(
+            report.files_scanned > 20,
+            "scanned {}",
+            report.files_scanned
+        );
+        assert!(
+            report.diagnostics.is_empty(),
+            "{}",
+            crate::render_text(&report.diagnostics)
+        );
+    }
+}

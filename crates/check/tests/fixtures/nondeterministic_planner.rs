@@ -1,0 +1,16 @@
+//! Lint fixture: a deliberately nondeterministic "planner" that violates
+//! every determinism rule. Never compiled — `crossmesh-check`'s lint tests
+//! scan this file (as if it lived at `crates/core/src/planners/`) to prove
+//! the scanner catches each banned construct.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn plan_badly(loads: &HashMap<u32, u64>) -> Vec<u32> {
+    let started = Instant::now();
+    let mut order: Vec<u32> = loads.keys().copied().collect(); // hash order!
+    let mut rng = rand::thread_rng();
+    order.sort_by_key(|_| started.elapsed().as_nanos());
+    let _ = rng;
+    order
+}

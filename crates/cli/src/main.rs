@@ -21,6 +21,7 @@ mod args;
 
 use args::{parse_mesh, parse_shape, Args};
 use crossmesh_autoshard::{search, AutoShardProblem};
+use crossmesh_check::verify::AssignmentView;
 use crossmesh_core::PlanCache;
 use crossmesh_core::{
     dataplane, CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Planner,
@@ -53,6 +54,7 @@ USAGE:
                      [--backend B] [--threads N] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
+  crossmesh check    --task spec.json --plan plan.json [--format text|json]
   crossmesh validate-trace --trace FILE.json [--against OTHER.json] [--json]
 
   strategies: broadcast (default) | send_recv | local_allgather | global_allgather
@@ -64,6 +66,10 @@ USAGE:
   --seed:     RNG seed for the randomized-greedy planner (ours/greedy)
   --faults:   JSON fault schedule (crossmesh-faults format) injected into the
               run; sender crashes trigger failover onto surviving replicas
+  --emit-task/--emit-plan: write the reshard problem / the computed plan as
+              JSON, in the format `crossmesh check` consumes
+  check:      run the static plan verifier (coverage, sender, ring, and
+              capacity rules) over an emitted plan; exits non-zero on errors
   --threads:  planner worker-pool width (default: CROSSMESH_THREADS env var,
               else all cores); plans are byte-identical at any width
   --iterations: training iterations to simulate; the plan cache carries
@@ -111,6 +117,7 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
         Some("reshard") => reshard(&args),
         Some("pipeline") => pipeline(&args),
         Some("autospec") => autospec(&args),
+        Some("check") => check(&args),
         Some("validate-trace") => validate_trace(&args),
         None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}").into()),
@@ -282,6 +289,99 @@ fn backend_for(name: &str) -> Result<Box<dyn Backend>, Box<dyn Error>> {
     })
 }
 
+/// The portable description of a resharding problem that `reshard
+/// --emit-task` writes and `check --task` reads: enough to rebuild the
+/// exact task and cluster the plan was made for.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TaskSpecFile {
+    src_spec: String,
+    dst_spec: String,
+    src_mesh: String,
+    dst_mesh: String,
+    shape: String,
+    elem_bytes: u64,
+    inter_bw: f64,
+    intra_bw: f64,
+    inter_latency: f64,
+    intra_latency: f64,
+}
+
+impl TaskSpecFile {
+    /// Rebuilds the task and cluster exactly as `reshard` constructs them.
+    fn build(&self) -> Result<(ReshardingTask, ClusterSpec), Box<dyn Error>> {
+        let src_mesh_shape = parse_mesh(&self.src_mesh)?;
+        let dst_mesh_shape = parse_mesh(&self.dst_mesh)?;
+        let shape = parse_shape(&self.shape)?;
+        let gpus = src_mesh_shape.1.max(dst_mesh_shape.1) as u32;
+        let hosts = (src_mesh_shape.0 + dst_mesh_shape.0) as u32;
+        let cluster = ClusterSpec::homogeneous(
+            hosts,
+            gpus,
+            LinkParams::new(self.intra_bw, self.inter_bw)
+                .with_latencies(self.intra_latency, self.inter_latency),
+        );
+        let src = DeviceMesh::from_cluster(&cluster, 0, src_mesh_shape, "src")?;
+        let dst = DeviceMesh::from_cluster(&cluster, src_mesh_shape.0, dst_mesh_shape, "dst")?;
+        let task = ReshardingTask::new(
+            src,
+            self.src_spec.parse()?,
+            dst,
+            self.dst_spec.parse()?,
+            &shape,
+            self.elem_bytes,
+        )?;
+        Ok((task, cluster))
+    }
+}
+
+/// `crossmesh check`: statically verifies a serialized plan against its
+/// task without executing anything. Exits non-zero when any rule fires at
+/// error severity.
+fn check(args: &Args) -> Result<String, Box<dyn Error>> {
+    let task_path = args.get("task").ok_or("missing --task")?;
+    let plan_path = args.get("plan").ok_or("missing --plan")?;
+    let spec_text = std::fs::read_to_string(task_path)
+        .map_err(|e| format!("cannot read --task {task_path:?}: {e}"))?;
+    let spec: TaskSpecFile =
+        serde_json::from_str(&spec_text).map_err(|e| format!("--task {task_path:?}: {e}"))?;
+    let (task, cluster) = spec.build()?;
+    let plan_text = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("cannot read --plan {plan_path:?}: {e}"))?;
+    let views: Vec<AssignmentView> =
+        serde_json::from_str(&plan_text).map_err(|e| format!("--plan {plan_path:?}: {e}"))?;
+
+    let diags = crossmesh_check::verify::verify_plan(
+        task.units(),
+        task.shape(),
+        task.elem_bytes(),
+        &views,
+        Some(&cluster),
+        &|_, _| false,
+    );
+    let body = match args.get_or("format", "text") {
+        "json" => serde_json::to_string_pretty(&diags)?,
+        "text" => {
+            if diags.is_empty() {
+                format!(
+                    "check: OK — {} unit tasks, {} assignments, 0 diagnostics",
+                    task.units().len(),
+                    views.len()
+                )
+            } else {
+                crossmesh_check::render_text(&diags)
+            }
+        }
+        other => return Err(format!("unknown --format {other:?}").into()),
+    };
+    if crossmesh_check::has_errors(&diags) {
+        // Findings are the output, not a usage error: print them and exit
+        // non-zero without the usage banner.
+        println!("{body}");
+        std::process::exit(1);
+    }
+    Ok(body)
+}
+
 fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     let src_spec = args.get("src-spec").ok_or("missing --src-spec")?.parse()?;
     let dst_spec = args.get("dst-spec").ok_or("missing --dst-spec")?.parse()?;
@@ -313,11 +413,43 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
     let backend_name = args.get_or("backend", "sim");
     let backend = backend_for(backend_name)?;
     let plan = planner.plan(&task);
+    if let Some(path) = args.get("emit-task") {
+        let spec = TaskSpecFile {
+            src_spec: args.get("src-spec").unwrap_or_default().to_string(),
+            dst_spec: args.get("dst-spec").unwrap_or_default().to_string(),
+            src_mesh: args.get("src-mesh").unwrap_or_default().to_string(),
+            dst_mesh: args.get("dst-mesh").unwrap_or_default().to_string(),
+            shape: args.get("shape").unwrap_or_default().to_string(),
+            elem_bytes,
+            inter_bw: params.inter_bw,
+            intra_bw: params.intra_bw,
+            inter_latency: params.inter_latency,
+            intra_latency: params.intra_latency,
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&spec)?)?;
+    }
+    if let Some(path) = args.get("emit-plan") {
+        std::fs::write(path, serde_json::to_string_pretty(plan.assignments())?)?;
+    }
     let (report, recovery) = match args.get("faults") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read --faults {path:?}: {e}"))?;
-            let schedule = FaultSchedule::from_json(&text)?;
+            let schedule =
+                FaultSchedule::from_json(&text).map_err(|e| format!("--faults {path:?}: {e}"))?;
+            schedule
+                .validate()
+                .map_err(|e| format!("--faults {path:?}: {e}"))?;
+            // Also validate the compiled mechanical form against the
+            // lowered graph: `to_disruptions` rolls per-flow drops, so
+            // defects invisible in the declarative schedule surface here,
+            // before the cluster commits to execution.
+            let mut graph = TaskGraph::new();
+            plan.lower(&mut graph, &[]);
+            schedule
+                .to_disruptions(&graph)
+                .validate()
+                .map_err(|e| format!("--faults {path:?}: compiled schedule invalid: {e}"))?;
             let r: RecoveryReport = match backend_name {
                 "sim" => execute_with_repair(&plan, &cluster, &SimBackend, &schedule)?,
                 "threads" => {

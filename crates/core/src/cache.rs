@@ -225,9 +225,10 @@ impl PlanCache {
     }
 
     /// Looks `key` up and re-binds the stored assignments to `task`,
-    /// re-checking that no assignment routes through an excluded sender —
-    /// a violation means the entry is unusable (it can only arise from a
-    /// key collision) and is dropped as a miss.
+    /// re-running the static verifier (`crossmesh-check`) over the entry
+    /// under the *current* exclusions — a diagnostic means the entry is
+    /// unusable (a sender died since it was stored, or a key collision
+    /// bound it to the wrong task) and it is dropped as a miss.
     fn lookup<'t>(
         &self,
         key: u64,
@@ -237,11 +238,16 @@ impl PlanCache {
         let global = global_cache_metrics();
         let mut entries = self.entries.lock();
         if let Some(entry) = entries.get(&key) {
-            let poisoned = entry
-                .assignments
-                .iter()
-                .any(|a| exclusions.excludes(a.sender, a.sender_host));
-            if poisoned {
+            let views: Vec<_> = entry.assignments.iter().map(Assignment::as_view).collect();
+            let diags = crossmesh_check::verify::verify_plan(
+                task.units(),
+                task.shape(),
+                task.elem_bytes(),
+                &views,
+                None,
+                &|d, h| exclusions.excludes(d, h),
+            );
+            if crossmesh_check::has_errors(&diags) {
                 entries.remove(&key);
                 self.invalidations.inc();
                 global.invalidations.inc();
@@ -249,7 +255,10 @@ impl PlanCache {
                     obs::Level::Warn,
                     "plan_cache",
                     "invalidated",
-                    &[obs::Field::u64("key", key)],
+                    &[
+                        obs::Field::u64("key", key),
+                        obs::Field::str("rule", diags[0].rule.id()),
+                    ],
                 );
             } else {
                 self.hits.inc();

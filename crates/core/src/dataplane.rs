@@ -10,6 +10,7 @@
 
 use crate::plan::Plan;
 use bytes::Bytes;
+use crossmesh_check::TileDiff;
 use crossmesh_mesh::{Layout, Tile};
 use crossmesh_netsim::DeviceId;
 use std::collections::BTreeMap;
@@ -29,17 +30,13 @@ pub enum DataPlaneError {
     },
     /// After executing the plan, a destination element was never written.
     Uncovered {
-        /// The receiving device.
-        device: DeviceId,
-        /// Linear index of the missing element.
-        linear_index: u64,
+        /// First missing element: which device, which tile, where inside it.
+        diff: TileDiff,
     },
     /// A destination element holds the wrong value.
     Corrupted {
-        /// The receiving device.
-        device: DeviceId,
-        /// Linear index of the wrong element.
-        linear_index: u64,
+        /// First divergent element with its expected and actual values.
+        diff: TileDiff,
     },
     /// Two writes to the same destination element disagreed.
     Conflict {
@@ -56,14 +53,12 @@ impl fmt::Display for DataPlaneError {
             DataPlaneError::SenderMissesSlice { device, slice } => {
                 write!(f, "sender {device} does not hold slice {slice}")
             }
-            DataPlaneError::Uncovered {
-                device,
-                linear_index,
-            } => write!(f, "device {device} never received element {linear_index}"),
-            DataPlaneError::Corrupted {
-                device,
-                linear_index,
-            } => write!(f, "device {device} holds a wrong value at {linear_index}"),
+            DataPlaneError::Uncovered { diff } => {
+                write!(f, "destination never fully written: {diff}")
+            }
+            DataPlaneError::Corrupted { diff } => {
+                write!(f, "destination holds wrong data: {diff}")
+            }
             DataPlaneError::Conflict {
                 device,
                 linear_index,
@@ -131,6 +126,16 @@ fn linear_index(shape: &[u64], idx: &[u64]) -> u64 {
 /// Encodes `value` as `elem_bytes` little-endian bytes (truncating).
 fn encode(value: u64, elem_bytes: usize, out: &mut Vec<u8>) {
     out.extend_from_slice(&value.to_le_bytes()[..elem_bytes]);
+}
+
+/// Truncates `value` to the range representable in `elem_bytes` bytes,
+/// mirroring what [`encode`] stores.
+fn truncate(value: u64, elem_bytes: usize) -> u64 {
+    if elem_bytes >= 8 {
+        value
+    } else {
+        value & ((1u64 << (elem_bytes * 8)) - 1)
+    }
 }
 
 impl TileBuffer {
@@ -316,8 +321,14 @@ pub fn verify_destination(
             let lin = linear_index(shape, &idx);
             if !buf.written[i] {
                 return Err(DataPlaneError::Uncovered {
-                    device,
-                    linear_index: lin,
+                    diff: TileDiff {
+                        device,
+                        tile: tile.clone(),
+                        offset: i as u64,
+                        linear_index: lin,
+                        expected: Some(truncate(lin, elem_bytes)),
+                        actual: None,
+                    },
                 });
             }
         }
@@ -328,14 +339,20 @@ pub fn verify_destination(
         };
         let want = TileBuffer::materialize(&tile, shape, elem_bytes);
         if got.data != want.data {
-            // Locate the first differing element for the error message.
+            // Locate the first differing element for the structured diff.
             let bad = (0..tile.volume() as usize)
                 .find(|&i| got.element(i) != want.element(i))
                 .unwrap_or(0);
             let idx = tile_indices(&tile).nth(bad).expect("index exists");
             return Err(DataPlaneError::Corrupted {
-                device,
-                linear_index: linear_index(shape, &idx),
+                diff: TileDiff {
+                    device,
+                    tile: tile.clone(),
+                    offset: bad as u64,
+                    linear_index: linear_index(shape, &idx),
+                    expected: Some(want.element(bad)),
+                    actual: Some(got.element(bad)),
+                },
             });
         }
         destination.insert(device.0, got);
@@ -512,7 +529,17 @@ mod tests {
         // Nothing written: the first element is uncovered.
         let empty = DestinationBuffer::new(tile.clone(), 1);
         let err = verify_destination(&[2, 2], [(DeviceId(0), empty)]).unwrap_err();
-        assert!(matches!(err, DataPlaneError::Uncovered { .. }));
+        match err {
+            DataPlaneError::Uncovered { diff } => {
+                assert_eq!(diff.device, DeviceId(0));
+                assert_eq!(diff.tile, tile);
+                assert_eq!(diff.offset, 0);
+                assert_eq!(diff.linear_index, 0);
+                assert_eq!(diff.expected, Some(0));
+                assert_eq!(diff.actual, None);
+            }
+            other => panic!("expected Uncovered, got {other}"),
+        }
         // Fully covered with ground truth: passes and returns the buffer.
         let truth = TileBuffer::materialize(&tile, &[2, 2], 1);
         let mut ok = DestinationBuffer::new(tile.clone(), 1);
@@ -531,7 +558,16 @@ mod tests {
         )
         .unwrap();
         let err = verify_destination(&[2, 2], [(DeviceId(2), bad)]).unwrap_err();
-        assert!(matches!(err, DataPlaneError::Corrupted { .. }));
+        match err {
+            DataPlaneError::Corrupted { diff } => {
+                assert_eq!(diff.device, DeviceId(2));
+                assert_eq!(diff.offset, 0);
+                assert_eq!(diff.linear_index, 0);
+                assert_eq!(diff.expected, Some(0));
+                assert_eq!(diff.actual, Some(9));
+            }
+            other => panic!("expected Corrupted, got {other}"),
+        }
     }
 
     #[test]

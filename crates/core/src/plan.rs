@@ -26,6 +26,18 @@ pub struct Assignment {
     pub strategy: Strategy,
 }
 
+impl Assignment {
+    /// This assignment as the checker's dependency-free mirror type.
+    pub fn as_view(&self) -> crossmesh_check::verify::AssignmentView {
+        crossmesh_check::verify::AssignmentView {
+            unit: self.unit,
+            sender: self.sender,
+            sender_host: self.sender_host,
+            strategy: self.strategy,
+        }
+    }
+}
+
 /// The lowered form of a plan inside a larger task graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoweredPlan {
@@ -276,6 +288,26 @@ impl<'t> Plan<'t> {
         })
     }
 
+    /// Runs the static plan verifier (`crossmesh-check`) over this plan:
+    /// coverage, sender-exclusion, ring well-formedness, and — when
+    /// `cluster` is given — capacity sanity. Returns every diagnostic;
+    /// an empty vector means the plan is provably well-formed.
+    pub fn verify(
+        &self,
+        cluster: Option<&ClusterSpec>,
+        excluded: &dyn Fn(DeviceId, HostId) -> bool,
+    ) -> Vec<crossmesh_check::Diagnostic> {
+        let views: Vec<_> = self.assignments.iter().map(Assignment::as_view).collect();
+        crossmesh_check::verify::verify_plan(
+            self.task.units(),
+            self.task.shape(),
+            self.task.elem_bytes(),
+            &views,
+            cluster,
+            excluded,
+        )
+    }
+
     /// Executes the plan alone on `cluster` with the simulator backend and
     /// reports the simulated completion time.
     ///
@@ -300,6 +332,16 @@ impl<'t> Plan<'t> {
         backend: &dyn Backend,
         cluster: &ClusterSpec,
     ) -> Result<ExecutionReport, SimError> {
+        let diags = self.verify(Some(cluster), &|_, _| false);
+        if crossmesh_check::has_errors(&diags) {
+            return Err(SimError::Backend {
+                backend: "check",
+                message: format!(
+                    "plan failed static verification:\n{}",
+                    crossmesh_check::render_text(&diags)
+                ),
+            });
+        }
         let mut graph = TaskGraph::new();
         let lowered = self.lower(&mut graph, &[]);
         let trace = backend.execute(cluster, &graph)?;

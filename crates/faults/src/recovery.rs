@@ -259,6 +259,19 @@ pub fn execute_with_repair_cached<B: FaultInjectable>(
         Some(c) => c.repair(plan, &exclusions)?,
         None => plan.repair(&exclusions)?,
     };
+    // Statically verify the repaired plan before committing the cluster to
+    // re-execution: every unit still covered, nothing routed through a
+    // crashed host, rings still well-formed.
+    let diags = repaired.verify(Some(cluster), &|d, h| exclusions.excludes(d, h));
+    if crossmesh_check::has_errors(&diags) {
+        return Err(RecoveryError::Sim(SimError::Backend {
+            backend: "check",
+            message: format!(
+                "repaired plan failed static verification:\n{}",
+                crossmesh_check::render_text(&diags)
+            ),
+        }));
+    }
 
     let mut graph = TaskGraph::new();
     let lowered = repaired.lower(&mut graph, &[]);

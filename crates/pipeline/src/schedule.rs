@@ -110,6 +110,24 @@ impl Schedule {
             .unwrap_or(self.per_stage[s].len())
     }
 
+    /// The whole schedule in the static checker's dependency-free op form,
+    /// ready for `crossmesh_check::verify::verify_schedule`.
+    pub fn check_ops(&self) -> Vec<Vec<crossmesh_check::verify::ScheduleOp>> {
+        use crossmesh_check::verify::ScheduleOp;
+        self.per_stage
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|op| match *op {
+                        Op::Forward(m) => ScheduleOp::Forward(m as u32),
+                        Op::BackwardAct(m) => ScheduleOp::BackwardAct(m as u32),
+                        Op::BackwardWeight(m) => ScheduleOp::BackwardWeight(m as u32),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Peak number of in-flight activations on stage `s`: the maximum over
     /// time of forwards started minus activation-backwards completed. This
     /// is the multiplier on the stage's per-microbatch activation memory.
@@ -298,6 +316,25 @@ mod tests {
                 }
             }
             assert!(done_b.iter().all(|&x| x) && done_w.iter().all(|&x| x));
+        }
+    }
+
+    /// Every built schedule also passes the static checker's hazard pass
+    /// (shape, ordering, and deadlock-freedom of the stage dependency
+    /// graph) via the `check_ops` bridge.
+    #[test]
+    fn built_schedules_pass_the_static_checker() {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Eager1F1B,
+            ScheduleKind::Inference,
+        ] {
+            for (stages, m) in [(1, 1), (2, 3), (4, 8), (3, 16)] {
+                let s = build_schedule(kind, stages, m, WeightDelay::None);
+                let diags = crossmesh_check::verify::verify_schedule(&s.check_ops(), m as u32);
+                assert!(diags.is_empty(), "{kind} {stages}x{m}: {diags:?}");
+            }
         }
     }
 

@@ -954,6 +954,12 @@ fn tcp_fabric(
     Ok((writers, readers))
 }
 
+/// Reads a little-endian `u32` out of a frame header at `at`. Infallible:
+/// the header buffer is always `FRAME_HEADER` bytes.
+fn header_u32(hdr: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([hdr[at], hdr[at + 1], hdr[at + 2], hdr[at + 3]])
+}
+
 /// Forwards frames from one TCP connection to the destination devices'
 /// inbound queues until the peer closes or the run ends.
 fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
@@ -967,9 +973,9 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
         }
-        let dst = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
-        let flow = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
-        let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        let dst = header_u32(&hdr, 0);
+        let flow = header_u32(&hdr, 4);
+        let len = header_u32(&hdr, 8) as usize;
         let last = hdr[12] != 0;
         let attempt = hdr[13];
         let mut payload = vec![0u8; len];

@@ -24,8 +24,20 @@ cargo test --offline -q --test fault_tolerance -- threads
 echo "==> planner determinism suite (parallel == sequential, cache identity)"
 cargo test --offline -q --test planner_parallel
 
+echo "==> plan verifier suite (clean plans pass, mutated plans convicted)"
+cargo test --offline -q --test plan_verifier
+
+echo "==> determinism lint (hash iteration / wall clock / unwrap rules)"
+cargo run --offline --release -p crossmesh-check --bin crossmesh-lint
+
+echo "==> bounded model checker smoke (runtime dataflow interleavings)"
+cargo run --offline --release -p crossmesh-check --bin crossmesh-modelcheck -- --smoke
+
 echo "==> planner bench smoke (1 vs 4 threads)"
 cargo run --offline --release -p crossmesh-bench --bin repro_planner -- --smoke > /dev/null
+
+echo "==> verifier overhead smoke"
+cargo run --offline --release -p crossmesh-bench --bin repro_check -- --smoke > /dev/null
 
 echo "==> obs overhead smoke (collectors off vs on, determinism)"
 cargo run --offline --release -p crossmesh-bench --bin repro_obs -- --smoke

@@ -15,6 +15,9 @@
 //!   all-gather, chunked ring broadcast) and their cost models.
 //! * [`core`] — the resharding planner: load balancing and scheduling of
 //!   unit communication tasks.
+//! * [`check`] — static analysis: the plan/schedule verifier, the bounded
+//!   model checker for runtime dataflow programs, and the determinism
+//!   lint (`crossmesh-lint`), all runnable without executing a plan.
 //! * [`runtime`] — wall-clock multi-threaded execution backend: runs
 //!   lowered task graphs for real (one OS thread trio per device, byte
 //!   payloads over channels or TCP loopback) behind the same
@@ -60,6 +63,7 @@
 //! ```
 
 pub use crossmesh_autoshard as autoshard;
+pub use crossmesh_check as check;
 pub use crossmesh_collectives as collectives;
 pub use crossmesh_core as core;
 pub use crossmesh_faults as faults;
