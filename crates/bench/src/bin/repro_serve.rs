@@ -1,0 +1,45 @@
+//! Runs the trace-driven serve load harness; prints the table, writes
+//! `BENCH_serve.json`, and with `--json` dumps the report to stdout.
+//! `--smoke` trims the traces for CI; `--out PATH` overrides the JSON
+//! path; `--addr HOST:PORT` targets an already-running daemon (the CI
+//! smoke step starts the real `crossmesh serve` binary and points the
+//! harness at it) instead of per-scenario in-process daemons.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_serve.json", String::as_str);
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1));
+
+    let report = match addr {
+        Some(a) => {
+            let addr = a.parse().unwrap_or_else(|_| panic!("bad --addr {a:?}"));
+            crossmesh_bench::serve::run_against(addr, smoke)
+                .unwrap_or_else(|e| panic!("load run against {a} failed: {e}"))
+        }
+        None => crossmesh_bench::serve::run(smoke),
+    };
+    for s in &report.scenarios {
+        assert_eq!(
+            s.verifier_convictions, 0,
+            "{}: verifier convicted a served plan",
+            s.name
+        );
+    }
+    let pretty = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(out, &pretty).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    if json {
+        println!("{pretty}");
+    } else {
+        println!("{}", crossmesh_bench::serve::render(&report));
+        println!("wrote {out}");
+    }
+}

@@ -7,6 +7,7 @@
 //! negligible against planning. Cases reuse the planner sweep's problems
 //! (8 / 64 / 256 unit tasks) with the ensemble planner's output.
 
+use crate::hostenv::HostEnv;
 use crate::planner::case;
 use crossmesh_core::{EnsemblePlanner, Plan, PlannerConfig};
 use crossmesh_models::presets;
@@ -36,6 +37,8 @@ pub struct Row {
 /// The whole sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
+    /// The measuring host (parallelism, env overrides, build profile).
+    pub env: HostEnv,
     /// The per-size rows.
     pub rows: Vec<Row>,
 }
@@ -87,7 +90,10 @@ pub fn run(smoke: bool) -> Report {
             overhead_ratio: verify_secs / (plan_millis / 1e3).max(f64::MIN_POSITIVE),
         });
     }
-    Report { rows }
+    Report {
+        env: HostEnv::detect(),
+        rows,
+    }
 }
 
 /// Renders the sweep table.

@@ -15,6 +15,7 @@
 //! | [`faults`] | extension — throughput vs injected fault rate (not in the paper) |
 //! | [`planner`] | extension — planner wall-clock vs pool width + plan cache (not in the paper) |
 //! | [`obs_overhead`] | extension — observability overhead with collectors on/off (not in the paper) |
+//! | [`serve`] | extension — multi-tenant daemon throughput/latency under trace-driven load (not in the paper) |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
 //! is a simulator, not the authors' AWS cluster — but the *shapes* (who
@@ -30,9 +31,11 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hostenv;
 pub mod obs_overhead;
 pub mod planner;
 pub mod repro;
+pub mod serve;
 pub mod table1;
 pub mod table_fmt;
 

@@ -8,6 +8,7 @@
 //! observability side: the planner's estimate must be byte-identical with
 //! and without a collector watching.
 
+use crate::hostenv::HostEnv;
 use crate::planner;
 use crossmesh_core::{EnsemblePlanner, Planner, PlannerConfig};
 use crossmesh_models::presets;
@@ -20,6 +21,8 @@ use std::time::Instant;
 /// the same task and planner instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
+    /// The measuring host (parallelism, env overrides, build profile).
+    pub env: HostEnv,
     /// Unit tasks in the planning case (a [`planner::case`] size).
     pub units: usize,
     /// Timed `plan()` calls per side.
@@ -73,6 +76,7 @@ pub fn run(smoke: bool) -> Report {
     drop(installed);
 
     Report {
+        env: HostEnv::detect(),
         units,
         iters,
         disabled_ms,

@@ -11,6 +11,7 @@
 //! 1-thread pool. Speedups track `host_threads` — on a single-core host
 //! they flatten to ~1x by construction.
 
+use crate::hostenv::HostEnv;
 use crate::table_fmt;
 use crossmesh_core::{
     DeviceMesh, DfsPlanner, EnsemblePlanner, PlanCache, Planner, PlannerConfig,
@@ -75,6 +76,12 @@ pub struct Report {
     /// `std::thread::available_parallelism()` on the measuring host —
     /// the ceiling for any honest `speedup_vs_1`.
     pub host_threads: usize,
+    /// Full host description (parallelism, env overrides, build profile).
+    pub env: HostEnv,
+    /// Oversubscription warnings: one per swept pool width that exceeds
+    /// the host's real parallelism (also printed to stderr by the
+    /// harness). Timings at those widths measure interleaving.
+    pub warnings: Vec<String>,
     /// The (units × planner × threads) scaling grid.
     pub rows: Vec<Row>,
     /// Cold-vs-warm plan-cache timing.
@@ -165,6 +172,15 @@ pub fn run(smoke: bool) -> Report {
     let thread_counts: &[usize] = if smoke { &[1, 4] } else { &THREAD_COUNTS };
     let reps = if smoke { 1 } else { 3 };
 
+    let env = HostEnv::detect();
+    let warnings: Vec<String> = thread_counts
+        .iter()
+        .filter_map(|&t| env.oversubscription_warning(t))
+        .collect();
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+
     let mut rows = Vec::new();
     for &units in unit_counts {
         let (_cluster, task) = case(units);
@@ -202,7 +218,9 @@ pub fn run(smoke: bool) -> Report {
     }
 
     Report {
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_threads: env.host_threads,
+        env,
+        warnings,
         rows,
         cache: cache_bench(if smoke { 8 } else { 20 }, if smoke { 10 } else { 100 }),
     }
@@ -258,8 +276,13 @@ pub fn render(report: &Report) -> String {
         ]);
     }
     let c = &report.cache;
+    let warnings = if report.warnings.is_empty() {
+        String::new()
+    } else {
+        format!("warning: {}\n", report.warnings.join("\nwarning: "))
+    };
     format!(
-        "Planner scaling — wall-clock per plan() across pool widths (host has {} threads)\n{}\n\
+        "{warnings}Planner scaling — wall-clock per plan() across pool widths (host has {} threads)\n{}\n\
          Plan cache — {}-unit ensemble: cold {:.3} ms, warm {:.4} ms/plan \
          ({} hit rate, {})\n",
         report.host_threads,

@@ -1,0 +1,539 @@
+//! Trace-driven load harness for the resharding daemon.
+//!
+//! Not a paper figure — this measures `crossmesh-serve` itself. A seeded
+//! workload generator produces two open-loop arrival traces over a pool
+//! of distinct task shapes shared across several tenants:
+//!
+//! * **poisson** — exponential inter-arrivals at a sustainable aggregate
+//!   rate under a generous admission config: measures steady-state
+//!   throughput and latency, and the cross-tenant cache hit rate (every
+//!   tenant draws from the same shape pool, so tenant B's first request
+//!   for a shape tenant A already planned is a shared-cache hit);
+//! * **bursty** — synchronized bursts several times the token-bucket
+//!   capacity under a tight admission config: measures graceful
+//!   degradation. The bucket sheds the burst overflow *by construction*
+//!   (burst size ≥ 3× capacity), so a positive shed rate is a
+//!   deterministic outcome, not a timing accident.
+//!
+//! Each scenario runs against its own in-process daemon (or, with
+//! [`run_against`], an external one — used by the CI smoke step). Senders
+//! are open-loop: a shed or slow request never delays the next arrival,
+//! so the daemon sees the offered load, not a closed-loop echo of its own
+//! latency. Every request is answered (`Done`, `Rejected`, or `Error`),
+//! and the harness asserts nothing was dropped.
+
+use crate::hostenv::HostEnv;
+use crossmesh_serve::proto::{self, Request, RequestBody, ReshardRequest, Response};
+use crossmesh_serve::{AdmissionConfig, BackendKind, ServeConfig, Server};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Base RNG seed; each scenario and tenant derives its own stream.
+const SEED: u64 = 0x5EEDED_C0FFEE;
+
+/// One arrival in a tenant's schedule.
+struct Arrival {
+    /// Offset from the scenario start.
+    at: Duration,
+    req: ReshardRequest,
+}
+
+/// Scenario shape: name, arrival process, and the admission config its
+/// in-process daemon runs with.
+struct Scenario {
+    name: &'static str,
+    admission: AdmissionConfig,
+    /// Per-tenant arrival schedules, keyed by tenant name.
+    schedules: Vec<(String, Vec<Arrival>)>,
+    distinct_shapes: usize,
+}
+
+/// Aggregated results of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// `poisson` or `bursty`.
+    pub name: String,
+    /// Tenants that sent traffic.
+    pub tenants: usize,
+    /// Requests offered across all tenants.
+    pub requests: usize,
+    /// Distinct task shapes in the workload pool.
+    pub distinct_shapes: usize,
+    /// Wall-clock from first send to last reply, seconds.
+    pub duration_seconds: f64,
+    /// Completed requests per second of wall-clock.
+    pub sustained_rps: f64,
+    /// Median completion latency (send → `Done`), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile completion latency, milliseconds.
+    pub p999_ms: f64,
+    /// Requests answered `Done`.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Admitted requests that failed (must be 0).
+    pub failed: u64,
+    /// `rejected / requests`.
+    pub shed_rate: f64,
+    /// Cross-tenant shared-cache hit rate over completed requests.
+    pub cache_hit_rate: f64,
+    /// Verifier convictions observed by the daemon (must be 0).
+    pub verifier_convictions: u64,
+}
+
+/// The whole harness run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The measuring host (parallelism, env overrides, build profile).
+    pub env: HostEnv,
+    /// Worker-pool width the daemon ran with.
+    pub workers: usize,
+    /// One entry per scenario.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Builds the shared shape pool: `n` distinct (spec-pair, mesh, shape)
+/// problems, all small enough that one request costs a few milliseconds.
+fn shape_pool(n: usize) -> Vec<ReshardRequest> {
+    let spec_pairs = [
+        ("RS0R", "S0RR"),
+        ("S0RR", "RS0R"),
+        ("RRS0", "S0RR"),
+        ("RS0R", "RRS0"),
+    ];
+    let meshes = [("2x4", "2x4"), ("2x2", "2x4"), ("2x4", "2x2")];
+    (0..n)
+        .map(|i| {
+            let (src_spec, dst_spec) = spec_pairs[i % spec_pairs.len()];
+            let (src_mesh, dst_mesh) = meshes[(i / spec_pairs.len()) % meshes.len()];
+            // Vary two dims so every index is a distinct tensor shape.
+            let a = 16 * (1 + (i % 8) as u64);
+            let b = 8 * (1 + ((i / 8) % 8) as u64);
+            let c = 4 * (1 + (i / 64) as u64);
+            ReshardRequest {
+                src_spec: src_spec.into(),
+                dst_spec: dst_spec.into(),
+                src_mesh: src_mesh.into(),
+                dst_mesh: dst_mesh.into(),
+                shape: format!("{a}x{b}x{c}"),
+                elem_bytes: 4,
+                planner: "ours".into(),
+                seed: None,
+            }
+        })
+        .collect()
+}
+
+/// Tenant names: `tenant-0`, `tenant-1`, ...
+fn tenant_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("tenant-{i}")).collect()
+}
+
+/// Poisson scenario: exponential inter-arrivals per tenant, generous
+/// admission (rate far above offered load) so shedding stays incidental.
+fn poisson_scenario(smoke: bool, pool: &[ReshardRequest]) -> Scenario {
+    let tenants = if smoke { 3 } else { 5 };
+    let per_tenant = if smoke { 80 } else { 400 };
+    // Offered load per tenant, requests/second.
+    let rate = if smoke { 150.0 } else { 200.0 };
+    let schedules = tenant_names(tenants)
+        .into_iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let mut rng = SmallRng::seed_from_u64(SEED ^ (t as u64) << 8);
+            let mut at = Duration::ZERO;
+            let arrivals = (0..per_tenant)
+                .map(|_| {
+                    // Exponential inter-arrival: -ln(U)/rate.
+                    let u = rng.gen_f64().max(1e-12);
+                    at += Duration::from_secs_f64(-u.ln() / rate);
+                    Arrival {
+                        at,
+                        req: pool[rng.gen_range_u64(pool.len() as u64) as usize].clone(),
+                    }
+                })
+                .collect();
+            (name, arrivals)
+        })
+        .collect();
+    Scenario {
+        name: "poisson",
+        admission: AdmissionConfig {
+            rate: 2000.0,
+            burst: 200.0,
+            queue_depth: 1024,
+        },
+        schedules,
+        distinct_shapes: pool.len(),
+    }
+}
+
+/// Bursty overload scenario: every tenant fires synchronized bursts of
+/// `3.5×` the bucket capacity, so the bucket *must* shed the overflow no
+/// matter how fast the workers drain.
+fn bursty_scenario(smoke: bool, pool: &[ReshardRequest]) -> Scenario {
+    let tenants = if smoke { 3 } else { 5 };
+    let bursts = if smoke { 3 } else { 6 };
+    let admission = AdmissionConfig {
+        rate: 50.0,
+        burst: 10.0,
+        queue_depth: 64,
+    };
+    // 3.5× the bucket capacity per burst; the gap refills at most
+    // gap × rate = 15 tokens, so every burst overflows deterministically.
+    let burst_size = (admission.burst * 3.5) as usize;
+    let gap = Duration::from_millis(300);
+    let schedules = tenant_names(tenants)
+        .into_iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let mut rng = SmallRng::seed_from_u64(SEED ^ 0xB00 ^ (t as u64) << 8);
+            let mut arrivals = Vec::new();
+            for b in 0..bursts {
+                let at = gap * b as u32;
+                for _ in 0..burst_size {
+                    arrivals.push(Arrival {
+                        at,
+                        req: pool[rng.gen_range_u64(pool.len() as u64) as usize].clone(),
+                    });
+                }
+            }
+            (name, arrivals)
+        })
+        .collect();
+    Scenario {
+        name: "bursty",
+        admission,
+        schedules,
+        distinct_shapes: pool.len(),
+    }
+}
+
+/// Per-tenant raw results collected by the receiver thread.
+#[derive(Default)]
+struct TenantOutcome {
+    latencies_ms: Vec<f64>,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    cache_hits: u64,
+}
+
+/// Drives one tenant's schedule against the daemon: an open-loop sender
+/// thread paced by the schedule, and a receiver loop (this thread)
+/// reading replies until every request is answered.
+fn drive_tenant(
+    addr: SocketAddr,
+    tenant: String,
+    arrivals: Vec<Arrival>,
+    start: Instant,
+) -> std::io::Result<TenantOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let expected = arrivals.len();
+
+    let sender = {
+        let sent_at = Arc::clone(&sent_at);
+        thread::spawn(move || -> std::io::Result<()> {
+            for (i, arrival) in arrivals.into_iter().enumerate() {
+                let due = start + arrival.at;
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                let id = i as u64 + 1;
+                sent_at.lock().insert(id, Instant::now());
+                proto::write_frame(
+                    &mut writer,
+                    &Request {
+                        id,
+                        tenant: tenant.clone(),
+                        body: RequestBody::Reshard(arrival.req),
+                    },
+                )?;
+            }
+            Ok(())
+        })
+    };
+
+    let mut out = TenantOutcome::default();
+    let mut reader = stream;
+    for _ in 0..expected {
+        let resp: Response = match proto::read_frame(&mut reader)? {
+            Some(r) => r,
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection mid-run",
+                ))
+            }
+        };
+        let sent = sent_at.lock().remove(&resp.id());
+        match resp {
+            Response::Done(d) => {
+                out.completed += 1;
+                if d.cache_hit {
+                    out.cache_hits += 1;
+                }
+                if let Some(t) = sent {
+                    out.latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            Response::Rejected(_) => out.rejected += 1,
+            Response::Error(_) => out.failed += 1,
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected reply: {other:?}"),
+                ))
+            }
+        }
+    }
+    sender
+        .join()
+        .map_err(|_| std::io::Error::other("sender thread panicked"))??;
+    Ok(out)
+}
+
+/// Sorted-percentile helper (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one scenario against the daemon at `addr`, reading conviction
+/// counts from the daemon's `Stats` endpoint before and after.
+fn run_scenario_against(addr: SocketAddr, scenario: Scenario) -> std::io::Result<ScenarioReport> {
+    let mut control = crossmesh_serve::Client::connect(addr)?;
+    let before = control.stats()?;
+
+    let tenants = scenario.schedules.len();
+    let requests: usize = scenario.schedules.iter().map(|(_, a)| a.len()).sum();
+    let start = Instant::now() + Duration::from_millis(50);
+    let handles: Vec<_> = scenario
+        .schedules
+        .into_iter()
+        .map(|(tenant, arrivals)| {
+            thread::spawn(move || drive_tenant(addr, tenant, arrivals, start))
+        })
+        .collect();
+    let mut outcome = TenantOutcome::default();
+    for h in handles {
+        let t = h
+            .join()
+            .map_err(|_| std::io::Error::other("tenant thread panicked"))??;
+        outcome.latencies_ms.extend(t.latencies_ms);
+        outcome.completed += t.completed;
+        outcome.rejected += t.rejected;
+        outcome.failed += t.failed;
+        outcome.cache_hits += t.cache_hits;
+    }
+    let duration = start.elapsed().as_secs_f64();
+    let after = control.stats()?;
+
+    let answered = outcome.completed + outcome.rejected + outcome.failed;
+    assert_eq!(
+        answered as usize, requests,
+        "every offered request must be answered"
+    );
+    outcome
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(ScenarioReport {
+        name: scenario.name.to_string(),
+        tenants,
+        requests,
+        distinct_shapes: scenario.distinct_shapes,
+        duration_seconds: duration,
+        sustained_rps: outcome.completed as f64 / duration.max(1e-9),
+        p50_ms: percentile(&outcome.latencies_ms, 0.50),
+        p99_ms: percentile(&outcome.latencies_ms, 0.99),
+        p999_ms: percentile(&outcome.latencies_ms, 0.999),
+        completed: outcome.completed,
+        rejected: outcome.rejected,
+        failed: outcome.failed,
+        shed_rate: outcome.rejected as f64 / requests.max(1) as f64,
+        cache_hit_rate: outcome.cache_hits as f64 / outcome.completed.max(1) as f64,
+        verifier_convictions: after
+            .verifier_convictions
+            .saturating_sub(before.verifier_convictions),
+    })
+}
+
+/// Workers used by the in-process daemons (and recorded in the report).
+pub fn default_workers() -> usize {
+    4
+}
+
+/// Runs both scenarios, each against its own in-process daemon with the
+/// scenario's admission config. `smoke` trims the trace for CI. `workers`
+/// sets the daemon worker-pool width.
+///
+/// # Panics
+///
+/// Panics if the daemon fails to start, a connection breaks mid-run, or a
+/// request goes unanswered — all harness-level failures.
+pub fn run_with_workers(smoke: bool, workers: usize) -> Report {
+    let pool = shape_pool(if smoke { 40 } else { 240 });
+    let scenarios = vec![
+        poisson_scenario(smoke, &pool),
+        bursty_scenario(smoke, &pool),
+    ];
+    let mut out = Vec::new();
+    for scenario in scenarios {
+        let server = Server::start(ServeConfig {
+            workers,
+            admission: scenario.admission,
+            backend: BackendKind::Sim,
+            default_planner: "ours".into(),
+            allow_remote_shutdown: false,
+            metrics_out: None,
+            trace_out: None,
+        })
+        .expect("daemon starts");
+        let report = run_scenario_against(server.addr(), scenario).expect("scenario completes");
+        let summary = server.shutdown();
+        assert_eq!(
+            summary.verifier_convictions, 0,
+            "verifier convicted a served plan"
+        );
+        out.push(report);
+    }
+    Report {
+        env: HostEnv::detect(),
+        workers,
+        scenarios: out,
+    }
+}
+
+/// [`run_with_workers`] at the default width.
+pub fn run(smoke: bool) -> Report {
+    run_with_workers(smoke, default_workers())
+}
+
+/// Runs both scenario *traces* against an already-running external
+/// daemon (the CI smoke step drives the real `crossmesh serve` binary
+/// this way). Shed behaviour then depends on the daemon's own admission
+/// flags rather than the per-scenario configs.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn run_against(addr: SocketAddr, smoke: bool) -> std::io::Result<Report> {
+    let pool = shape_pool(if smoke { 40 } else { 240 });
+    let scenarios = vec![
+        poisson_scenario(smoke, &pool),
+        bursty_scenario(smoke, &pool),
+    ];
+    let mut out = Vec::new();
+    for scenario in scenarios {
+        out.push(run_scenario_against(addr, scenario)?);
+    }
+    Ok(Report {
+        env: HostEnv::detect(),
+        workers: 0, // unknown: the external daemon owns the pool
+        scenarios: out,
+    })
+}
+
+/// Renders the report as a table.
+pub fn render(report: &Report) -> String {
+    let mut table = vec![vec![
+        "scenario".to_string(),
+        "tenants".to_string(),
+        "requests".to_string(),
+        "rps".to_string(),
+        "p50 ms".to_string(),
+        "p99 ms".to_string(),
+        "p999 ms".to_string(),
+        "shed".to_string(),
+        "cache hit".to_string(),
+    ]];
+    for s in &report.scenarios {
+        table.push(vec![
+            s.name.clone(),
+            s.tenants.to_string(),
+            s.requests.to_string(),
+            format!("{:.0}", s.sustained_rps),
+            format!("{:.2}", s.p50_ms),
+            format!("{:.2}", s.p99_ms),
+            format!("{:.2}", s.p999_ms),
+            format!("{:.0}%", s.shed_rate * 100.0),
+            format!("{:.0}%", s.cache_hit_rate * 100.0),
+        ]);
+    }
+    format!(
+        "Serve load harness — {} workers, host has {} threads\n{}",
+        report.workers,
+        report.env.host_threads,
+        crate::table_fmt::render(&table),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.999), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn shape_pool_is_distinct() {
+        let pool = shape_pool(240);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &pool {
+            seen.insert(format!(
+                "{}|{}|{}|{}|{}",
+                r.src_spec, r.dst_spec, r.src_mesh, r.dst_mesh, r.shape
+            ));
+        }
+        assert_eq!(seen.len(), 240, "pool entries must be distinct problems");
+    }
+
+    #[test]
+    fn schedules_are_deterministic_under_the_fixed_seed() {
+        let pool = shape_pool(40);
+        let a = poisson_scenario(true, &pool);
+        let b = poisson_scenario(true, &pool);
+        for ((_, xs), (_, ys)) in a.schedules.iter().zip(&b.schedules) {
+            assert_eq!(xs.len(), ys.len());
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.at, y.at);
+                assert_eq!(x.req, y.req);
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_exceed_bucket_capacity_by_construction() {
+        let pool = shape_pool(40);
+        let s = bursty_scenario(true, &pool);
+        // First burst size vs the bucket: capacity 10, burst 35.
+        let (_, arrivals) = &s.schedules[0];
+        let first_burst = arrivals.iter().filter(|a| a.at == Duration::ZERO).count();
+        assert!(
+            first_burst as f64 >= 3.0 * s.admission.burst,
+            "burst {first_burst} must overwhelm capacity {}",
+            s.admission.burst
+        );
+    }
+}

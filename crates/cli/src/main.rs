@@ -56,6 +56,12 @@ USAGE:
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
   crossmesh check    --task spec.json --plan plan.json [--format text|json]
   crossmesh validate-trace --trace FILE.json [--against OTHER.json] [--json]
+  crossmesh serve    [--workers N] [--backend B] [--planner P] [--rate R] [--burst B]
+                     [--queue-depth N] [--allow-remote-shutdown] [--addr-out FILE]
+                     [--metrics-out FILE] [--trace-out FILE] [--max-seconds S] [--json]
+  crossmesh client   --addr HOST:PORT [--tenant NAME] [--ping|--stats|--shutdown]
+                     [reshard args: --src-spec/--dst-spec/--src-mesh/--dst-mesh/--shape
+                      [--elem-bytes N] [--planner P] [--seed N]] [--json]
 
   strategies: broadcast (default) | send_recv | local_allgather | global_allgather
               | tree_broadcast | alpa
@@ -80,7 +86,14 @@ USAGE:
   --metrics:  append the global metrics registry (planner, plan cache,
               recovery, runtime) to the output
   --log-level: error|warn|info|debug|trace — stream structured spans and
-              events to stderr";
+              events to stderr
+  serve:      run the multi-tenant resharding daemon on an ephemeral
+              loopback port (printed on stdout, and written to --addr-out);
+              per-tenant token-bucket admission (--rate req/s, --burst,
+              --queue-depth), graceful drain on shutdown; --max-seconds
+              bounds the run for CI harnesses
+  client:     talk to a running daemon — submit a reshard (same spec
+              arguments as `reshard`), or --ping/--stats/--shutdown";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -97,7 +110,19 @@ fn main() -> ExitCode {
 }
 
 fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
-    let args = Args::parse(tokens, &["json", "verify", "help", "metrics"])?;
+    let args = Args::parse(
+        tokens,
+        &[
+            "json",
+            "verify",
+            "help",
+            "metrics",
+            "allow-remote-shutdown",
+            "ping",
+            "stats",
+            "shutdown",
+        ],
+    )?;
     if args.has_flag("help") {
         return Ok(USAGE.to_string());
     }
@@ -119,6 +144,8 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
         Some("autospec") => autospec(&args),
         Some("check") => check(&args),
         Some("validate-trace") => validate_trace(&args),
+        Some("serve") => serve(&args),
+        Some("client") => client(&args),
         None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}").into()),
     };
@@ -669,6 +696,149 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
         report.peak_memory_bytes[0] / 1e9,
         hit_rate * 100.0,
     ))
+}
+
+/// `crossmesh serve`: run the multi-tenant resharding daemon until a
+/// shutdown request (or `--max-seconds`) and report the drain summary.
+fn serve(args: &Args) -> Result<String, Box<dyn Error>> {
+    use crossmesh_serve::{AdmissionConfig, BackendKind, ServeConfig, Server};
+    let admission = AdmissionConfig {
+        rate: args.get_parsed("rate", AdmissionConfig::default().rate)?,
+        burst: args.get_parsed("burst", AdmissionConfig::default().burst)?,
+        queue_depth: args.get_parsed("queue-depth", AdmissionConfig::default().queue_depth)?,
+    };
+    let cfg = ServeConfig {
+        workers: args.get_parsed("workers", 2usize)?,
+        admission,
+        backend: BackendKind::parse(args.get_or("backend", "sim"))?,
+        default_planner: args.get_or("planner", "ours").to_string(),
+        allow_remote_shutdown: args.has_flag("allow-remote-shutdown"),
+        metrics_out: args.get("metrics-out").map(String::from),
+        trace_out: args.get("trace-out").map(String::from),
+    };
+    let max_seconds = args.get_parsed("max-seconds", 0.0f64)?;
+    let server = Server::start(cfg)?;
+    let addr = server.addr();
+    // The address must reach the operator before the daemon blocks; the
+    // run() return value only prints after shutdown.
+    println!("serving on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Some(path) = args.get("addr-out") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| format!("cannot write --addr-out {path:?}: {e}"))?;
+    }
+    let deadline = (max_seconds > 0.0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_secs_f64(max_seconds));
+    while !server.shutdown_requested() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let summary = server.shutdown();
+    if args.has_flag("json") {
+        return Ok(serde_json::to_string_pretty(&summary)?);
+    }
+    Ok(format!(
+        "serve: drained after {:.1}s — {} completed / {} failed / {} rejected, \
+         cache {} hits / {} misses, {} verifier convictions",
+        summary.uptime_seconds,
+        summary.completed,
+        summary.failed,
+        summary.rejected,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.verifier_convictions,
+    ))
+}
+
+/// `crossmesh client`: one request to a running daemon.
+fn client(args: &Args) -> Result<String, Box<dyn Error>> {
+    use crossmesh_serve::{Client, ReshardRequest, Response};
+    let addr: std::net::SocketAddr = args
+        .get("addr")
+        .ok_or("missing --addr")?
+        .parse()
+        .map_err(|_| "bad --addr (want HOST:PORT)")?;
+    let mut client = Client::connect(addr)?;
+    let tenant = args.get_or("tenant", "default");
+    if args.has_flag("ping") {
+        client.ping()?;
+        return Ok("pong".to_string());
+    }
+    if args.has_flag("shutdown") {
+        client.shutdown()?;
+        return Ok("daemon is shutting down".to_string());
+    }
+    if args.has_flag("stats") {
+        let stats = client.stats()?;
+        return Ok(if args.has_flag("json") {
+            serde_json::to_string_pretty(&stats)?
+        } else {
+            format!(
+                "stats: {} accepted / {} rejected / {} completed / {} failed; \
+                 cache {} hits / {} misses / {} entries; {} convictions; {} tenants",
+                stats.accepted,
+                stats.rejected,
+                stats.completed,
+                stats.failed,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.cache_entries,
+                stats.verifier_convictions,
+                stats.tenants.len(),
+            )
+        });
+    }
+    let req = ReshardRequest {
+        src_spec: args
+            .get("src-spec")
+            .ok_or("missing --src-spec")?
+            .to_string(),
+        dst_spec: args
+            .get("dst-spec")
+            .ok_or("missing --dst-spec")?
+            .to_string(),
+        src_mesh: args
+            .get("src-mesh")
+            .ok_or("missing --src-mesh")?
+            .to_string(),
+        dst_mesh: args
+            .get("dst-mesh")
+            .ok_or("missing --dst-mesh")?
+            .to_string(),
+        shape: args.get("shape").ok_or("missing --shape")?.to_string(),
+        elem_bytes: args.get_parsed("elem-bytes", 4u64)?,
+        planner: args.get_or("planner", "").to_string(),
+        seed: match args.get("seed") {
+            Some(s) => Some(s.parse::<u64>().map_err(|_| "bad --seed")?),
+            None => None,
+        },
+    };
+    let resp = client.reshard(tenant, req)?;
+    if args.has_flag("json") {
+        return Ok(serde_json::to_string_pretty(&resp)?);
+    }
+    Ok(match resp {
+        Response::Done(d) => format!(
+            "done: {} unit tasks, cache {}, queued {:.2}ms, planned {:.2}ms, \
+             executed {:.2}ms, estimate {:.6}s, simulated {:.6}s",
+            d.unit_tasks,
+            if d.cache_hit { "hit" } else { "miss" },
+            d.queue_ms,
+            d.plan_ms,
+            d.exec_ms,
+            d.estimate_seconds,
+            d.simulated_seconds,
+        ),
+        Response::Rejected(r) => format!(
+            "rejected ({}): retry after {}ms",
+            r.reason, r.retry_after_ms
+        ),
+        Response::Error(e) => return Err(e.message.into()),
+        other => return Err(format!("unexpected reply: {other:?}").into()),
+    })
 }
 
 #[cfg(test)]

@@ -44,10 +44,15 @@ fn global_cache_metrics() -> &'static GlobalCacheMetrics {
 
 /// A cached plan, stored task-independently as its assignment list; a hit
 /// re-binds it with [`Plan::new`], which revalidates it against the task.
+#[derive(Clone)]
 struct Entry {
     assignments: Vec<Assignment>,
     params: CostParams,
 }
+
+/// Shards in the entry map. Keys are `DefaultHasher` outputs, so the low
+/// bits are uniform enough to index with a mask.
+const SHARDS: usize = 16;
 
 /// Hit/miss/size counters of a [`PlanCache`], taken with
 /// [`stats`](PlanCache::stats).
@@ -86,8 +91,17 @@ impl CacheStats {
 /// the repair patch depends on them). The planner only runs on a miss;
 /// a hit replays the stored assignments through [`Plan::new`], which
 /// re-asserts their validity for the task at hand.
+///
+/// The cache is built for concurrent callers (the resharding daemon's
+/// worker pool hammers one shared instance from every worker): entries
+/// live in [`SHARDS`] independently locked shards keyed by the hash, and
+/// the hit-path re-verification runs on a clone *outside* any lock, so a
+/// slow verify on one entry never serializes unrelated lookups. Raced
+/// duplicate misses both plan and both insert — planning is deterministic,
+/// so the overwrites carry identical content and hit/miss *semantics*
+/// match a serial execution (only the miss count can exceed one per key).
 pub struct PlanCache {
-    entries: Mutex<HashMap<u64, Entry>>,
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
     /// Per-cache metrics registry: keeps this cache's statistics isolated
     /// from other caches (and from the process-wide registry, which only
     /// receives mirrored aggregates).
@@ -104,7 +118,7 @@ impl Default for PlanCache {
         let misses = registry.counter("plan_cache.misses");
         let invalidations = registry.counter("plan_cache.invalidations");
         PlanCache {
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             registry,
             hits,
             misses,
@@ -151,6 +165,25 @@ impl PlanCache {
         task: &'t ReshardingTask,
         exclusions: &SenderExclusions,
     ) -> Result<Plan<'t>, RepairError> {
+        self.plan_with_exclusions_outcome(planner, task, exclusions)
+            .map(|(plan, _)| plan)
+    }
+
+    /// Like [`plan_with_exclusions`](PlanCache::plan_with_exclusions), but
+    /// also reports whether this call was served from the cache. Counter
+    /// deltas cannot answer that under concurrency (another worker's hit
+    /// may land between two reads); the daemon tags every response with
+    /// this per-call outcome instead.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::DataLoss`] if a unit task loses every replica holder.
+    pub fn plan_with_exclusions_outcome<'t, P: Planner + ?Sized>(
+        &self,
+        planner: &P,
+        task: &'t ReshardingTask,
+        exclusions: &SenderExclusions,
+    ) -> Result<(Plan<'t>, bool), RepairError> {
         let mut h = DefaultHasher::new();
         task.cache_signature().hash(&mut h);
         exclusions.hash(&mut h);
@@ -158,11 +191,11 @@ impl PlanCache {
         let key = h.finish();
 
         if let Some(plan) = self.lookup(key, task, exclusions) {
-            return Ok(plan);
+            return Ok((plan, true));
         }
         let plan = plan_with_exclusions(planner, task, exclusions)?;
         self.insert(key, &plan);
-        Ok(plan)
+        Ok((plan, false))
     }
 
     /// Repairs `plan` around `exclusions` (see [`Plan::repair`]), caching
@@ -204,7 +237,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            entries: self.entries.lock().len(),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
         }
     }
 
@@ -220,8 +253,15 @@ impl PlanCache {
     /// Drops every entry and resets the counters (the process-wide mirror
     /// counters are monotone and unaffected).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
         self.registry.reset();
+    }
+
+    /// The shard holding `key`.
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
     }
 
     /// Looks `key` up and re-binds the stored assignments to `task`,
@@ -229,6 +269,10 @@ impl PlanCache {
     /// under the *current* exclusions — a diagnostic means the entry is
     /// unusable (a sender died since it was stored, or a key collision
     /// bound it to the wrong task) and it is dropped as a miss.
+    ///
+    /// The entry is cloned out of the shard and verified lock-free; a
+    /// conviction re-locks the shard and removes the key (idempotent if a
+    /// racing caller already removed or replaced it).
     fn lookup<'t>(
         &self,
         key: u64,
@@ -236,8 +280,8 @@ impl PlanCache {
         exclusions: &SenderExclusions,
     ) -> Option<Plan<'t>> {
         let global = global_cache_metrics();
-        let mut entries = self.entries.lock();
-        if let Some(entry) = entries.get(&key) {
+        let entry = self.shard(key).lock().get(&key).cloned();
+        if let Some(entry) = entry {
             let views: Vec<_> = entry.assignments.iter().map(Assignment::as_view).collect();
             let diags = crossmesh_check::verify::verify_plan(
                 task.units(),
@@ -248,7 +292,7 @@ impl PlanCache {
                 &|d, h| exclusions.excludes(d, h),
             );
             if crossmesh_check::has_errors(&diags) {
-                entries.remove(&key);
+                self.shard(key).lock().remove(&key);
                 self.invalidations.inc();
                 global.invalidations.inc();
                 obs::event(
@@ -263,7 +307,7 @@ impl PlanCache {
             } else {
                 self.hits.inc();
                 global.hits.inc();
-                let plan = Plan::new(task, entry.assignments.clone(), entry.params);
+                let plan = Plan::new(task, entry.assignments, entry.params);
                 return Some(plan);
             }
         }
@@ -275,7 +319,7 @@ impl PlanCache {
     /// Stores a freshly planned result. Raced duplicate misses overwrite
     /// each other with identical content (planning is deterministic).
     fn insert(&self, key: u64, plan: &Plan<'_>) {
-        self.entries.lock().insert(
+        self.shard(key).lock().insert(
             key,
             Entry {
                 assignments: plan.assignments().to_vec(),
@@ -352,6 +396,30 @@ mod tests {
         assert_eq!(a.assignments(), b.assignments());
         assert_eq!(cache.stats().hits, 1);
         assert!(a.assignments().iter().all(|x| x.sender_host != HostId(1)));
+    }
+
+    #[test]
+    fn the_cache_is_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<PlanCache>();
+        assert_sync_send::<std::sync::Arc<PlanCache>>();
+    }
+
+    #[test]
+    fn outcome_reports_the_per_call_hit() {
+        let t = task("RS0R", "S0RR", &[16, 8, 8]);
+        let planner = EnsemblePlanner::new(config());
+        let cache = PlanCache::new();
+        let none = SenderExclusions::none();
+        let (cold, hit) = cache
+            .plan_with_exclusions_outcome(&planner, &t, &none)
+            .unwrap();
+        assert!(!hit, "first call must plan");
+        let (warm, hit) = cache
+            .plan_with_exclusions_outcome(&planner, &t, &none)
+            .unwrap();
+        assert!(hit, "second call must replay");
+        assert_eq!(cold.assignments(), warm.assignments());
     }
 
     #[test]

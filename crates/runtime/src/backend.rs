@@ -30,7 +30,7 @@ use crossmesh_obs as obs;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, OnceLock};
@@ -922,7 +922,9 @@ fn tcp_fabric(
     let hosts = cluster.num_hosts();
     let mut listeners = Vec::with_capacity(hosts as usize);
     for _ in 0..hosts {
-        listeners.push(TcpListener::bind("127.0.0.1:0")?);
+        // Retrying ephemeral binds keeps CI runs with many concurrent
+        // tcp-backend tests from flaking on momentary port exhaustion.
+        listeners.push(crate::net::bind_ephemeral()?);
     }
     let addrs: Vec<_> = listeners
         .iter()
@@ -1574,7 +1576,7 @@ mod tests {
     }
 
     fn loopback_pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let out = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (inc, _) = listener.accept().unwrap();
         (out, inc)

@@ -45,6 +45,8 @@
 
 mod backend;
 mod dataflow;
+pub mod net;
 
 pub use backend::{InjectedFaults, ThreadedBackend, TransportKind};
 pub use dataflow::{execute_plan, PlanDataError};
+pub use net::{bind_ephemeral, bind_retry, PollListener};

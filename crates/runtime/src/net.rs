@@ -1,0 +1,217 @@
+//! CI-hardened TCP listener setup.
+//!
+//! Loopback listeners are bound all over this workspace — the `tcp`
+//! backend opens one per host, the resharding daemon opens one per
+//! server, and the test suite opens dozens per run. Under CI parallelism
+//! a bind can transiently fail (`EADDRINUSE` from a socket lingering in
+//! `TIME_WAIT`, or exhausted ephemeral ports while another test tears
+//! down), and an accept loop blocked in `accept()` can outlive the run
+//! that spawned it. Two pieces fix both flake classes at the source:
+//!
+//! * [`bind_retry`] — bind with bounded exponential backoff on the
+//!   transient error kinds, so a momentarily busy port never fails a run;
+//! * [`PollListener`] — a non-blocking accept loop with an explicit
+//!   wall-clock tick, so the owner can stop accepting on a shutdown flag
+//!   instead of sitting in `accept()` forever; dropping it closes the
+//!   socket immediately (nothing keeps a cloned handle), which releases
+//!   the port for the next test.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Error kinds worth retrying at bind time: the port (or the ephemeral
+/// range) is busy *now* but will not stay busy.
+fn bind_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::AddrInUse | io::ErrorKind::AddrNotAvailable | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Binds `addr`, retrying transient failures (`EADDRINUSE`,
+/// `EADDRNOTAVAIL`) up to `attempts` times with doubling backoff starting
+/// at `backoff`. The last error is returned if every attempt fails;
+/// non-transient errors (permission, bad address) fail immediately.
+///
+/// # Errors
+///
+/// Propagates the underlying bind error once retries are exhausted or the
+/// error is not transient.
+pub fn bind_retry<A: ToSocketAddrs + Copy>(
+    addr: A,
+    attempts: u32,
+    backoff: Duration,
+) -> io::Result<TcpListener> {
+    let mut delay = backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if bind_transient(e.kind()) && attempt + 1 < attempts.max(1) => {
+                last_err = Some(e);
+                thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::AddrInUse, "bind retries exhausted")))
+}
+
+/// Binds an ephemeral loopback port (`127.0.0.1:0`) with the default
+/// retry policy. Ephemeral binds only fail when the kernel's local port
+/// range is momentarily exhausted, so a short backoff is always enough.
+///
+/// # Errors
+///
+/// Propagates the underlying bind error once retries are exhausted.
+pub fn bind_ephemeral() -> io::Result<TcpListener> {
+    bind_retry("127.0.0.1:0", 8, Duration::from_millis(10))
+}
+
+/// A listener whose accept loop can be stopped: `accept` is non-blocking
+/// under the hood and polls on a fixed tick, so the caller re-checks its
+/// shutdown flag between ticks instead of blocking in the kernel.
+/// Dropping the value closes the socket and releases the port.
+#[derive(Debug)]
+pub struct PollListener {
+    listener: TcpListener,
+    tick: Duration,
+}
+
+impl PollListener {
+    /// Wraps a bound listener, switching it to non-blocking mode. `tick`
+    /// is the poll interval (and the upper bound on shutdown latency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` error.
+    pub fn new(listener: TcpListener, tick: Duration) -> io::Result<PollListener> {
+        listener.set_nonblocking(true)?;
+        Ok(PollListener { listener, tick })
+    }
+
+    /// Binds an ephemeral loopback port (with retry) and wraps it with a
+    /// default 20 ms tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind or `set_nonblocking` errors.
+    pub fn bind_ephemeral() -> io::Result<PollListener> {
+        PollListener::new(bind_ephemeral()?, Duration::from_millis(20))
+    }
+
+    /// The bound local address (port is concrete even for ephemeral binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `local_addr` error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Polls for one incoming connection for up to `timeout`: returns
+    /// `Ok(Some(..))` on a connection, `Ok(None)` if the timeout elapsed
+    /// with nothing pending (check your shutdown flag and call again).
+    /// The accepted stream is switched back to blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-transient accept errors.
+    pub fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<(TcpStream, SocketAddr)>> {
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(Some((stream, peer)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if waited >= timeout {
+                        return Ok(None);
+                    }
+                    let step = self.tick.min(timeout - waited);
+                    thread::sleep(step);
+                    waited += step;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Per-connection failures (peer reset mid-handshake) are
+                // not listener failures; keep accepting.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_bind_succeeds_and_reports_a_port() {
+        let l = bind_ephemeral().unwrap();
+        assert_ne!(l.local_addr().unwrap().port(), 0);
+    }
+
+    #[test]
+    fn bind_retry_eventually_gets_a_busy_port() {
+        // Occupy a concrete port, then race a retrying bind against its
+        // release from another thread.
+        let holder = bind_ephemeral().unwrap();
+        let addr = holder.local_addr().unwrap();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            drop(holder);
+        });
+        let rebound = bind_retry(addr, 10, Duration::from_millis(10)).unwrap();
+        assert_eq!(rebound.local_addr().unwrap().port(), addr.port());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bind_retry_gives_up_on_a_port_that_stays_busy() {
+        let holder = bind_ephemeral().unwrap();
+        let addr = holder.local_addr().unwrap();
+        let err = bind_retry(addr, 2, Duration::from_millis(1)).unwrap_err();
+        assert!(bind_transient(err.kind()), "{err}");
+    }
+
+    #[test]
+    fn accept_timeout_returns_none_without_a_connection() {
+        let l = PollListener::bind_ephemeral().unwrap();
+        let got = l.accept_timeout(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn accept_timeout_accepts_a_pending_connection() {
+        let l = PollListener::bind_ephemeral().unwrap();
+        let addr = l.local_addr().unwrap();
+        let client = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let mut got = None;
+        for _ in 0..100 {
+            got = l.accept_timeout(Duration::from_millis(20)).unwrap();
+            if got.is_some() {
+                break;
+            }
+        }
+        let (stream, _) = got.expect("connection accepted");
+        // Accepted streams come back in blocking mode.
+        assert!(stream.peer_addr().is_ok());
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_listener_releases_the_port() {
+        let l = PollListener::bind_ephemeral().unwrap();
+        let addr = l.local_addr().unwrap();
+        drop(l);
+        // The port is free again (possibly after a tick on slow kernels).
+        let rebound = bind_retry(addr, 10, Duration::from_millis(10)).unwrap();
+        assert_eq!(rebound.local_addr().unwrap().port(), addr.port());
+    }
+}

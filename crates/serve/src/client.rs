@@ -1,0 +1,164 @@
+//! Blocking client for the resharding daemon.
+//!
+//! The send and receive halves are separate so a load generator can keep
+//! many requests in flight on one connection (`send` N times, then match
+//! `recv`'d replies by id). [`Client::request`] is the simple
+//! one-in-one-out convenience.
+
+use crate::proto::{self, Request, RequestBody, ReshardRequest, Response, StatsReply};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking connection to a resharding daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = writer.try_clone()?;
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 0,
+        })
+    }
+
+    /// The next unused request id (monotone per connection).
+    pub fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends one request without waiting for its reply (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        proto::write_frame(&mut self.writer, req)
+    }
+
+    /// Receives the next reply, in whatever completion order the daemon
+    /// produced; `None` means the daemon closed the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and framing errors.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        proto::read_frame(&mut self.reader)
+    }
+
+    /// One-in-one-out: sends `req` and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `UnexpectedEof` if the daemon hung up first.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        match self.recv()? {
+            Some(resp) if resp.id() == req.id => Ok(resp),
+            // A pipelined caller mixing `request` with `send` would lose
+            // this frame; `request` is strictly for the simple lockstep
+            // pattern, so any other id is a protocol error.
+            Some(resp) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "reply id {} does not match request id {}",
+                    resp.id(),
+                    req.id
+                ),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )),
+        }
+    }
+
+    /// Sends a reshard request and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/framing errors.
+    pub fn reshard(&mut self, tenant: &str, req: ReshardRequest) -> io::Result<Response> {
+        let r = Request {
+            id: self.fresh_id(),
+            tenant: tenant.into(),
+            body: RequestBody::Reshard(req),
+        };
+        self.request(&r)
+    }
+
+    /// Fetches the daemon's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing errors, or `InvalidData` on a non-stats reply.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        let r = Request {
+            id: self.fresh_id(),
+            tenant: String::new(),
+            body: RequestBody::Stats,
+        };
+        match self.request(&r)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing errors, or `InvalidData` on a non-pong reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let r = Request {
+            id: self.fresh_id(),
+            tenant: String::new(),
+            body: RequestBody::Ping,
+        };
+        match self.request(&r)? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected pong, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon to drain and exit (requires the server to allow
+    /// remote shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing errors, or `PermissionDenied` if the daemon refused.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let r = Request {
+            id: self.fresh_id(),
+            tenant: String::new(),
+            body: RequestBody::Shutdown,
+        };
+        match self.request(&r)? {
+            Response::ShuttingDown { .. } => Ok(()),
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::PermissionDenied, e.message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected shutdown ack, got {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,828 @@
+//! The resharding daemon: accept loop, per-tenant dispatch, worker pool.
+//!
+//! Life of a request: a reader thread parses the frame and runs admission
+//! (token bucket, then bounded queue) under the dispatch lock — rejected
+//! requests are answered right there with a `retry_after` hint and never
+//! touch a worker. Admitted jobs land in their tenant's queue; workers
+//! pull across tenants round-robin (so one chatty tenant cannot starve
+//! the rest), plan through the shared cross-tenant [`PlanCache`], execute
+//! on the configured backend — which runs the `crossmesh-check` static
+//! verifier before anything moves — and write the reply tagged with the
+//! request id (clients may pipeline; replies come in completion order).
+//!
+//! Shutdown is a two-phase drain: first new work is refused while queued
+//! work finishes, then the accept and reader loops (which poll their
+//! sockets on short ticks precisely so this works) are stopped and
+//! metrics/timeline files are flushed.
+
+use crate::admission::{AdmissionConfig, TokenBucket};
+use crate::proto::{
+    self, DoneReply, ErrorReply, FrameRead, RejectedReply, Request, RequestBody, ReshardRequest,
+    Response, StatsReply, TenantStats,
+};
+use crossmesh_core::{
+    CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Plan, PlanCache,
+    Planner, PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, SenderExclusions,
+};
+use crossmesh_mesh::DeviceMesh;
+use crossmesh_models::presets;
+use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
+use crossmesh_obs as obs;
+use crossmesh_runtime::{PollListener, ThreadedBackend};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which execution backend serves requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Flow-level simulator (fast, deterministic; the default).
+    Sim,
+    /// Real multi-threaded execution with in-process channels.
+    Threads,
+    /// Threads plus TCP loopback for inter-host flows.
+    Tcp,
+}
+
+impl BackendKind {
+    /// Parses the CLI's backend names.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown backend.
+    pub fn parse(name: &str) -> Result<BackendKind, String> {
+        match name {
+            "sim" => Ok(BackendKind::Sim),
+            "threads" => Ok(BackendKind::Threads),
+            "tcp" => Ok(BackendKind::Tcp),
+            other => Err(format!("unknown backend {other:?}")),
+        }
+    }
+
+    fn instantiate(self) -> Box<dyn Backend> {
+        match self {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Threads => Box::new(ThreadedBackend::threads()),
+            BackendKind::Tcp => Box::new(ThreadedBackend::tcp()),
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool width (planning/execution concurrency).
+    pub workers: usize,
+    /// Per-tenant admission limits.
+    pub admission: AdmissionConfig,
+    /// Execution backend for admitted requests.
+    pub backend: BackendKind,
+    /// Planner used when a request leaves `planner` empty.
+    pub default_planner: String,
+    /// Honour remote [`RequestBody::Shutdown`] requests. Off by default:
+    /// a tenant must not be able to stop the daemon unless the operator
+    /// opted in.
+    pub allow_remote_shutdown: bool,
+    /// Write the metrics registry (text format) here on shutdown.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome/Perfetto timeline of queue depth and throughput
+    /// counters here on shutdown.
+    pub trace_out: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            admission: AdmissionConfig::default(),
+            backend: BackendKind::Sim,
+            default_planner: "ours".into(),
+            allow_remote_shutdown: false,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    id: u64,
+    tenant: String,
+    req: ReshardRequest,
+    conn: Arc<Conn>,
+    enqueued: Instant,
+}
+
+/// The write half of a client connection. Workers for different tenants
+/// may answer onto the same socket, so writes serialize on this lock and
+/// each frame carries its request id for the client to correlate.
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Best-effort reply: a client that hung up mid-flight loses its
+    /// response, which is its problem, not the daemon's.
+    fn send(&self, resp: &Response) {
+        let mut w = self.writer.lock();
+        let _ = proto::write_frame(&mut *w, resp);
+    }
+}
+
+/// Per-tenant dispatch state, all guarded by the dispatch lock.
+struct TenantState {
+    bucket: TokenBucket,
+    queue: VecDeque<Job>,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+}
+
+/// Everything behind the dispatch lock: tenant queues plus the
+/// round-robin cursor workers use to pick the next tenant.
+struct DispatchState {
+    tenants: BTreeMap<String, TenantState>,
+    cursor: usize,
+    queued: usize,
+}
+
+impl DispatchState {
+    /// Pops one job, round-robin across tenants with non-empty queues.
+    /// The cursor indexes the (sorted) tenant key space so fairness is
+    /// deterministic given a fixed arrival order.
+    fn pop_round_robin(&mut self) -> Option<Job> {
+        if self.queued == 0 || self.tenants.is_empty() {
+            return None;
+        }
+        let names: Vec<String> = self.tenants.keys().cloned().collect();
+        let n = names.len();
+        for step in 0..n {
+            let name = &names[(self.cursor + step) % n];
+            if let Some(state) = self.tenants.get_mut(name) {
+                if let Some(job) = state.queue.pop_front() {
+                    self.cursor = (self.cursor + step + 1) % n;
+                    self.queued -= 1;
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Cross-thread server state.
+struct Shared {
+    cfg: ServeConfig,
+    cache: PlanCache,
+    registry: obs::MetricsRegistry,
+    dispatch: Mutex<DispatchState>,
+    work: Condvar,
+    /// Phase 1 of shutdown: refuse new work, finish queued work.
+    draining: AtomicBool,
+    /// Phase 2: accept/reader loops exit at their next tick.
+    stopped: AtomicBool,
+    /// Set by a remote `Shutdown` request (when allowed); observed by
+    /// [`Server::run_until_shutdown`].
+    shutdown_requested: AtomicBool,
+    /// Verification failures at execute time (the cache counts hit-path
+    /// invalidations separately in its own registry).
+    exec_convictions: AtomicU64,
+    started: Instant,
+    /// `(ts_us, queue_depth, completed)` samples for the timeline export.
+    samples: Mutex<Vec<(f64, f64, f64)>>,
+    queue_depth: obs::Gauge,
+    queue_ms: obs::Histogram,
+    plan_ms: obs::Histogram,
+    exec_ms: obs::Histogram,
+}
+
+impl Shared {
+    fn sample(&self) {
+        let ts = self.started.elapsed().as_secs_f64() * 1e6;
+        let (depth, completed) = {
+            let st = self.dispatch.lock();
+            let done: u64 = st.tenants.values().map(|t| t.completed).sum();
+            (st.queued as f64, done as f64)
+        };
+        self.queue_depth.set(depth);
+        self.samples.lock().push((ts, depth, completed));
+    }
+
+    fn tenant_counter(&self, tenant: &str, which: &str) -> obs::Counter {
+        self.registry
+            .counter(&format!("serve.tenant.{tenant}.{which}"))
+    }
+
+    /// Total verifier convictions: execute-time failures plus cache
+    /// hit-path invalidations.
+    fn convictions(&self) -> u64 {
+        self.exec_convictions.load(Ordering::Relaxed)
+            + self
+                .cache
+                .registry()
+                .snapshot()
+                .counter("plan_cache.invalidations")
+    }
+
+    fn stats_reply(&self, id: u64) -> StatsReply {
+        let cache = self.cache.stats();
+        let mut reply = StatsReply {
+            id,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries,
+            verifier_convictions: self.convictions(),
+            ..StatsReply::default()
+        };
+        let st = self.dispatch.lock();
+        for (name, t) in &st.tenants {
+            reply.accepted += t.accepted;
+            reply.rejected += t.rejected;
+            reply.completed += t.completed;
+            reply.failed += t.failed;
+            reply.tenants.insert(
+                name.clone(),
+                TenantStats {
+                    accepted: t.accepted,
+                    rejected: t.rejected,
+                    completed: t.completed,
+                    failed: t.failed,
+                    queue_depth: t.queue.len(),
+                },
+            );
+        }
+        reply
+    }
+}
+
+/// End-of-life report returned by [`Server::shutdown`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeSummary {
+    /// Requests admitted past admission control.
+    pub accepted: u64,
+    /// Requests shed.
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Admitted requests that failed.
+    pub failed: u64,
+    /// Shared-cache hits across all tenants.
+    pub cache_hits: u64,
+    /// Shared-cache misses.
+    pub cache_misses: u64,
+    /// Verifier convictions (must be zero in a healthy run).
+    pub verifier_convictions: u64,
+    /// Daemon uptime, seconds.
+    pub uptime_seconds: f64,
+}
+
+/// A running resharding daemon. Dropping it without calling
+/// [`shutdown`](Server::shutdown) aborts ungracefully (threads are
+/// detached); call `shutdown` to drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds an ephemeral loopback port (with CI-safe retry) and starts
+    /// the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = PollListener::bind_ephemeral()?;
+        let addr = listener.local_addr()?;
+        let registry = obs::MetricsRegistry::new();
+        let hist_bounds = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0];
+        let shared = Arc::new(Shared {
+            queue_depth: registry.gauge("serve.queue_depth"),
+            queue_ms: registry.histogram("serve.queue_ms", &hist_bounds),
+            plan_ms: registry.histogram("serve.plan_ms", &hist_bounds),
+            exec_ms: registry.histogram("serve.exec_ms", &hist_bounds),
+            cfg,
+            cache: PlanCache::new(),
+            registry,
+            dispatch: Mutex::new(DispatchState {
+                tenants: BTreeMap::new(),
+                cursor: 0,
+                queued: 0,
+            }),
+            work: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            exec_convictions: AtomicU64::new(0),
+            started: Instant::now(),
+            samples: Mutex::new(Vec::new()),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let s = Arc::clone(&shared);
+            let r = Arc::clone(&readers);
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &s, &r))?
+        };
+
+        obs::event(
+            obs::Level::Info,
+            "serve",
+            "started",
+            &[
+                obs::Field::str("addr", addr.to_string()),
+                obs::Field::u64("workers", shared.cfg.workers.max(1) as u64),
+            ],
+        );
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            readers,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot (same shape the `Stats` request returns).
+    pub fn stats(&self) -> StatsReply {
+        self.shared.stats_reply(0)
+    }
+
+    /// The daemon's metrics registry (per-tenant counters, latency
+    /// histograms, queue-depth gauge).
+    pub fn registry(&self) -> &obs::MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Flags the daemon for shutdown, as if a permitted remote `Shutdown`
+    /// request had arrived. [`run_until_shutdown`](Server::run_until_shutdown)
+    /// observes the flag; callers driving the server directly just call
+    /// [`shutdown`](Server::shutdown).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested (remotely or via
+    /// [`request_shutdown`](Server::request_shutdown)). Lets a driver run
+    /// its own wait loop with a deadline.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested (remotely, or via
+    /// [`request_shutdown`](Server::request_shutdown) from another thread
+    /// holding a reference), then drains and returns the summary.
+    pub fn run_until_shutdown(self) -> ServeSummary {
+        while !self.shutdown_requested() {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: refuse new work, finish queued work, stop the
+    /// accept and reader loops, flush metrics and timeline files.
+    pub fn shutdown(mut self) -> ServeSummary {
+        let shared = &self.shared;
+        // Phase 1: drain. Readers now answer every reshard request with
+        // `Rejected{shutting_down}`; workers exit once queues are empty.
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Phase 2: stop the I/O loops at their next poll tick.
+        shared.stopped.store(true, Ordering::SeqCst);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.readers.lock());
+        for r in readers {
+            let _ = r.join();
+        }
+        shared.sample();
+        // Phase 3: flush observability outputs.
+        if let Some(path) = &shared.cfg.metrics_out {
+            let mut text = shared.registry.render_text();
+            text.push_str(&shared.cache.registry().render_text());
+            let _ = std::fs::write(path, text);
+        }
+        if let Some(path) = &shared.cfg.trace_out {
+            let _ = std::fs::write(path, render_timeline(shared));
+        }
+
+        let stats = shared.stats_reply(0);
+        let summary = ServeSummary {
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            completed: stats.completed,
+            failed: stats.failed,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            verifier_convictions: stats.verifier_convictions,
+            uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        };
+        obs::event(
+            obs::Level::Info,
+            "serve",
+            "stopped",
+            &[
+                obs::Field::u64("completed", summary.completed),
+                obs::Field::u64("rejected", summary.rejected),
+                obs::Field::u64("convictions", summary.verifier_convictions),
+            ],
+        );
+        summary
+    }
+}
+
+/// Renders the queue-depth/throughput timeline as a Chrome trace.
+fn render_timeline(shared: &Shared) -> String {
+    let mut export = obs::export::TraceExport::new();
+    let samples = shared.samples.lock();
+    let depth: Vec<(f64, f64)> = samples.iter().map(|&(ts, d, _)| (ts, d)).collect();
+    let done: Vec<(f64, f64)> = samples.iter().map(|&(ts, _, c)| (ts, c)).collect();
+    export.add_counter("serve.queue_depth", &depth);
+    export.add_counter("serve.completed", &done);
+    export.add_instant("serve.start", "serve", 0.0, 0, 0);
+    export.add_instant(
+        "serve.shutdown",
+        "serve",
+        shared.started.elapsed().as_secs_f64() * 1e6,
+        0,
+        0,
+    );
+    export.render()
+}
+
+/// Accepts connections until `stopped`, spawning one reader per client.
+fn accept_loop(
+    listener: &PollListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    while !shared.stopped.load(Ordering::SeqCst) {
+        match listener.accept_timeout(Duration::from_millis(50)) {
+            Ok(Some((stream, _peer))) => {
+                next_conn += 1;
+                let s = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("serve-conn-{next_conn}"))
+                    .spawn(move || reader_loop(stream, &s));
+                match spawned {
+                    Ok(handle) => readers.lock().push(handle),
+                    Err(e) => obs::event(
+                        obs::Level::Error,
+                        "serve",
+                        "reader_spawn_failed",
+                        &[obs::Field::str("error", e.to_string())],
+                    ),
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                obs::event(
+                    obs::Level::Error,
+                    "serve",
+                    "accept_failed",
+                    &[obs::Field::str("error", e.to_string())],
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Reads frames off one connection, running admission inline and handing
+/// admitted jobs to the worker pool. Polls on a short read timeout so
+/// shutdown is observed within a tick even on an idle connection.
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+    });
+    let mut reader = stream;
+    loop {
+        if shared.stopped.load(Ordering::SeqCst) {
+            // Final sweep before closing: answer every frame already on
+            // the wire (reshards are rejected as `shutting_down` by
+            // `handle_request` since we are draining). Closing with
+            // unread bytes in the socket buffer would RST the peer and
+            // discard replies it has not read yet — requests would
+            // silently vanish instead of being explicitly shed.
+            // Bounded so a client that keeps streaming cannot stall
+            // shutdown; anything past the cap is abandoned to the RST.
+            for _ in 0..4096 {
+                match proto::read_frame_timeout::<_, Request>(&mut reader) {
+                    Ok(FrameRead::Frame(req)) => handle_request(req, &conn, shared),
+                    Ok(FrameRead::TimedOut) | Ok(FrameRead::Eof) | Err(_) => return,
+                }
+            }
+            return;
+        }
+        match proto::read_frame_timeout::<_, Request>(&mut reader) {
+            Ok(FrameRead::TimedOut) => {}
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(req)) => handle_request(req, &conn, shared),
+            Err(e) => {
+                obs::event(
+                    obs::Level::Warn,
+                    "serve",
+                    "bad_frame",
+                    &[obs::Field::str("error", e.to_string())],
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed request: control requests answer inline,
+/// reshard requests run admission.
+fn handle_request(req: Request, conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    match req.body {
+        RequestBody::Ping => conn.send(&Response::Pong { id: req.id }),
+        RequestBody::Stats => conn.send(&Response::Stats(shared.stats_reply(req.id))),
+        RequestBody::Shutdown => {
+            if shared.cfg.allow_remote_shutdown {
+                conn.send(&Response::ShuttingDown { id: req.id });
+                shared.shutdown_requested.store(true, Ordering::SeqCst);
+            } else {
+                conn.send(&Response::Error(ErrorReply {
+                    id: req.id,
+                    message: "remote shutdown is not enabled on this server".into(),
+                }));
+            }
+        }
+        RequestBody::Reshard(r) => admit(req.id, req.tenant, r, conn, shared),
+    }
+}
+
+/// Admission control: bucket, then bounded queue, under the dispatch
+/// lock. Rejections are answered here; admitted jobs wake a worker.
+fn admit(id: u64, tenant: String, req: ReshardRequest, conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let verdict = {
+        let mut st = shared.dispatch.lock();
+        if shared.draining.load(Ordering::SeqCst) {
+            let t = st
+                .tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| new_tenant(&shared.cfg.admission, now));
+            t.rejected += 1;
+            Err(("shutting_down".to_string(), 1000))
+        } else {
+            let cfg = shared.cfg.admission;
+            let t = st
+                .tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| new_tenant(&cfg, now));
+            match t.bucket.try_acquire(now) {
+                Err(wait) => {
+                    t.rejected += 1;
+                    Err(("rate_limited".to_string(), wait.as_millis() as u64 + 1))
+                }
+                Ok(()) if t.queue.len() >= cfg.queue_depth => {
+                    t.rejected += 1;
+                    // Hint: one bucket period — by then at least one slot
+                    // should have drained.
+                    Err((
+                        "queue_full".to_string(),
+                        ((1000.0 / cfg.rate.max(1e-6)) as u64).clamp(1, 10_000),
+                    ))
+                }
+                Ok(()) => {
+                    t.accepted += 1;
+                    t.queue.push_back(Job {
+                        id,
+                        tenant: tenant.clone(),
+                        req,
+                        conn: Arc::clone(conn),
+                        enqueued: now,
+                    });
+                    st.queued += 1;
+                    Ok(())
+                }
+            }
+        }
+    };
+    match verdict {
+        Ok(()) => {
+            shared.tenant_counter(&tenant, "accepted").inc();
+            shared.sample();
+            shared.work.notify_one();
+        }
+        Err((reason, retry_after_ms)) => {
+            shared.tenant_counter(&tenant, "rejected").inc();
+            conn.send(&Response::Rejected(RejectedReply {
+                id,
+                reason,
+                retry_after_ms,
+            }));
+        }
+    }
+}
+
+fn new_tenant(cfg: &AdmissionConfig, now: Instant) -> TenantState {
+    TenantState {
+        bucket: TokenBucket::new(cfg.rate, cfg.burst, now),
+        queue: VecDeque::new(),
+        accepted: 0,
+        rejected: 0,
+        completed: 0,
+        failed: 0,
+    }
+}
+
+/// Worker loop: pop round-robin, process, repeat; exit once draining and
+/// empty.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut st = shared.dispatch.lock();
+            loop {
+                if let Some(job) = st.pop_round_robin() {
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                shared.work.wait_for(&mut st, Duration::from_millis(50));
+            }
+        };
+        let Some(job) = job else { return };
+        process(job, shared);
+        shared.sample();
+    }
+}
+
+/// Builds the planner named by the request (mirrors the CLI's table).
+fn planner_for(
+    name: &str,
+    config: PlannerConfig,
+    seed: Option<u64>,
+) -> Result<Box<dyn Planner>, String> {
+    let greedy = || {
+        let p = RandomizedGreedyPlanner::new(config);
+        match seed {
+            Some(s) => p.with_seed(s),
+            None => p,
+        }
+    };
+    Ok(match name {
+        "ours" => Box::new(EnsemblePlanner::new(config).with_greedy(greedy())),
+        "naive" => Box::new(NaivePlanner::new(config)),
+        "lpt" => Box::new(LoadBalancePlanner::new(config)),
+        "dfs" => Box::new(DfsPlanner::new(config)),
+        "greedy" => Box::new(greedy()),
+        other => return Err(format!("unknown planner {other:?}")),
+    })
+}
+
+/// Rebuilds the task and cluster from a request's portable strings, the
+/// same way the CLI's `TaskSpecFile::build` does.
+fn build_task(req: &ReshardRequest) -> Result<(ReshardingTask, ClusterSpec, CostParams), String> {
+    let src_mesh_shape = proto::parse_mesh(&req.src_mesh)?;
+    let dst_mesh_shape = proto::parse_mesh(&req.dst_mesh)?;
+    let shape = proto::parse_shape(&req.shape)?;
+    if req.elem_bytes == 0 {
+        return Err("elem_bytes must be positive".into());
+    }
+    let params = presets::p3_cost_params();
+    let gpus = src_mesh_shape.1.max(dst_mesh_shape.1) as u32;
+    let hosts = (src_mesh_shape.0 + dst_mesh_shape.0) as u32;
+    let cluster = ClusterSpec::homogeneous(
+        hosts,
+        gpus,
+        LinkParams::new(params.intra_bw, params.inter_bw)
+            .with_latencies(params.intra_latency, params.inter_latency),
+    );
+    let src = DeviceMesh::from_cluster(&cluster, 0, src_mesh_shape, "src")
+        .map_err(|e| format!("src mesh: {e}"))?;
+    let dst = DeviceMesh::from_cluster(&cluster, src_mesh_shape.0, dst_mesh_shape, "dst")
+        .map_err(|e| format!("dst mesh: {e}"))?;
+    let task = ReshardingTask::new(
+        src,
+        req.src_spec.parse().map_err(|e| format!("src spec: {e}"))?,
+        dst,
+        req.dst_spec.parse().map_err(|e| format!("dst spec: {e}"))?,
+        &shape,
+        req.elem_bytes,
+    )
+    .map_err(|e| format!("task: {e}"))?;
+    Ok((task, cluster, params))
+}
+
+/// Plans (through the shared cache), executes, and answers one job.
+fn process(job: Job, shared: &Arc<Shared>) {
+    let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+    shared.queue_ms.observe(queue_ms);
+    let outcome = run_job(&job, shared, queue_ms);
+    let (ok, resp) = match outcome {
+        Ok(done) => (true, Response::Done(done)),
+        Err(message) => (
+            false,
+            Response::Error(ErrorReply {
+                id: job.id,
+                message,
+            }),
+        ),
+    };
+    {
+        let mut st = shared.dispatch.lock();
+        if let Some(t) = st.tenants.get_mut(&job.tenant) {
+            if ok {
+                t.completed += 1;
+            } else {
+                t.failed += 1;
+            }
+        }
+    }
+    shared
+        .tenant_counter(&job.tenant, if ok { "completed" } else { "failed" })
+        .inc();
+    job.conn.send(&resp);
+}
+
+fn run_job(job: &Job, shared: &Arc<Shared>, queue_ms: f64) -> Result<DoneReply, String> {
+    let (task, cluster, params) = build_task(&job.req)?;
+    let planner_name = if job.req.planner.is_empty() {
+        shared.cfg.default_planner.as_str()
+    } else {
+        job.req.planner.as_str()
+    };
+    let planner = planner_for(planner_name, PlannerConfig::new(params), job.req.seed)?;
+
+    let plan_start = Instant::now();
+    let (plan, cache_hit): (Plan<'_>, bool) = shared
+        .cache
+        .plan_with_exclusions_outcome(&*planner, &task, &SenderExclusions::none())
+        .map_err(|e| format!("planning failed: {e}"))?;
+    let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+    shared.plan_ms.observe(plan_ms);
+
+    let backend = shared.cfg.backend.instantiate();
+    let exec_start = Instant::now();
+    let report = plan.execute_with(&*backend, &cluster).map_err(|e| {
+        let msg = format!("{e}");
+        if msg.contains("static verification") {
+            shared.exec_convictions.fetch_add(1, Ordering::Relaxed);
+        }
+        format!("execution failed: {msg}")
+    })?;
+    let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+    shared.exec_ms.observe(exec_ms);
+
+    Ok(DoneReply {
+        id: job.id,
+        cache_hit,
+        queue_ms,
+        plan_ms,
+        exec_ms,
+        estimate_seconds: plan.estimate(),
+        simulated_seconds: report.simulated_seconds,
+        unit_tasks: task.units().len(),
+    })
+}

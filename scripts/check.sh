@@ -42,6 +42,21 @@ cargo run --offline --release -p crossmesh-bench --bin repro_check -- --smoke > 
 echo "==> obs overhead smoke (collectors off vs on, determinism)"
 cargo run --offline --release -p crossmesh-bench --bin repro_obs -- --smoke
 
+echo "==> serve smoke (daemon + trace-driven load, zero convictions, clean drain)"
+serve_dir="$(mktemp -d)"
+cargo run --offline --release -p crossmesh-cli -- serve \
+    --workers 2 --allow-remote-shutdown --max-seconds 120 \
+    --addr-out "$serve_dir/addr" > "$serve_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$serve_dir/addr" ] && break; sleep 0.1; done
+[ -s "$serve_dir/addr" ] || { cat "$serve_dir/serve.log"; exit 1; }
+cargo run --offline --release -p crossmesh-bench --bin repro_serve -- \
+    --smoke --addr "$(cat "$serve_dir/addr")" --out BENCH_serve.json
+cargo run --offline --release -p crossmesh-cli -- client \
+    --addr "$(cat "$serve_dir/addr")" --shutdown
+wait "$serve_pid"   # non-zero (unclean drain) fails the gate via set -e
+rm -rf "$serve_dir"
+
 echo "==> unified timeline export, one schema across backends"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT

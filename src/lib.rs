@@ -34,6 +34,9 @@
 //!   p3.8xlarge cluster preset used in the paper's evaluation.
 //! * [`autoshard`] — sharding-spec search for stage-boundary tensors (the
 //!   "auto" half of the paper's `(auto, auto, 2)` configurations).
+//! * [`serve`] — the multi-tenant resharding daemon: per-tenant
+//!   token-bucket admission control, a shared cross-tenant plan cache,
+//!   and a length-prefixed TCP request protocol with graceful drain.
 //!
 //! # Quickstart
 //!
@@ -73,3 +76,4 @@ pub use crossmesh_netsim as netsim;
 pub use crossmesh_obs as obs;
 pub use crossmesh_pipeline as pipeline;
 pub use crossmesh_runtime as runtime;
+pub use crossmesh_serve as serve;

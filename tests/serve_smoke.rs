@@ -1,0 +1,302 @@
+//! End-to-end tests of the resharding daemon: multi-tenant service,
+//! load shedding, the shared cross-tenant cache, and — the part that is
+//! easy to get wrong — graceful shutdown: in-flight requests drain, new
+//! ones are rejected with `shutting_down`, and observability files are
+//! flushed. Exercised at worker-pool widths 1 and 4 under a fixed seed.
+
+use crossmesh::serve::proto::{self, Request, RequestBody};
+use crossmesh::serve::{
+    AdmissionConfig, BackendKind, Client, ReshardRequest, Response, ServeConfig, Server,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        admission: AdmissionConfig {
+            rate: 500.0,
+            burst: 100.0,
+            queue_depth: 256,
+        },
+        backend: BackendKind::Sim,
+        default_planner: "ours".into(),
+        allow_remote_shutdown: false,
+        metrics_out: None,
+        trace_out: None,
+    }
+}
+
+fn small_request() -> ReshardRequest {
+    ReshardRequest {
+        src_spec: "RS0R".into(),
+        dst_spec: "S0RR".into(),
+        src_mesh: "2x4".into(),
+        dst_mesh: "2x4".into(),
+        shape: "64x64x8".into(),
+        elem_bytes: 4,
+        planner: "ours".into(),
+        seed: Some(7),
+    }
+}
+
+#[test]
+fn multi_tenant_requests_complete_and_share_the_cache() {
+    for workers in [1usize, 4] {
+        let server = Server::start(config(workers)).expect("daemon starts");
+        let addr = server.addr();
+        // Three tenants, identical shapes: the first request plans, the
+        // rest must hit the shared cache regardless of tenant.
+        let mut done = 0u64;
+        let mut hits = 0u64;
+        for tenant in ["alpha", "beta", "gamma"] {
+            let mut client = Client::connect(addr).expect("connects");
+            for _ in 0..3 {
+                match client.reshard(tenant, small_request()).expect("answered") {
+                    Response::Done(d) => {
+                        done += 1;
+                        if d.cache_hit {
+                            hits += 1;
+                        }
+                        assert!(d.simulated_seconds > 0.0);
+                        assert!(d.unit_tasks > 0);
+                    }
+                    other => panic!("workers={workers}: unexpected reply {other:?}"),
+                }
+            }
+        }
+        assert_eq!(done, 9, "workers={workers}");
+        assert_eq!(hits, 8, "all but the first request hit the shared cache");
+
+        let summary = server.shutdown();
+        assert_eq!(summary.completed, 9);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.verifier_convictions, 0, "workers={workers}");
+        assert_eq!(summary.cache_misses, 1, "one cold plan total");
+    }
+}
+
+#[test]
+fn overload_is_shed_with_retry_hints_not_queued_unboundedly() {
+    let mut cfg = config(2);
+    // Tiny bucket: a burst of 30 admits ~8 and sheds the rest.
+    cfg.admission = AdmissionConfig {
+        rate: 10.0,
+        burst: 8.0,
+        queue_depth: 16,
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    // Pipeline the burst: send all 30 before reading any reply.
+    for i in 0..30u64 {
+        client
+            .send(&Request {
+                id: i + 1,
+                tenant: "burst".into(),
+                body: RequestBody::Reshard(small_request()),
+            })
+            .expect("sends");
+    }
+    let mut done = 0;
+    let mut rejected = 0;
+    let mut max_retry = 0u64;
+    for _ in 0..30 {
+        match client.recv().expect("reply").expect("not eof") {
+            Response::Done(_) => done += 1,
+            Response::Rejected(r) => {
+                rejected += 1;
+                assert_eq!(r.reason, "rate_limited");
+                assert!(r.retry_after_ms > 0, "a hint, not a guess");
+                max_retry = max_retry.max(r.retry_after_ms);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(done >= 8, "the burst allowance is admitted (got {done})");
+    assert!(rejected >= 20, "the overflow is shed (got {rejected})");
+    assert!(max_retry <= 10_000, "hints stay sane: {max_retry}ms");
+
+    let summary = server.shutdown();
+    assert_eq!(summary.completed, done);
+    assert_eq!(summary.rejected, rejected);
+    assert_eq!(summary.verifier_convictions, 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_rejects_new_and_flushes_files() {
+    for workers in [1usize, 4] {
+        let dir = std::env::temp_dir();
+        let metrics_path = dir.join(format!("crossmesh_serve_metrics_{workers}.txt"));
+        let trace_path = dir.join(format!("crossmesh_serve_trace_{workers}.json"));
+        let _ = std::fs::remove_file(&metrics_path);
+        let _ = std::fs::remove_file(&trace_path);
+
+        let mut cfg = config(workers);
+        cfg.metrics_out = Some(metrics_path.to_string_lossy().into_owned());
+        cfg.trace_out = Some(trace_path.to_string_lossy().into_owned());
+        let server = Server::start(cfg).expect("daemon starts");
+        let addr = server.addr();
+
+        // Pipeline a pile of requests and wait (via Stats on a second
+        // connection) until every one of them has passed admission, so
+        // shutdown provably races only against *queued* work.
+        let in_flight = 20u64;
+        let mut client = Client::connect(addr).expect("connects");
+        for i in 0..in_flight {
+            client
+                .send(&Request {
+                    id: i + 1,
+                    tenant: "drain".into(),
+                    body: RequestBody::Reshard(small_request()),
+                })
+                .expect("sends");
+        }
+        let mut probe = Client::connect(addr).expect("connects");
+        while probe.stats().expect("stats").accepted < in_flight {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Shut down on another thread while replies are still pending.
+        let shutdown = std::thread::spawn(move || server.shutdown());
+
+        // During the drain the daemon must keep answering: admitted work
+        // completes, new work is explicitly shed as `shutting_down`.
+        let mut probe_done = 0u64;
+        let mut probe_shed = 0u64;
+        loop {
+            match probe.reshard("late", small_request()) {
+                Ok(Response::Done(_)) => probe_done += 1,
+                Ok(Response::Rejected(r)) => {
+                    assert_eq!(r.reason, "shutting_down");
+                    probe_shed += 1;
+                    break;
+                }
+                Ok(other) => panic!("workers={workers}: unexpected reply {other:?}"),
+                Err(e) => panic!("workers={workers}: daemon closed before shedding: {e}"),
+            }
+        }
+        assert!(probe_shed > 0, "new work is rejected during the drain");
+
+        // Every admitted request still gets its `Done` — drained, not
+        // dropped.
+        let mut done = 0u64;
+        for _ in 0..in_flight {
+            match client.recv().expect("reply").expect("not eof") {
+                Response::Done(_) => done += 1,
+                other => panic!("workers={workers}: unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(done, in_flight, "nothing vanished");
+
+        let summary = shutdown.join().expect("shutdown completes");
+        assert_eq!(summary.completed, done + probe_done, "workers={workers}");
+        assert_eq!(summary.rejected, probe_shed);
+        assert_eq!(summary.verifier_convictions, 0);
+
+        // New connections after shutdown must fail: the listener is gone.
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || proto::write_frame(
+                    &mut TcpStream::connect(addr).expect("raced listener close"),
+                    &Request {
+                        id: 1,
+                        tenant: "late".into(),
+                        body: RequestBody::Ping,
+                    },
+                )
+                .is_err()
+                || {
+                    // The kernel may accept into a dead backlog; the
+                    // daemon must never answer.
+                    let mut s = TcpStream::connect(addr).expect("raced listener close");
+                    s.set_read_timeout(Some(Duration::from_millis(200))).ok();
+                    proto::write_frame(
+                        &mut s,
+                        &Request {
+                            id: 1,
+                            tenant: "late".into(),
+                            body: RequestBody::Ping,
+                        },
+                    )
+                    .ok();
+                    matches!(
+                        proto::read_frame_timeout::<_, Response>(&mut s),
+                        Ok(proto::FrameRead::TimedOut) | Ok(proto::FrameRead::Eof) | Err(_)
+                    )
+                },
+            "a post-shutdown request must not be served"
+        );
+
+        // Observability files flushed on the way out.
+        let metrics = std::fs::read_to_string(&metrics_path).expect("metrics flushed");
+        assert!(
+            metrics.contains("serve.tenant.drain.completed"),
+            "workers={workers}: per-tenant counters present:\n{metrics}"
+        );
+        assert!(metrics.contains("plan_cache."), "cache counters present");
+        let trace = std::fs::read_to_string(&trace_path).expect("trace flushed");
+        let summary = crossmesh::obs::export::validate(&trace).expect("trace validates");
+        assert!(
+            summary
+                .counter_tracks
+                .iter()
+                .any(|t| t.contains("queue_depth")),
+            "queue-depth track exported"
+        );
+        let _ = std::fs::remove_file(&metrics_path);
+        let _ = std::fs::remove_file(&trace_path);
+    }
+}
+
+#[test]
+fn remote_shutdown_is_gated_on_operator_opt_in() {
+    // Denied by default.
+    let server = Server::start(config(1)).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let err = client.shutdown().expect_err("refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    // The daemon is still alive and serving.
+    client.ping().expect("still serving");
+    server.shutdown();
+
+    // Allowed when opted in: the flag flips and run_until_shutdown drains.
+    let mut cfg = config(1);
+    cfg.allow_remote_shutdown = true;
+    let server = Server::start(cfg).expect("daemon starts");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connects");
+    match client.reshard("ops", small_request()).expect("answered") {
+        Response::Done(_) => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    client.shutdown().expect("acknowledged");
+    let summary = server.run_until_shutdown();
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.verifier_convictions, 0);
+}
+
+#[test]
+fn stats_reports_per_tenant_breakdown() {
+    let server = Server::start(config(2)).expect("daemon starts");
+    let mut a = Client::connect(server.addr()).expect("connects");
+    let mut b = Client::connect(server.addr()).expect("connects");
+    for _ in 0..2 {
+        assert!(matches!(
+            a.reshard("acme", small_request()).expect("answered"),
+            Response::Done(_)
+        ));
+    }
+    assert!(matches!(
+        b.reshard("zeta", small_request()).expect("answered"),
+        Response::Done(_)
+    ));
+    let stats = a.stats().expect("stats");
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.tenants.len(), 2);
+    assert_eq!(stats.tenants["acme"].completed, 2);
+    assert_eq!(stats.tenants["zeta"].completed, 1);
+    assert!(stats.cache_hits >= 2, "cross-tenant sharing visible");
+    assert_eq!(stats.verifier_convictions, 0);
+    server.shutdown();
+}
