@@ -15,6 +15,7 @@
 //! | [`faults`] | extension — throughput vs injected fault rate (not in the paper) |
 //! | [`planner`] | extension — planner wall-clock vs pool width + plan cache (not in the paper) |
 //! | [`obs_overhead`] | extension — observability overhead with collectors on/off (not in the paper) |
+//! | [`moe`] | extension — MoE all-to-all strategies across fabrics and gate skews (not in the paper) |
 //! | [`serve`] | extension — multi-tenant daemon throughput/latency under trace-driven load (not in the paper) |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hostenv;
+pub mod moe;
 pub mod obs_overhead;
 pub mod planner;
 pub mod repro;

@@ -104,6 +104,22 @@ pub enum Rule {
     CapacityHostMismatch,
     /// A link bandwidth is non-positive or non-finite.
     CapacityBandwidth,
+    /// The cluster's fabric is flat with unbounded bisection capacity, so
+    /// every fabric-contention check is vacuously true.
+    CapacityUnbounded,
+    /// An expected all-to-all (src device → dst device) shard is never
+    /// delivered by any scheduled unit task.
+    A2aMissingPair,
+    /// An all-to-all (src device → dst device) shard is delivered more
+    /// than once, or a delivery has no matching expected pair.
+    A2aDuplicatePair,
+    /// The bytes delivered for an all-to-all pair disagree with the
+    /// expected shard size.
+    A2aBytes,
+    /// A multi-rail spray overloads a physical rail beyond its fair share
+    /// (plus one chunk), e.g. by declaring more logical rails than the
+    /// fabric has.
+    A2aRailCapacity,
     /// A pipeline stage's operation multiset is malformed (wrong counts of
     /// forward / backward-act / backward-weight ops).
     ScheduleShape,
@@ -157,6 +173,11 @@ impl Rule {
             Rule::CapacityUnknownDevice => "plan.capacity.unknown-device",
             Rule::CapacityHostMismatch => "plan.capacity.host-mismatch",
             Rule::CapacityBandwidth => "plan.capacity.bandwidth",
+            Rule::CapacityUnbounded => "plan.capacity.unbounded",
+            Rule::A2aMissingPair => "plan.a2a.missing-pair",
+            Rule::A2aDuplicatePair => "plan.a2a.duplicate-pair",
+            Rule::A2aBytes => "plan.a2a.bytes",
+            Rule::A2aRailCapacity => "plan.a2a.rail-capacity",
             Rule::ScheduleShape => "sched.shape",
             Rule::ScheduleForwardOrder => "sched.forward-order",
             Rule::ScheduleMicrobatchOrder => "sched.microbatch-order",
@@ -384,6 +405,11 @@ mod tests {
             Rule::CapacityUnknownDevice,
             Rule::CapacityHostMismatch,
             Rule::CapacityBandwidth,
+            Rule::CapacityUnbounded,
+            Rule::A2aMissingPair,
+            Rule::A2aDuplicatePair,
+            Rule::A2aBytes,
+            Rule::A2aRailCapacity,
             Rule::ScheduleShape,
             Rule::ScheduleForwardOrder,
             Rule::ScheduleMicrobatchOrder,

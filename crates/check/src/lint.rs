@@ -29,6 +29,7 @@ const DETERMINISTIC_SCOPES: &[&str] = &[
     "crates/core/src/",
     "crates/collectives/src/",
     "crates/mesh/src/",
+    "crates/moe/src/",
     "crates/netsim/src/",
     "crates/pipeline/src/",
 ];

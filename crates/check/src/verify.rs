@@ -164,9 +164,154 @@ pub fn verify_plan(
     }
     if let Some(c) = cluster {
         diags.extend(bandwidth_rules(c));
+        if c.fabric().is_unbounded() {
+            diags.push(Diagnostic::warning(
+                Rule::CapacityUnbounded,
+                "cluster fabric".to_string(),
+                format!(
+                    "fabric {} has unbounded bisection capacity: fabric-contention checks are vacuously true (set an explicit FabricModel to bound them)",
+                    c.fabric()
+                ),
+            ));
+        }
     }
 
     record_run("check.verify", &diags);
+    diags
+}
+
+/// One expected all-to-all delivery: `bytes` of one expert shard from
+/// `src_device` to `dst_device`. The expected pair set is the routing
+/// matrix of an MoE dispatch/combine; [`verify_a2a`] proves a plan
+/// realizes it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct A2aPairView {
+    /// The device the shard originates on.
+    pub src_device: DeviceId,
+    /// Host owning `src_device`.
+    pub src_host: HostId,
+    /// The expert device the shard must land on.
+    pub dst_device: DeviceId,
+    /// Host owning `dst_device`.
+    pub dst_host: HostId,
+    /// Shard size in bytes.
+    pub bytes: u64,
+}
+
+/// Verifies an all-to-all plan against its expected pair set (the
+/// `plan.a2a.*` rules):
+///
+/// * every expected (src → dst) shard is delivered by exactly one
+///   scheduled unit task, with exactly its expected bytes;
+/// * no delivery happens outside the expected pair set;
+/// * when `cluster` models a rail-optimized fabric, every
+///   [`Strategy::MultiRail`] assignment's greedy spray keeps each
+///   *physical* rail within its fair share plus one chunk (declaring more
+///   logical rails than the fabric has folds several logical rails onto
+///   one NIC and fires this rule).
+///
+/// Run [`verify_plan`] first for the generic coverage/sender rules; this
+/// pass adds only the all-to-all-specific findings.
+pub fn verify_a2a(
+    pairs: &[A2aPairView],
+    units: &[UnitTask],
+    elem_bytes: u64,
+    assignments: &[AssignmentView],
+    cluster: Option<&ClusterSpec>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Deliveries the plan performs: (src, dst) -> (times, bytes).
+    let mut delivered: BTreeMap<(DeviceId, DeviceId), (usize, u64)> = BTreeMap::new();
+    for a in assignments {
+        let Some(unit) = units.get(a.unit) else {
+            continue; // verify_plan reports the unknown unit
+        };
+        for r in &unit.receivers {
+            let e = delivered.entry((a.sender, r.device)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.needed.volume() * elem_bytes;
+        }
+    }
+
+    let mut expected: BTreeMap<(DeviceId, DeviceId), u64> = BTreeMap::new();
+    for p in pairs {
+        *expected.entry((p.src_device, p.dst_device)).or_insert(0) += p.bytes;
+    }
+
+    for (&(src, dst), &want) in &expected {
+        match delivered.get(&(src, dst)) {
+            None => diags.push(Diagnostic::error(
+                Rule::A2aMissingPair,
+                format!("pair {src}->{dst}"),
+                format!("expert shard of {want} bytes is never delivered"),
+            )),
+            Some(&(times, got)) => {
+                if times > 1 {
+                    diags.push(Diagnostic::error(
+                        Rule::A2aDuplicatePair,
+                        format!("pair {src}->{dst}"),
+                        format!("shard delivered by {times} unit tasks: destination would be written {times} times"),
+                    ));
+                }
+                if got != want {
+                    diags.push(Diagnostic::error(
+                        Rule::A2aBytes,
+                        format!("pair {src}->{dst}"),
+                        format!("delivers {got} bytes but the routing expects {want}"),
+                    ));
+                }
+            }
+        }
+    }
+    for (&(src, dst), &(_, got)) in &delivered {
+        if !expected.contains_key(&(src, dst)) {
+            diags.push(Diagnostic::error(
+                Rule::A2aDuplicatePair,
+                format!("pair {src}->{dst}"),
+                format!("delivers {got} bytes for a pair the routing never produced"),
+            ));
+        }
+    }
+
+    // Rail capacity: fold each multi-rail spray's logical rails onto the
+    // fabric's physical rails and bound every physical rail by the fair
+    // share plus one chunk (the greedy's own invariant on matching rails).
+    if let Some(c) = cluster {
+        if let Some(fabric_rails) = c.fabric().rails() {
+            let fr = fabric_rails.max(1) as usize;
+            for (pos, a) in assignments.iter().enumerate() {
+                let Some(unit) = units.get(a.unit) else {
+                    continue;
+                };
+                let Strategy::MultiRail { rails, chunks } = a.strategy else {
+                    continue;
+                };
+                let spray =
+                    crossmesh_collectives::multi_rail_spray(unit, a.sender_host, rails, chunks);
+                let mut physical = vec![0.0f64; fr];
+                for (l, &b) in spray.rail_bytes.iter().enumerate() {
+                    physical[l % fr] += b;
+                }
+                let total: f64 = physical.iter().sum();
+                let cap = total / fr as f64 + spray.max_chunk_bytes + 1e-9;
+                for (p, &b) in physical.iter().enumerate() {
+                    if b > cap {
+                        diags.push(Diagnostic::error(
+                            Rule::A2aRailCapacity,
+                            format!("assignment {pos} (unit {}) rail {p}", a.unit),
+                            format!(
+                                "spray puts {b:.0} bytes on physical rail {p} but its fair share of {total:.0} bytes over {fr} rails (plus one {:.0}-byte chunk) is {cap:.0}: strategy declares {rails} logical rails on a {fr}-rail fabric",
+                                spray.max_chunk_bytes
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    record_run("check.a2a", &diags);
     diags
 }
 
@@ -851,6 +996,158 @@ mod tests {
         let plan = vec![view(0, 0, 1)];
         let diags = verify_plan(&units, &[4, 4], 4, &plan, Some(&c), &no_exclusions());
         assert!(diags.iter().any(|d| d.rule == Rule::CapacityHostMismatch));
+    }
+
+    #[test]
+    fn unbounded_fabric_warns_but_does_not_convict() {
+        use crossmesh_netsim::{ClusterSpec, FabricModel, LinkParams};
+        let c = ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0));
+        let units = vec![unit(0, &[(0, 0)], &[(3, 1, Tile::new([0..4, 0..4]))])];
+        let plan = vec![view(0, 0, 0)];
+        let diags = verify_plan(&units, &[4, 4], 4, &plan, Some(&c), &no_exclusions());
+        let warn = diags
+            .iter()
+            .find(|d| d.rule == Rule::CapacityUnbounded)
+            .expect("vacuous capacity warning");
+        assert_eq!(warn.severity, Severity::Warning);
+        assert!(!crate::has_errors(&diags), "{diags:?}");
+        // A bounded fabric silences it.
+        let bounded = ClusterSpec::homogeneous(2, 2, LinkParams::new(100.0, 1.0)).with_fabric(
+            FabricModel::Flat {
+                capacity: Some(8.0),
+            },
+        );
+        let diags = verify_plan(&units, &[4, 4], 4, &plan, Some(&bounded), &no_exclusions());
+        assert!(
+            !diags.iter().any(|d| d.rule == Rule::CapacityUnbounded),
+            "{diags:?}"
+        );
+    }
+
+    /// Two senders on host 0, two expert devices on host 1; every pair
+    /// ships 8 bytes. Unit `i*2+j` carries pair (sender i → expert j).
+    #[allow(clippy::single_range_in_vec_init)]
+    fn a2a_fixture() -> (Vec<UnitTask>, Vec<AssignmentView>, Vec<A2aPairView>) {
+        let mut units = Vec::new();
+        let mut pairs = Vec::new();
+        let mut plan = Vec::new();
+        for s in 0..2u32 {
+            for e in 0..2u32 {
+                let u = (s * 2 + e) as usize;
+                let lo = u as u64 * 8;
+                let slice = Tile::new([lo..lo + 8]);
+                units.push(UnitTask {
+                    index: u,
+                    slice: slice.clone(),
+                    bytes: 8,
+                    senders: vec![(DeviceId(s), HostId(0))],
+                    receivers: vec![Receiver {
+                        device: DeviceId(2 + e),
+                        host: HostId(1),
+                        needed: slice,
+                    }],
+                });
+                pairs.push(A2aPairView {
+                    src_device: DeviceId(s),
+                    src_host: HostId(0),
+                    dst_device: DeviceId(2 + e),
+                    dst_host: HostId(1),
+                    bytes: 8,
+                });
+                plan.push(AssignmentView {
+                    unit: u,
+                    sender: DeviceId(s),
+                    sender_host: HostId(0),
+                    strategy: Strategy::SendRecv,
+                });
+            }
+        }
+        (units, plan, pairs)
+    }
+
+    #[test]
+    fn a2a_rules_pass_a_faithful_plan_and_convict_mutations() {
+        let (units, plan, pairs) = a2a_fixture();
+        assert!(verify_a2a(&pairs, &units, 1, &plan, None).is_empty());
+
+        // Dropped pair.
+        let dropped: Vec<_> = plan[1..].to_vec();
+        let diags = verify_a2a(&pairs, &units, 1, &dropped, None);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::A2aMissingPair),
+            "{diags:?}"
+        );
+
+        // Duplicated pair.
+        let mut duplicated = plan.clone();
+        duplicated.push(plan[0].clone());
+        let diags = verify_a2a(&pairs, &units, 1, &duplicated, None);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::A2aDuplicatePair),
+            "{diags:?}"
+        );
+
+        // Wrong shard size.
+        let mut fat = pairs.clone();
+        fat[0].bytes = 9;
+        let diags = verify_a2a(&fat, &units, 1, &plan, None);
+        assert!(diags.iter().any(|d| d.rule == Rule::A2aBytes), "{diags:?}");
+
+        // Delivery with no expected pair.
+        let orphaned: Vec<_> = pairs[1..].to_vec();
+        let diags = verify_a2a(&orphaned, &units, 1, &plan, None);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::A2aDuplicatePair),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn a2a_rail_capacity_convicts_overdeclared_rails() {
+        use crossmesh_netsim::{ClusterSpec, FabricModel, LinkParams};
+        let c = ClusterSpec::homogeneous(2, 4, LinkParams::new(100.0, 1.0)).with_fabric(
+            FabricModel::RailOptimized {
+                rails: 2,
+                spine_capacity: 1.0,
+            },
+        );
+        let slice = Tile::new([0..64]);
+        let units = vec![UnitTask {
+            index: 0,
+            slice: slice.clone(),
+            bytes: 64,
+            senders: vec![(DeviceId(0), HostId(0))],
+            receivers: vec![Receiver {
+                device: DeviceId(4),
+                host: HostId(1),
+                needed: slice,
+            }],
+        }];
+        let pairs = vec![A2aPairView {
+            src_device: DeviceId(0),
+            src_host: HostId(0),
+            dst_device: DeviceId(4),
+            dst_host: HostId(1),
+            bytes: 64,
+        }];
+        let assign = |rails: u32| {
+            vec![AssignmentView {
+                unit: 0,
+                sender: DeviceId(0),
+                sender_host: HostId(0),
+                strategy: Strategy::MultiRail { rails, chunks: 16 },
+            }]
+        };
+        // Matching rails: greedy spray is within fair share + one chunk.
+        assert!(verify_a2a(&pairs, &units, 1, &assign(2), Some(&c)).is_empty());
+        // 3 logical rails fold 2:1 onto 2 physical rails, so one NIC
+        // carries ~2/3 of the bytes — past its fair share plus one chunk.
+        let diags = verify_a2a(&pairs, &units, 1, &assign(3), Some(&c));
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::A2aRailCapacity),
+            "{diags:?}"
+        );
     }
 
     fn f(m: u32) -> ScheduleOp {

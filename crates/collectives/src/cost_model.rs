@@ -122,6 +122,29 @@ pub fn estimate_unit_task(
                 t_inter * (1.0 + (remote_hosts - 1.0) / k) + params.inter_latency
             }
         }
+        Strategy::MultiRail { rails, chunks } => {
+            // The sprayed bytes drain over `rails` parallel NICs; each
+            // remote receiver adds its needed bytes to the spray pool. The
+            // two relay hops ride the fast intra-host links, pipelined per
+            // chunk, so they contribute a bandwidth term of `2·b/intra` at
+            // chunk granularity plus the pipeline fill.
+            let r = rails.max(1) as f64;
+            let k = chunks.max(1) as f64;
+            let (mut inter, mut intra) = (0.0, 0.0);
+            for rcv in &task.receivers {
+                let b = rcv.needed.volume() as f64 * bytes_per_elem;
+                if rcv.host == sender_host {
+                    intra += b;
+                } else {
+                    inter += b;
+                }
+            }
+            let relay_fill = 2.0 * (inter / k.max(1.0)) / params.intra_bw;
+            inter / (r * params.inter_bw)
+                + intra / params.intra_bw
+                + relay_fill
+                + params.inter_latency
+        }
         Strategy::TreeBroadcast { chunks } => {
             // Inner tree nodes forward each chunk to two children, so the
             // bandwidth term doubles once there is more than one remote
@@ -210,6 +233,20 @@ mod tests {
             (sr - 100.0).abs() < 1.0,
             "halves sum to the slice, got {sr}"
         );
+    }
+
+    #[test]
+    fn multi_rail_divides_the_inter_host_term_by_rails() {
+        let p = params();
+        let t = task(100, 1, 1);
+        let sr = estimate_unit_task(&p, &t, HostId(0), Strategy::SendRecv);
+        let mr = estimate_unit_task(&p, &t, HostId(0), Strategy::multi_rail(4));
+        assert!((sr - 100.0).abs() < 1.0, "got {sr}");
+        assert!(
+            mr < sr / 3.0,
+            "4 rails should near-quarter it: {mr} vs {sr}"
+        );
+        assert!(mr >= 25.0 - 1e-9, "cannot beat the 4-rail bound: {mr}");
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! | send/recv + local all-gather | `A·t` | [`Strategy::LocalAllGather`] |
 //! | send/recv + global all-gather | `2·t` | [`Strategy::GlobalAllGather`] |
 //! | chunked ring broadcast | `t·(1 + A/K)` | [`Strategy::Broadcast`] |
+//! | multi-rail spray (RailS-style) | `t/R` per receiver | [`Strategy::MultiRail`] |
+//!
+//! The multi-rail family extends the paper's taxonomy toward MoE
+//! all-to-all traffic on rail-optimized fabrics: chunks are sprayed over
+//! the host's `R` rail NICs by residual capacity, relayed over NVLink to
+//! reach each rail (see [`lower_unit_task_on`], which takes the cluster
+//! topology the relays are drawn from).
 //!
 //! [`lower_unit_task`] turns a [`UnitTask`](crossmesh_mesh::UnitTask) plus a
 //! chosen strategy and sender into a [`TaskGraph`](crossmesh_netsim::TaskGraph)
@@ -33,6 +40,8 @@ mod strategy;
 
 pub use cost_model::{estimate_unit_task, CostParams};
 pub use intra::lower_intra_mesh_resharding;
-pub use lower::{lower_unit_task, LoweredComm};
+pub use lower::{
+    lower_unit_task, lower_unit_task_on, multi_rail_spray, LoweredComm, MultiRailSpray,
+};
 pub use ring::{all_to_all, ring_all_gather, ring_all_reduce, RingResult};
 pub use strategy::{alpa_effective_strategy, Strategy};

@@ -3,7 +3,7 @@
 use crate::ring::ring_all_gather;
 use crate::strategy::Strategy;
 use crossmesh_mesh::UnitTask;
-use crossmesh_netsim::{DeviceId, HostId, TaskGraph, TaskId, Work};
+use crossmesh_netsim::{ClusterSpec, DeviceId, HostId, TaskGraph, TaskId, Work};
 use std::collections::BTreeMap;
 
 /// Handles into the lowered communication fragment.
@@ -31,6 +31,25 @@ pub fn lower_unit_task(
     sender: DeviceId,
     strategy: Strategy,
     deps: &[TaskId],
+) -> LoweredComm {
+    lower_unit_task_on(graph, task, sender, strategy, deps, None)
+}
+
+/// [`lower_unit_task`] with an optional cluster topology. Strategies that
+/// relay through co-hosted devices ([`Strategy::MultiRail`] needs the
+/// sender's and receivers' host peers to reach every rail NIC) use it;
+/// without a cluster they degrade gracefully to direct chunked flows.
+///
+/// # Panics
+///
+/// Panics if `sender` is not one of the task's replica devices.
+pub fn lower_unit_task_on(
+    graph: &mut TaskGraph,
+    task: &UnitTask,
+    sender: DeviceId,
+    strategy: Strategy,
+    deps: &[TaskId],
+    cluster: Option<&ClusterSpec>,
 ) -> LoweredComm {
     let sender_host = task
         .senders
@@ -132,6 +151,16 @@ pub fn lower_unit_task(
         Strategy::Broadcast { chunks } => {
             lower_broadcast(graph, task, sender, sender_host, chunks, deps)
         }
+        Strategy::MultiRail { rails, chunks } => lower_multi_rail(
+            graph,
+            task,
+            sender,
+            sender_host,
+            rails,
+            chunks,
+            deps,
+            cluster,
+        ),
         Strategy::TreeBroadcast { chunks } => {
             lower_tree_broadcast(graph, task, sender, sender_host, chunks, deps)
         }
@@ -200,6 +229,166 @@ fn lower_broadcast(
         .map(|r| r.device)
         .zip(last_into_receiver)
         .collect()
+}
+
+/// RailS-style multi-rail spray: each receiver's needed bytes are cut into
+/// chunks; every chunk is assigned to the rail with the most residual
+/// capacity (least accumulated bytes so far, ties to the lowest rail) and
+/// routed `sender → rail relay on the sender host → rail relay on the
+/// receiver host → receiver`, where the relay for rail `r` is the first
+/// co-hosted device with local index ≡ r (mod rails). Intra-host relay hops
+/// are skipped when an endpoint already sits on the target rail; without a
+/// cluster topology no relays are known and chunks fly directly.
+///
+/// Per rail, chunks pipeline store-and-forward exactly like the ring
+/// broadcast: hop n+1 of a chunk waits for hop n, and a link carries one
+/// chunk at a time.
+/// The outcome of the multi-rail greedy spray for one unit task: how many
+/// bytes land on each *logical* rail, and the largest single chunk.
+///
+/// This is the schedule [`lower_unit_task_on`] realizes for
+/// [`Strategy::MultiRail`]; `crossmesh-check` re-derives it to prove rail
+/// assignments stay within per-rail capacity without lowering anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRailSpray {
+    /// Bytes assigned to each logical rail (length = `rails`).
+    pub rail_bytes: Vec<f64>,
+    /// The largest chunk the spray moves, bytes.
+    pub max_chunk_bytes: f64,
+}
+
+/// Computes the greedy chunk-to-rail assignment [`Strategy::MultiRail`]
+/// lowers to, without building a graph: each remote receiver's needed
+/// bytes are cut into chunks and every chunk goes to the rail with the
+/// least accumulated bytes (ties to the lowest rail). Co-hosted receivers
+/// ride NVLink and are not sprayed.
+pub fn multi_rail_spray(
+    task: &UnitTask,
+    sender_host: HostId,
+    rails: u32,
+    chunks: u32,
+) -> MultiRailSpray {
+    let rails = rails.max(1) as usize;
+    let bytes_per_elem = task.bytes as f64 / task.slice.volume() as f64;
+    let mut rail_bytes = vec![0.0f64; rails];
+    let mut max_chunk_bytes = 0.0f64;
+    for r in &task.receivers {
+        if r.host == sender_host {
+            continue;
+        }
+        let needed = r.needed.volume() as f64 * bytes_per_elem;
+        let k = chunks.max(1).min(needed.max(1.0) as u32).max(1) as usize;
+        let chunk_bytes = needed / k as f64;
+        max_chunk_bytes = max_chunk_bytes.max(chunk_bytes);
+        for _ in 0..k {
+            let rail = rail_bytes
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .expect("at least one rail");
+            rail_bytes[rail] += chunk_bytes;
+        }
+    }
+    MultiRailSpray {
+        rail_bytes,
+        max_chunk_bytes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_multi_rail(
+    graph: &mut TaskGraph,
+    task: &UnitTask,
+    sender: DeviceId,
+    sender_host: HostId,
+    rails: u32,
+    chunks: u32,
+    deps: &[TaskId],
+    cluster: Option<&ClusterSpec>,
+) -> Vec<(DeviceId, TaskId)> {
+    let rails = rails.max(1) as usize;
+    let bytes = task.bytes as f64;
+    let bytes_per_elem = bytes / task.slice.volume() as f64;
+
+    // relay_for(host, rail): the first device on `host` whose local index
+    // is congruent to `rail`, preferring `preferred` when it already sits
+    // on that rail.
+    let relay_for = |host: HostId, rail: usize, preferred: DeviceId| -> DeviceId {
+        let Some(c) = cluster else { return preferred };
+        if !c.contains(preferred) || c.host_of(preferred) != host {
+            return preferred;
+        }
+        if c.local_index(preferred) as usize % rails == rail {
+            return preferred;
+        }
+        c.devices_on(host)
+            .find(|&d| c.local_index(d) as usize % rails == rail)
+            .unwrap_or(preferred)
+    };
+
+    // Residual-capacity spray state, shared across this unit's receivers:
+    // bytes already assigned per rail.
+    let mut rail_bytes = vec![0.0f64; rails];
+    let mut out = Vec::new();
+    for r in &task.receivers {
+        let needed = r.needed.volume() as f64 * bytes_per_elem;
+        if r.host == sender_host {
+            // Co-hosted receiver: one fast intra-host copy, no spraying.
+            let f = graph.add_labeled(
+                Work::flow(sender, r.device, needed),
+                deps.iter().copied(),
+                Some(format!("mr u{} local {}->{}", task.index, sender, r.device)),
+            );
+            out.push((r.device, f));
+            continue;
+        }
+        let k = chunks.max(1).min(needed.max(1.0) as u32).max(1) as usize;
+        let chunk_bytes = needed / k as f64;
+        // last flow per (rail, hop) for link serialization.
+        let mut last_on_hop: BTreeMap<(usize, usize), TaskId> = BTreeMap::new();
+        let mut finals: Vec<TaskId> = Vec::new();
+        for j in 0..k {
+            let rail = rail_bytes
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .expect("at least one rail");
+            rail_bytes[rail] += chunk_bytes;
+            let relay_src = relay_for(sender_host, rail, sender);
+            let relay_dst = relay_for(r.host, rail, r.device);
+            let mut path = vec![sender];
+            for d in [relay_src, relay_dst, r.device] {
+                if *path.last().expect("non-empty") != d {
+                    path.push(d);
+                }
+            }
+            let mut prev_hop: Option<TaskId> = None;
+            for (hop, pair) in path.windows(2).enumerate() {
+                let mut fdeps: Vec<TaskId> = Vec::new();
+                match prev_hop {
+                    Some(p) => fdeps.push(p),
+                    None => fdeps.extend(deps.iter().copied()),
+                }
+                if let Some(&l) = last_on_hop.get(&(rail, hop)) {
+                    fdeps.push(l);
+                }
+                let f = graph.add_labeled(
+                    Work::flow(pair[0], pair[1], chunk_bytes),
+                    fdeps,
+                    Some(format!("mr u{} c{j} r{rail} h{hop}", task.index)),
+                );
+                last_on_hop.insert((rail, hop), f);
+                prev_hop = Some(f);
+            }
+            finals.push(prev_hop.expect("path has at least one hop"));
+        }
+        // The receiver holds its slice when every sprayed chunk landed.
+        let done = graph.add(Work::Marker, finals);
+        out.push((r.device, done));
+    }
+    out
 }
 
 /// Pipelined binary-tree broadcast: receiver hosts form a binary tree
@@ -555,5 +744,135 @@ mod tests {
         );
         // 3-byte slice: at most 3 chunks (plus the join marker).
         assert!(g.len() <= 4, "graph has {} tasks", g.len());
+    }
+
+    #[test]
+    fn multi_rail_spray_uses_every_rail_nic() {
+        // 2 hosts × 2 devices, 2 rails at 1 B/s each: spraying 40 bytes
+        // drains both rails concurrently (~20 s) where the single-path
+        // send/recv takes 40 s.
+        use crossmesh_netsim::FabricModel;
+        let c = cluster(2, 2).with_fabric(FabricModel::RailOptimized {
+            rails: 2,
+            spine_capacity: 1.0,
+        });
+        let task = multicast_task(&c, 40, 1, 1);
+        let sr = run(&c, &task, Strategy::SendRecv);
+        assert!((sr - 40.0).abs() < 1e-6, "got {sr}");
+        let mut g = TaskGraph::new();
+        let lowered = lower_unit_task_on(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::MultiRail {
+                rails: 2,
+                chunks: 8,
+            },
+            &[],
+            Some(&c),
+        );
+        assert_eq!(lowered.receiver_done.len(), 1);
+        let t = Engine::new(&c).run(&g).unwrap();
+        let mr = t.interval(lowered.done).finish;
+        assert!(mr < 22.0, "multi-rail should halve the transfer, got {mr}");
+        assert!(mr >= 20.0 - 1e-6, "cannot beat the two-rail bound: {mr}");
+    }
+
+    #[test]
+    fn multi_rail_spray_balances_rails_within_one_chunk() {
+        let c = cluster(3, 4);
+        // Skewed receiver set: 100 bytes to host 1, 30 to host 2.
+        let task = UnitTask {
+            index: 0,
+            slice: Tile::new([0..130]),
+            bytes: 130,
+            senders: vec![(c.device(0, 0), HostId(0))],
+            receivers: vec![
+                Receiver {
+                    device: c.device(1, 0),
+                    host: HostId(1),
+                    needed: Tile::new([0..100]),
+                },
+                Receiver {
+                    device: c.device(2, 0),
+                    host: HostId(2),
+                    needed: Tile::new([100..130]),
+                },
+            ],
+        };
+        let spray = multi_rail_spray(&task, HostId(0), 4, 16);
+        assert_eq!(spray.rail_bytes.len(), 4);
+        let total: f64 = spray.rail_bytes.iter().sum();
+        assert!((total - 130.0).abs() < 1e-9, "got {total}");
+        let max = spray.rail_bytes.iter().cloned().fold(0.0, f64::max);
+        let min = spray
+            .rail_bytes
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max - min <= spray.max_chunk_bytes + 1e-9,
+            "rails {:?} diverge beyond one chunk ({})",
+            spray.rail_bytes,
+            spray.max_chunk_bytes
+        );
+        // Co-hosted receivers are excluded from the spray.
+        let local = multi_rail_spray(&task, HostId(1), 4, 16);
+        assert!((local.rail_bytes.iter().sum::<f64>() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_rail_without_topology_degrades_to_chunked_direct_flows() {
+        // No cluster given: no relays are known, chunks fly sender ->
+        // receiver and share the one NIC like send/recv.
+        let c = cluster(2, 2);
+        let task = multicast_task(&c, 40, 1, 1);
+        let d = run(
+            &c,
+            &task,
+            Strategy::MultiRail {
+                rails: 2,
+                chunks: 8,
+            },
+        );
+        assert!((d - 40.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn multi_rail_copies_co_hosted_receivers_over_nvlink() {
+        use crossmesh_netsim::FabricModel;
+        let c = cluster(1, 4).with_fabric(FabricModel::RailOptimized {
+            rails: 2,
+            spine_capacity: 1.0,
+        });
+        let task = UnitTask {
+            index: 0,
+            slice: Tile::new([0..100]),
+            bytes: 100,
+            senders: vec![(c.device(0, 0), HostId(0))],
+            receivers: (1..4)
+                .map(|l| Receiver {
+                    device: c.device(0, l),
+                    host: HostId(0),
+                    needed: Tile::new([0..100]),
+                })
+                .collect(),
+        };
+        let mut g = TaskGraph::new();
+        let lowered = lower_unit_task_on(
+            &mut g,
+            &task,
+            task.senders[0].0,
+            Strategy::multi_rail(2),
+            &[],
+            Some(&c),
+        );
+        assert_eq!(lowered.receiver_done.len(), 3);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!(
+            t.interval(lowered.done).finish < 4.0,
+            "NVLink copies only, got {}",
+            t.interval(lowered.done).finish
+        );
     }
 }

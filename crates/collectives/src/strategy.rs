@@ -31,6 +31,22 @@ pub enum Strategy {
         /// Number of pipeline chunks (`K`).
         chunks: u32,
     },
+    /// RailS-style multi-rail spray for rail-optimized fabrics: the sender
+    /// splits the slice into `chunks` pieces and sprays them across the
+    /// host's `rails` NICs, relaying each chunk over NVLink to the
+    /// co-hosted device on the target rail, crossing on that rail, and
+    /// relaying again to the receiver. All rails drain in parallel, so the
+    /// inter-host term shrinks to `t/rails` — the per-sender load balancing
+    /// that makes skewed MoE all-to-alls rail-limited instead of
+    /// NIC-limited. Chunks are assigned to rails by greatest residual
+    /// capacity (equivalently, least accumulated bytes; ties to the lowest
+    /// rail), so skewed chunk tails still balance.
+    MultiRail {
+        /// Number of rail planes sprayed over.
+        rails: u32,
+        /// Number of spray chunks (≥ `rails` for full utilization).
+        chunks: u32,
+    },
     /// Pipelined *binary-tree* broadcast over receiver hosts: lower hop
     /// depth (`log₂ A`) but each inner node sends every chunk twice, so
     /// the bandwidth term doubles (`≈ 2t` for large messages). The classic
@@ -51,6 +67,15 @@ impl Strategy {
         }
     }
 
+    /// A multi-rail spray over `rails` rails with one chunk wave per rail
+    /// by default (4 chunks per rail).
+    pub fn multi_rail(rails: u32) -> Self {
+        Strategy::MultiRail {
+            rails,
+            chunks: rails.max(1) * 4,
+        }
+    }
+
     /// A short identifier used in labels and reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -58,6 +83,7 @@ impl Strategy {
             Strategy::LocalAllGather => "local_allgather",
             Strategy::GlobalAllGather => "global_allgather",
             Strategy::Broadcast { .. } => "broadcast",
+            Strategy::MultiRail { .. } => "multi_rail",
             Strategy::TreeBroadcast { .. } => "tree_broadcast",
         }
     }
@@ -73,6 +99,9 @@ impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Strategy::Broadcast { chunks } => write!(f, "broadcast(K={chunks})"),
+            Strategy::MultiRail { rails, chunks } => {
+                write!(f, "multi_rail(rails={rails}, K={chunks})")
+            }
             Strategy::TreeBroadcast { chunks } => write!(f, "tree_broadcast(K={chunks})"),
             other => f.write_str(other.label()),
         }
@@ -124,6 +153,11 @@ mod tests {
         assert_eq!(Strategy::SendRecv.to_string(), "send_recv");
         assert_eq!(Strategy::broadcast().to_string(), "broadcast(K=64)");
         assert_eq!(Strategy::default(), Strategy::broadcast());
+        assert_eq!(
+            Strategy::multi_rail(4).to_string(),
+            "multi_rail(rails=4, K=16)"
+        );
+        assert_eq!(Strategy::multi_rail(4).label(), "multi_rail");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::exclusions::{RepairError, SenderExclusions};
 use crate::planners::{plan_with_exclusions, replica_on, EnsemblePlanner, PlannerConfig};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::{
-    estimate_unit_task, lower_unit_task, CostParams, LoweredComm, Strategy,
+    estimate_unit_task, lower_unit_task_on, CostParams, LoweredComm, Strategy,
 };
 use crossmesh_netsim::{
     Backend, ClusterSpec, DeviceId, HostId, SimBackend, SimError, TaskGraph, TaskId, Work,
@@ -179,7 +179,24 @@ impl<'t> Plan<'t> {
     /// Lowers the plan into `graph`. Host-level serialization is enforced
     /// with dependency chains: each unit task waits for the previous task
     /// (in plan order) on each host it touches.
+    ///
+    /// Topology-blind form of [`lower_on`](Plan::lower_on): strategies
+    /// that consult the cluster (multi-rail spray) degrade to their
+    /// topology-free lowering.
     pub fn lower(&self, graph: &mut TaskGraph, deps: &[TaskId]) -> LoweredPlan {
+        self.lower_on(graph, deps, None)
+    }
+
+    /// Lowers the plan into `graph` with the cluster topology available to
+    /// topology-aware strategies: [`Strategy::MultiRail`] draws its NVLink
+    /// rail relays from `cluster`'s host layout. Pass `None` to lower
+    /// without a topology.
+    pub fn lower_on(
+        &self,
+        graph: &mut TaskGraph,
+        deps: &[TaskId],
+        cluster: Option<&ClusterSpec>,
+    ) -> LoweredPlan {
         let mut last_on_host: BTreeMap<HostId, TaskId> = BTreeMap::new();
         let mut per_unit = Vec::with_capacity(self.assignments.len());
         for a in &self.assignments {
@@ -191,7 +208,8 @@ impl<'t> Plan<'t> {
                     unit_deps.push(m);
                 }
             }
-            let lowered = lower_unit_task(graph, unit, a.sender, a.strategy, &unit_deps);
+            let lowered =
+                lower_unit_task_on(graph, unit, a.sender, a.strategy, &unit_deps, cluster);
             for h in hosts {
                 last_on_host.insert(h, lowered.done);
             }
@@ -343,7 +361,7 @@ impl<'t> Plan<'t> {
             });
         }
         let mut graph = TaskGraph::new();
-        let lowered = self.lower(&mut graph, &[]);
+        let lowered = self.lower_on(&mut graph, &[], Some(cluster));
         let trace = backend.execute(cluster, &graph)?;
         Ok(ExecutionReport {
             simulated_seconds: trace.interval(lowered.done).finish,

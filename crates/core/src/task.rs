@@ -50,6 +50,53 @@ impl ReshardingTask {
         })
     }
 
+    /// Builds a task from an explicit unit-task list instead of a
+    /// mesh/spec decomposition.
+    ///
+    /// This is the entry point for traffic patterns that are not tensor
+    /// reshardings — e.g. MoE all-to-all dispatch, where each unit is one
+    /// (source device → expert device) flow over a virtual token-byte
+    /// space. The meshes and specs are descriptive only (display and
+    /// cache keys); planners, plans, the plan cache, and the static
+    /// verifier all operate on the units exactly as they do for
+    /// decomposed tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is empty, a unit's index differs from its
+    /// position, a unit has no sender or no receiver, or a unit's byte
+    /// count disagrees with `slice.volume() * elem_bytes`.
+    pub fn from_units(
+        src_mesh: DeviceMesh,
+        src_spec: ShardingSpec,
+        dst_mesh: DeviceMesh,
+        dst_spec: ShardingSpec,
+        shape: &[u64],
+        elem_bytes: u64,
+        units: Vec<UnitTask>,
+    ) -> Self {
+        assert!(!units.is_empty(), "a task needs at least one unit task");
+        for (i, unit) in units.iter().enumerate() {
+            assert_eq!(unit.index, i, "unit index {} at position {i}", unit.index);
+            assert!(!unit.senders.is_empty(), "unit {i} has no sender");
+            assert!(!unit.receivers.is_empty(), "unit {i} has no receiver");
+            assert_eq!(
+                unit.bytes,
+                unit.slice.volume() * elem_bytes,
+                "unit {i} bytes disagree with its slice volume"
+            );
+        }
+        ReshardingTask {
+            src_mesh,
+            src_spec,
+            dst_mesh,
+            dst_spec,
+            shape: shape.to_vec(),
+            elem_bytes,
+            units,
+        }
+    }
+
     /// The unit communication tasks, in deterministic slice order.
     pub fn units(&self) -> &[UnitTask] {
         &self.units
@@ -156,6 +203,7 @@ impl fmt::Display for ReshardingTask {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
     use crossmesh_netsim::{ClusterSpec, LinkParams};
@@ -230,6 +278,62 @@ mod tests {
         let e = SenderExclusions::none().with_host(crossmesh_netsim::HostId(0));
         let err = t.excluding(&e).unwrap_err();
         assert!(matches!(err, RepairError::DataLoss { .. }));
+    }
+
+    #[test]
+    fn from_units_carries_synthetic_traffic() {
+        use crossmesh_mesh::{Receiver, Tile};
+        let (c, a, b) = setup();
+        let units = vec![crossmesh_mesh::UnitTask {
+            index: 0,
+            slice: Tile::new(vec![0..64]),
+            bytes: 64,
+            senders: vec![(c.device(0, 0), crossmesh_netsim::HostId(0))],
+            receivers: vec![Receiver {
+                device: c.device(2, 0),
+                host: crossmesh_netsim::HostId(2),
+                needed: Tile::new(vec![0..64]),
+            }],
+        }];
+        let t = ReshardingTask::from_units(
+            a,
+            "S0".parse().unwrap(),
+            b,
+            "S0".parse().unwrap(),
+            &[64],
+            1,
+            units,
+        );
+        assert_eq!(t.units().len(), 1);
+        assert_eq!(t.total_bytes(), 64);
+        assert_ne!(t.cache_signature(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes disagree")]
+    fn from_units_rejects_inconsistent_bytes() {
+        use crossmesh_mesh::{Receiver, Tile};
+        let (c, a, b) = setup();
+        let units = vec![crossmesh_mesh::UnitTask {
+            index: 0,
+            slice: Tile::new(vec![0..64]),
+            bytes: 7,
+            senders: vec![(c.device(0, 0), crossmesh_netsim::HostId(0))],
+            receivers: vec![Receiver {
+                device: c.device(2, 0),
+                host: crossmesh_netsim::HostId(2),
+                needed: Tile::new(vec![0..64]),
+            }],
+        }];
+        let _ = ReshardingTask::from_units(
+            a,
+            "S0".parse().unwrap(),
+            b,
+            "S0".parse().unwrap(),
+            &[64],
+            1,
+            units,
+        );
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   `(dp, op, pp)` = (2,2,2) and (4,1,2)).
 //! * [`utransformer`] — the U-Transformer (U-Net with attention, long skip
 //!   connections) at 2.1 B parameters, batch 2048, two pipeline stages.
+//! * [`moe`] — a GPT-MoE variant whose FFN layers are expert mixtures,
+//!   deriving per-layer all-to-all traffic and bridging to the seeded
+//!   routing draws of `crossmesh-moe`.
 //! * [`memory`] — the Table 1 per-layer memory breakdown for mixed
 //!   precision GPT-3 training.
 //! * [`partition`] — operator chains and the FLOP-balanced pipeline
@@ -23,6 +26,7 @@
 
 pub mod gpt;
 pub mod memory;
+pub mod moe;
 pub mod partition;
 pub mod presets;
 pub mod utransformer;

@@ -1,0 +1,132 @@
+//! GPT-MoE cost model: a GPT trunk whose FFN layers are Mixture-of-Experts.
+//!
+//! Every transformer layer's dense FFN is replaced by `experts_per_layer`
+//! expert FFNs behind a top-k gate, which adds two all-to-alls per layer
+//! (dispatch and combine). The model derives the per-step all-to-all
+//! traffic from the batch geometry and bridges to
+//! [`crossmesh_moe::RoutingConfig`] so benchmarks draw the same seeded,
+//! skewed routing matrices the data plane executes.
+
+use crate::gpt::GptConfig;
+use crossmesh_moe::RoutingConfig;
+use serde::{Deserialize, Serialize};
+
+/// A GPT trunk with MoE FFN layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GptMoeConfig {
+    /// The dense trunk (attention, batch geometry, parallel degrees).
+    pub base: GptConfig,
+    /// Experts per MoE layer.
+    pub experts_per_layer: usize,
+    /// Experts each token is routed to.
+    pub top_k: u32,
+    /// Per-expert capacity as a multiple of the mean expert load.
+    pub capacity_factor: f64,
+    /// Zipf exponent of the gate's expert popularity (0 = balanced).
+    pub skew: f64,
+    /// Seed for the routing draw.
+    pub seed: u64,
+}
+
+impl GptMoeConfig {
+    /// A 16-expert top-2 MoE over the Table 3 "GPT case1" trunk — the
+    /// GShard-style default (capacity factor 1.25, mildly skewed gate).
+    pub fn case1() -> Self {
+        GptMoeConfig {
+            base: GptConfig::case1(),
+            experts_per_layer: 16,
+            top_k: 2,
+            capacity_factor: 1.25,
+            skew: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with the gate skew replaced.
+    #[must_use]
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Returns a copy with the routing seed replaced.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parameter count: the dense trunk plus the extra expert FFNs. Each
+    /// expert FFN holds `8 H²` weights (two `H × 4H` matmuls); one of the
+    /// `experts_per_layer` replaces the trunk's own FFN.
+    pub fn num_params(&self) -> u64 {
+        let h = self.base.hidden;
+        let extra_ffns = self.experts_per_layer.saturating_sub(1) as u64;
+        self.base.num_params() + self.base.num_layers as u64 * extra_ffns * 8 * h * h
+    }
+
+    /// Tokens resident on one device per microbatch: the microbatch's
+    /// sequences × sequence length, split over the `dp × op` devices of a
+    /// stage.
+    pub fn tokens_per_device(&self) -> u64 {
+        let p = &self.base.parallel;
+        let tokens = self.base.microbatch_size() * self.base.seq_len;
+        (tokens / (p.dp * p.op).max(1) as u64).max(1)
+    }
+
+    /// Wire bytes of one token (its hidden vector).
+    pub fn token_bytes(&self) -> u64 {
+        self.base.hidden * self.base.precision.elem_bytes()
+    }
+
+    /// The seeded routing draw for one MoE layer's dispatch.
+    pub fn routing(&self) -> RoutingConfig {
+        RoutingConfig {
+            tokens_per_device: self.tokens_per_device(),
+            token_bytes: self.token_bytes(),
+            top_k: self.top_k,
+            capacity_factor: self.capacity_factor,
+            skew: self.skew,
+            seed: self.seed,
+        }
+    }
+
+    /// Upper bound on one layer's all-to-all payload per microbatch,
+    /// summed over all source devices and both directions (dispatch +
+    /// combine): `2 × devices × tokens_per_device × top_k × token_bytes`.
+    pub fn a2a_bytes_per_layer(&self, devices: usize) -> u64 {
+        2 * devices as u64 * self.tokens_per_device() * u64::from(self.top_k) * self.token_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moe_has_more_params_than_dense() {
+        let moe = GptMoeConfig::case1();
+        assert!(moe.num_params() > moe.base.num_params());
+        // 16 experts × 8H² × 32 layers adds ~25B params over the 2.6B trunk.
+        assert!(moe.num_params() as f64 / 1e9 > 20.0);
+    }
+
+    #[test]
+    fn routing_mirrors_the_batch_geometry() {
+        let moe = GptMoeConfig::case1().with_skew(1.5).with_seed(9);
+        let r = moe.routing();
+        // case1: mb 32 sequences × 1024 tokens over dp·op = 4 devices.
+        assert_eq!(r.tokens_per_device, 32 * 1024 / 4);
+        assert_eq!(r.token_bytes, 2560 * 2);
+        assert_eq!(r.top_k, 2);
+        assert_eq!(r.skew, 1.5);
+        assert_eq!(r.seed, 9);
+    }
+
+    #[test]
+    fn a2a_payload_counts_both_directions() {
+        let moe = GptMoeConfig::case1();
+        let one_way = 4 * moe.tokens_per_device() * 2 * moe.token_bytes();
+        assert_eq!(moe.a2a_bytes_per_layer(4), 2 * one_way);
+    }
+}

@@ -1,0 +1,236 @@
+//! Seeded tokens-to-experts routing matrices.
+//!
+//! The gate of an MoE layer assigns each token to its `top_k` experts.
+//! Real gates are famously unbalanced: a few experts absorb most of the
+//! traffic, which is exactly the regime where all-to-all strategy choice
+//! matters. This module draws that behavior deterministically from a seed
+//! so benchmarks and tests are reproducible:
+//!
+//! 1. expert popularity follows a Zipf-like law with exponent
+//!    [`skew`](RoutingConfig::skew), perturbed by seeded jitter;
+//! 2. each source device splits its `tokens_per_device * top_k` routing
+//!    decisions across experts by largest-remainder apportionment;
+//! 3. an expert-capacity clamp (`capacity_factor` × the mean load) moves
+//!    overflow tokens to the least-loaded experts with spare room,
+//!    dropping them only when every expert is full — the standard
+//!    capacity-factor semantics of GShard-style MoE layers.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one MoE routing draw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Tokens resident on each source device per step.
+    pub tokens_per_device: u64,
+    /// Bytes one token occupies on the wire (hidden size × element width).
+    pub token_bytes: u64,
+    /// Experts each token is routed to.
+    pub top_k: u32,
+    /// Per-expert capacity as a multiple of the mean expert load; tokens
+    /// past every expert's capacity are dropped, as in GShard.
+    pub capacity_factor: f64,
+    /// Zipf exponent of expert popularity: `0.0` is uniform, `1.0` is
+    /// classic Zipf, `2.0` concentrates most traffic on a few experts.
+    pub skew: f64,
+    /// Seed for the popularity jitter; same seed, same matrix.
+    pub seed: u64,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig {
+            tokens_per_device: 512,
+            token_bytes: 2048,
+            top_k: 2,
+            capacity_factor: 1.25,
+            skew: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// Returns a copy with the skew exponent replaced.
+    #[must_use]
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Returns a copy with the seed replaced.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The routing matrix in bytes: entry `[s][e]` is the wire payload
+    /// from source device `s` to expert device `e`.
+    pub fn bytes_matrix(&self, senders: usize, experts: usize) -> Vec<Vec<u64>> {
+        routing_matrix(self, senders, experts)
+            .into_iter()
+            .map(|row| row.into_iter().map(|t| t * self.token_bytes).collect())
+            .collect()
+    }
+}
+
+/// Splits `total` integrally across `weights` by largest-remainder
+/// apportionment (ties to the lower index).
+fn largest_remainder(total: u64, weights: &[f64]) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || weights.is_empty() {
+        return vec![0; weights.len()];
+    }
+    let quotas: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut out: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let assigned: u64 = out.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for i in 0..(total - assigned) as usize {
+        out[order[i % order.len()]] += 1;
+    }
+    out
+}
+
+/// Draws the tokens-to-experts routing matrix: entry `[s][e]` is how many
+/// token copies source device `s` sends to expert `e`. Deterministic in
+/// `cfg.seed`; every row sums to `tokens_per_device * top_k` minus any
+/// tokens dropped by the capacity clamp.
+pub fn routing_matrix(cfg: &RoutingConfig, senders: usize, experts: usize) -> Vec<Vec<u64>> {
+    if senders == 0 || experts == 0 {
+        return vec![vec![]; senders];
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Zipf-like popularity with ±25% seeded jitter so no two draws share
+    // exactly the same hot set.
+    let popularity: Vec<f64> = (0..experts)
+        .map(|e| (0.75 + 0.5 * rng.gen_f64()) / ((e + 1) as f64).powf(cfg.skew))
+        .collect();
+
+    let per_sender = cfg.tokens_per_device * u64::from(cfg.top_k);
+    let mut rows: Vec<Vec<u64>> = (0..senders)
+        .map(|_| {
+            // Per-sender jitter: each device's batch leans slightly
+            // differently, as real token batches do.
+            let local: Vec<f64> = popularity
+                .iter()
+                .map(|p| p * (0.9 + 0.2 * rng.gen_f64()))
+                .collect();
+            largest_remainder(per_sender, &local)
+        })
+        .collect();
+
+    // Expert-capacity clamp: no expert may exceed `capacity_factor` times
+    // the mean load. Overflow tokens migrate to the least-loaded expert
+    // with spare room; with every expert full they are dropped.
+    let total: u64 = per_sender * senders as u64;
+    let cap = ((total as f64 / experts as f64) * cfg.capacity_factor).ceil() as u64;
+    let mut load: Vec<u64> = (0..experts)
+        .map(|e| rows.iter().map(|r| r[e]).sum())
+        .collect();
+    for e in 0..experts {
+        while load[e] > cap {
+            let donor = (0..senders)
+                .max_by(|&a, &b| rows[a][e].cmp(&rows[b][e]).then(b.cmp(&a)))
+                .expect("at least one sender");
+            rows[donor][e] -= 1;
+            load[e] -= 1;
+            if let Some(t) = (0..experts)
+                .filter(|&t| load[t] < cap)
+                .min_by_key(|&t| (load[t], t))
+            {
+                rows[donor][t] += 1;
+                load[t] += 1;
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let cfg = RoutingConfig::default().with_skew(1.0).with_seed(7);
+        assert_eq!(routing_matrix(&cfg, 4, 8), routing_matrix(&cfg, 4, 8));
+        assert_ne!(
+            routing_matrix(&cfg, 4, 8),
+            routing_matrix(&cfg.clone().with_seed(8), 4, 8)
+        );
+    }
+
+    #[test]
+    fn token_mass_is_conserved_under_the_clamp() {
+        // capacity_factor >= 1 guarantees total capacity >= total tokens,
+        // so the clamp migrates but never drops.
+        let cfg = RoutingConfig {
+            tokens_per_device: 64,
+            top_k: 2,
+            capacity_factor: 1.25,
+            skew: 2.0,
+            seed: 3,
+            ..RoutingConfig::default()
+        };
+        let m = routing_matrix(&cfg, 4, 8);
+        let total: u64 = m.iter().flatten().sum();
+        assert_eq!(total, 4 * 64 * 2);
+        let cap = ((total as f64 / 8.0) * 1.25).ceil() as u64;
+        for e in 0..8 {
+            let col: u64 = m.iter().map(|r| r[e]).sum();
+            assert!(col <= cap, "expert {e} holds {col} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_load() {
+        let senders = 4;
+        let experts = 16;
+        let uniform = routing_matrix(
+            &RoutingConfig::default().with_seed(1).with_skew(0.0),
+            senders,
+            experts,
+        );
+        let skewed = routing_matrix(
+            &RoutingConfig {
+                capacity_factor: 8.0, // effectively unclamped
+                ..RoutingConfig::default().with_seed(1).with_skew(2.0)
+            },
+            senders,
+            experts,
+        );
+        let hottest = |m: &[Vec<u64>]| {
+            (0..experts)
+                .map(|e| m.iter().map(|r| r[e]).sum::<u64>())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            hottest(&skewed) > 2 * hottest(&uniform),
+            "skew 2.0 should at least double the hottest expert: {} vs {}",
+            hottest(&skewed),
+            hottest(&uniform)
+        );
+    }
+
+    #[test]
+    fn bytes_matrix_scales_tokens() {
+        let cfg = RoutingConfig {
+            token_bytes: 100,
+            ..RoutingConfig::default()
+        };
+        let tokens = routing_matrix(&cfg, 2, 4);
+        let bytes = cfg.bytes_matrix(2, 4);
+        for s in 0..2 {
+            for e in 0..4 {
+                assert_eq!(bytes[s][e], tokens[s][e] * 100);
+            }
+        }
+    }
+}

@@ -78,9 +78,11 @@ struct FlowState {
     task: TaskId,
     remaining: f64,
     rate: f64,
-    /// Indices into the engine's resource capacity table.
-    resources: [usize; 5],
-    n_resources: usize,
+    /// Indices into the engine's resource capacity table: device send/recv,
+    /// host NIC send/recv for cross-host flows, then whatever fabric slots
+    /// the cluster's [`FabricModel`](crate::FabricModel) routes the flow
+    /// over (aggregate core, rail NICs + spine, pod uplinks, torus edges).
+    resources: Vec<usize>,
 }
 
 /// An entry in a per-device FIFO ready queue, ordered by ready time then id.
@@ -240,20 +242,22 @@ impl<'a> Run<'a> {
         let d = cluster.num_devices() as usize;
         let h = cluster.num_hosts() as usize;
         // Resource layout: device send, device recv, host NIC send, host
-        // NIC recv, then one optional aggregate-fabric slot.
-        let mut capacities = vec![0.0; 2 * d + 2 * h + 1];
-        capacities[2 * d + 2 * h] = cluster.fabric_capacity().unwrap_or(f64::INFINITY);
+        // NIC recv, then the fabric slots of the cluster's FabricModel
+        // (empty for an unbounded flat fabric).
+        let mut capacities = vec![0.0; 2 * d + 2 * h];
         for dev in 0..d {
             let host = cluster.host_of(DeviceId(dev as u32));
             let bw = cluster.host(host).links.intra_host_bw;
             capacities[dev] = bw; // device send
             capacities[d + dev] = bw; // device recv
         }
+        let nic_mult = cluster.host_nic_multiplier();
         for host in 0..h {
-            let bw = cluster.host(crate::HostId(host as u32)).links.inter_host_bw;
+            let bw = cluster.host(crate::HostId(host as u32)).links.inter_host_bw * nic_mult;
             capacities[2 * d + host] = bw; // host send
             capacities[2 * d + h + host] = bw; // host recv
         }
+        capacities.extend(cluster.fabric_slot_capacities());
 
         let mut compute_scale = vec![1.0f64; d];
         for &(device, factor) in &disruptions.compute_slowdown {
@@ -413,27 +417,21 @@ impl<'a> Run<'a> {
         let h = self.cluster.num_hosts() as usize;
         let src_host = self.cluster.host_of(src);
         let dst_host = self.cluster.host_of(dst);
-        let mut resources = [0usize; 5];
-        resources[0] = src.0 as usize; // device send
-        resources[1] = d + dst.0 as usize; // device recv
-        let n_resources = if src_host == dst_host {
-            2
-        } else {
-            resources[2] = 2 * d + src_host.0 as usize; // host NIC send
-            resources[3] = 2 * d + h + dst_host.0 as usize; // host NIC recv
-            if self.cluster.fabric_capacity().is_some() {
-                resources[4] = 2 * d + 2 * h; // shared fabric core
-                5
-            } else {
-                4
-            }
-        };
+        let mut resources = vec![
+            src.0 as usize,     // device send
+            d + dst.0 as usize, // device recv
+        ];
+        if src_host != dst_host {
+            resources.push(2 * d + src_host.0 as usize); // host NIC send
+            resources.push(2 * d + h + dst_host.0 as usize); // host NIC recv
+            self.cluster
+                .fabric_route(src, dst, 2 * d + 2 * h, &mut resources);
+        }
         self.flows.push(FlowState {
             task,
             remaining: bytes,
             rate: 0.0,
             resources,
-            n_resources,
         });
         self.rates_dirty = true;
     }
@@ -469,7 +467,8 @@ impl<'a> Run<'a> {
         let h = self.cluster.num_hosts() as usize;
         match action {
             FaultAction::SetNicScale(host, scale) => {
-                let base = self.cluster.host(host).links.inter_host_bw;
+                let base = self.cluster.host(host).links.inter_host_bw
+                    * self.cluster.host_nic_multiplier();
                 self.capacities[2 * d + host.0 as usize] = base * scale;
                 self.capacities[2 * d + h + host.0 as usize] = base * scale;
                 self.rates_dirty = true;
@@ -520,7 +519,7 @@ impl<'a> Run<'a> {
         let mut count = vec![0u32; self.capacities.len()];
         let mut frozen = vec![false; self.flows.len()];
         for f in &self.flows {
-            for &r in &f.resources[..f.n_resources] {
+            for &r in &f.resources {
                 count[r] += 1;
             }
         }
@@ -549,7 +548,8 @@ impl<'a> Run<'a> {
                 if frozen[i] {
                     continue;
                 }
-                let saturated = f.resources[..f.n_resources]
+                let saturated = f
+                    .resources
                     .iter()
                     .any(|&r| self.capacities[r] - used[r] <= REL_EPS * self.capacities[r]);
                 if saturated {
@@ -558,7 +558,7 @@ impl<'a> Run<'a> {
                     remaining -= 1;
                     // Its contribution so far is exactly `fill` per
                     // resource, which stays accounted in `used`.
-                    for &r in &f.resources[..f.n_resources] {
+                    for &r in &f.resources {
                         count[r] -= 1;
                     }
                 }
@@ -1048,6 +1048,94 @@ mod tests {
         g.add(Work::flow(c.device(0, 0), c.device(0, 1), 5.0), []);
         let t = Engine::new(&c).run(&g).unwrap();
         assert!((t.makespan() - 0.5).abs() < 1e-9, "NVLink unaffected");
+    }
+
+    #[test]
+    fn rail_fabric_gives_each_rail_its_own_nic() {
+        // 2 hosts × 2 devices, 2 rails at 1 B/s each. Two same-rail flows
+        // on different rails run concurrently at full NIC speed — on the
+        // flat fabric they'd share the single 1 B/s host NIC.
+        let flat = ClusterSpec::homogeneous(2, 2, exact_links(10.0, 1.0));
+        let rails = flat.clone().with_fabric(crate::FabricModel::RailOptimized {
+            rails: 2,
+            spine_capacity: 1.0,
+        });
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(flat.device(0, 0), flat.device(1, 0), 4.0), []);
+        g.add(Work::flow(flat.device(0, 1), flat.device(1, 1), 4.0), []);
+        let t_flat = Engine::new(&flat).run(&g).unwrap();
+        let t_rails = Engine::new(&rails).run(&g).unwrap();
+        assert!(
+            (t_flat.makespan() - 8.0).abs() < 1e-9,
+            "{}",
+            t_flat.makespan()
+        );
+        assert!(
+            (t_rails.makespan() - 4.0).abs() < 1e-9,
+            "{}",
+            t_rails.makespan()
+        );
+    }
+
+    #[test]
+    fn rail_fabric_charges_cross_rail_flows_on_the_spine() {
+        // A cross-rail flow (local 0 -> local 1) shares the 0.5 B/s spine.
+        let c = ClusterSpec::homogeneous(2, 2, exact_links(10.0, 1.0)).with_fabric(
+            crate::FabricModel::RailOptimized {
+                rails: 2,
+                spine_capacity: 0.5,
+            },
+        );
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(c.device(0, 0), c.device(1, 1), 2.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.makespan() - 4.0).abs() < 1e-9, "{}", t.makespan());
+    }
+
+    #[test]
+    fn fat_tree_oversubscription_throttles_cross_pod_flows_only() {
+        // 4 hosts in pods of 2, 1 B/s NICs, oversub 4 -> each pod uplink is
+        // 2/4 = 0.5 B/s. Intra-pod flow: full NIC. Cross-pod flow: 0.5 B/s.
+        let c = ClusterSpec::homogeneous(4, 1, exact_links(10.0, 1.0)).with_fabric(
+            crate::FabricModel::FatTree {
+                pod_hosts: 2,
+                oversubscription: 4.0,
+            },
+        );
+        let mut g = TaskGraph::new();
+        let intra = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.interval(intra).finish - 2.0).abs() < 1e-9);
+        let mut g = TaskGraph::new();
+        let cross = g.add(Work::flow(c.device(0, 0), c.device(2, 0), 2.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.interval(cross).finish - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_transit_traffic_congests_shared_edges() {
+        // 1×4 torus ring, 1 B/s links. h0->h2 routes east over h0's and
+        // h1's east edges (2 hops each way tie -> east); h1->h2 shares h1's
+        // east edge, so both flows halve on it.
+        let c = ClusterSpec::homogeneous(4, 1, exact_links(10.0, 1.0)).with_fabric(
+            crate::FabricModel::Torus2D {
+                rows: 1,
+                cols: 4,
+                link_capacity: 1.0,
+            },
+        );
+        let mut g = TaskGraph::new();
+        let far = g.add(Work::flow(c.device(0, 0), c.device(2, 0), 2.0), []);
+        let near = g.add(Work::flow(c.device(1, 0), c.device(2, 0), 2.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        // Both charge h1's east edge: 0.5 B/s each -> 4 s.
+        assert!((t.interval(far).finish - 4.0).abs() < 1e-9);
+        assert!((t.interval(near).finish - 4.0).abs() < 1e-9);
+        // Alone, the far flow still runs at 1 B/s despite two hops.
+        let mut g = TaskGraph::new();
+        let solo = g.add(Work::flow(c.device(0, 0), c.device(2, 0), 2.0), []);
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.interval(solo).finish - 2.0).abs() < 1e-9);
     }
 
     #[test]

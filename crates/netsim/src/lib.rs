@@ -57,5 +57,5 @@ pub use engine::Engine;
 pub use error::{FailureKind, SimError};
 pub use faults::{Disruptions, NicScalePeriod};
 pub use graph::{Task, TaskGraph, TaskId, Work};
-pub use topology::{ClusterSpec, DeviceId, HostId, HostSpec, LinkParams};
+pub use topology::{ClusterSpec, DeviceId, FabricModel, HostId, HostSpec, LinkParams};
 pub use trace::{FaultStats, ResourceUsage, TaskInterval, Trace, TraceBuilder};

@@ -89,6 +89,114 @@ impl LinkParams {
     }
 }
 
+/// The modeled inter-host fabric: how cross-host flows are routed and which
+/// shared capacities they contend on, beyond each host's NIC.
+///
+/// The paper assumes a flat full-bisection network bottlenecked at the host
+/// NIC ([`FabricModel::Flat`] with no aggregate cap). The other variants
+/// model the multi-tier topologies MoE all-to-all traffic actually crosses:
+/// rail-optimized clusters (one NIC per device, K parallel rail switches),
+/// two-level fat trees with an oversubscribed core, and 2D host tori.
+///
+/// Every variant maps each cross-host flow onto a fixed set of capacity
+/// slots that the engine's max–min fair sharing contends over; intra-host
+/// flows never touch the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FabricModel {
+    /// Flat two-tier fabric: every host pair connected at NIC bandwidth.
+    /// `capacity` optionally caps the *sum* of all concurrent cross-host
+    /// traffic (an oversubscribed core); `None` is the paper's
+    /// full-bisection assumption — capacity checks are vacuous.
+    Flat {
+        /// Aggregate cross-host capacity, bytes/s; `None` = full bisection.
+        capacity: Option<f64>,
+    },
+    /// Rail-optimized fabric: `rails` parallel switch planes ("rails"), with
+    /// the device at local index `l` owning a dedicated NIC on rail
+    /// `l % rails`. Each (host, rail) NIC runs at the host's
+    /// `inter_host_bw`, so a host's aggregate egress is `rails ×` the flat
+    /// fabric's. Same-rail flows stay on one switch; cross-rail flows also
+    /// cross a shared spine of `spine_capacity` bytes/s — which is why
+    /// rail-aligned spraying (RailS) wins here.
+    RailOptimized {
+        /// Number of rail planes (NICs per host).
+        rails: u32,
+        /// Capacity of the spine connecting different rails, bytes/s.
+        spine_capacity: f64,
+    },
+    /// Two-level fat tree: hosts grouped into pods of `pod_hosts` leaves.
+    /// Intra-pod traffic switches at the non-blocking leaf; cross-pod
+    /// traffic shares each pod's uplink, provisioned at the pod's summed
+    /// NIC bandwidth divided by `oversubscription`.
+    FatTree {
+        /// Hosts per pod (last pod may be smaller).
+        pod_hosts: u32,
+        /// Core oversubscription factor (≥ 1; 1 = full bisection core).
+        oversubscription: f64,
+    },
+    /// 2D torus of hosts (`rows × cols`, row-major host numbering) with
+    /// per-direction link capacity `link_capacity` on every edge. Flows are
+    /// routed dimension-ordered (columns first, shortest wrap direction,
+    /// ties broken toward +x/+y) and charge every directed edge they
+    /// traverse, so transit traffic congests intermediate links.
+    Torus2D {
+        /// Number of host rows.
+        rows: u32,
+        /// Number of host columns.
+        cols: u32,
+        /// Per-direction capacity of each torus edge, bytes/s.
+        link_capacity: f64,
+    },
+}
+
+impl Default for FabricModel {
+    /// The paper's flat full-bisection fabric.
+    fn default() -> Self {
+        FabricModel::Flat { capacity: None }
+    }
+}
+
+impl fmt::Display for FabricModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricModel::Flat { capacity: None } => write!(f, "flat/full-bisection"),
+            FabricModel::Flat { capacity: Some(c) } => write!(f, "flat/core={c:.3e} B/s"),
+            FabricModel::RailOptimized {
+                rails,
+                spine_capacity,
+            } => write!(f, "rails(k={rails}, spine={spine_capacity:.3e} B/s)"),
+            FabricModel::FatTree {
+                pod_hosts,
+                oversubscription,
+            } => write!(
+                f,
+                "fat-tree(pod={pod_hosts} hosts, oversub={oversubscription}x)"
+            ),
+            FabricModel::Torus2D {
+                rows,
+                cols,
+                link_capacity,
+            } => write!(f, "torus2d({rows}x{cols}, link={link_capacity:.3e} B/s)"),
+        }
+    }
+}
+
+impl FabricModel {
+    /// True when the fabric imposes no cross-host capacity beyond the host
+    /// NICs — any aggregate-capacity sanity check is vacuously satisfied.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, FabricModel::Flat { capacity: None })
+    }
+
+    /// The number of rail planes, for rail-optimized fabrics.
+    pub fn rails(&self) -> Option<u32> {
+        match self {
+            FabricModel::RailOptimized { rails, .. } => Some(*rails),
+            _ => None,
+        }
+    }
+}
+
 /// Per-host description: device count, link parameters, and compute rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostSpec {
@@ -113,9 +221,8 @@ pub struct ClusterSpec {
     device_host: Vec<HostId>,
     /// `host_base[h]` is the global id of host `h`'s first device.
     host_base: Vec<u32>,
-    /// Aggregate capacity of the inter-host fabric, bytes/s; `None` models
-    /// the full-bisection network the paper assumes.
-    fabric_capacity: Option<f64>,
+    /// The modeled inter-host fabric (see [`FabricModel`]).
+    fabric: FabricModel,
 }
 
 impl ClusterSpec {
@@ -139,7 +246,7 @@ impl ClusterSpec {
             hosts,
             device_host,
             host_base,
-            fabric_capacity: None,
+            fabric: FabricModel::default(),
         }
     }
 
@@ -191,14 +298,200 @@ impl ClusterSpec {
             bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
             "fabric capacity must be positive and finite"
         );
-        self.fabric_capacity = Some(bytes_per_sec);
+        self.fabric = FabricModel::Flat {
+            capacity: Some(bytes_per_sec),
+        };
         self
     }
 
-    /// The aggregate inter-host fabric capacity, if the cluster models an
-    /// oversubscribed core (see [`ClusterSpec::with_fabric_capacity`]).
+    /// Returns a copy with the inter-host fabric replaced by `fabric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric is inconsistent with the cluster: zero rails or
+    /// a non-positive spine/link capacity, an oversubscription factor below
+    /// one, zero-host pods, or a torus whose `rows × cols` does not equal
+    /// the host count.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricModel) -> Self {
+        match fabric {
+            FabricModel::Flat { capacity } => {
+                if let Some(c) = capacity {
+                    assert!(
+                        c > 0.0 && c.is_finite(),
+                        "fabric capacity must be positive and finite"
+                    );
+                }
+            }
+            FabricModel::RailOptimized {
+                rails,
+                spine_capacity,
+            } => {
+                assert!(rails > 0, "a rail-optimized fabric needs at least one rail");
+                assert!(
+                    spine_capacity > 0.0 && spine_capacity.is_finite(),
+                    "spine capacity must be positive and finite"
+                );
+            }
+            FabricModel::FatTree {
+                pod_hosts,
+                oversubscription,
+            } => {
+                assert!(pod_hosts > 0, "a fat-tree pod needs at least one host");
+                assert!(
+                    oversubscription >= 1.0 && oversubscription.is_finite(),
+                    "oversubscription factor must be >= 1"
+                );
+            }
+            FabricModel::Torus2D {
+                rows,
+                cols,
+                link_capacity,
+            } => {
+                assert!(
+                    rows as usize * cols as usize == self.hosts.len(),
+                    "torus is {rows}x{cols} but the cluster has {} hosts",
+                    self.hosts.len()
+                );
+                assert!(
+                    link_capacity > 0.0 && link_capacity.is_finite(),
+                    "torus link capacity must be positive and finite"
+                );
+            }
+        }
+        self.fabric = fabric;
+        self
+    }
+
+    /// The modeled inter-host fabric.
+    pub fn fabric(&self) -> &FabricModel {
+        &self.fabric
+    }
+
+    /// The aggregate inter-host fabric capacity, if the cluster models a
+    /// flat fabric with an oversubscribed core (see
+    /// [`ClusterSpec::with_fabric_capacity`]). Multi-tier fabrics return
+    /// `None` — their capacities are per-link, not aggregate.
     pub fn fabric_capacity(&self) -> Option<f64> {
-        self.fabric_capacity
+        match self.fabric {
+            FabricModel::Flat { capacity } => capacity,
+            _ => None,
+        }
+    }
+
+    /// The local index of `device` on its host (its position among the
+    /// host's devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn local_index(&self, device: DeviceId) -> u32 {
+        let host = self.host_of(device);
+        device.0 - self.host_base[host.0 as usize]
+    }
+
+    /// The rail plane `device`'s NIC sits on, for rail-optimized fabrics.
+    pub fn rail_of(&self, device: DeviceId) -> Option<u32> {
+        self.fabric.rails().map(|k| self.local_index(device) % k)
+    }
+
+    /// Capacities of the fabric resource slots the engine appends after the
+    /// per-device and per-host-NIC slots. Empty for an unbounded flat
+    /// fabric. Slots are finite by construction.
+    pub(crate) fn fabric_slot_capacities(&self) -> Vec<f64> {
+        match self.fabric {
+            FabricModel::Flat { capacity: None } => Vec::new(),
+            FabricModel::Flat { capacity: Some(c) } => vec![c],
+            FabricModel::RailOptimized {
+                rails,
+                spine_capacity,
+            } => {
+                // [per-(host,rail) send ×H·K][per-(host,rail) recv ×H·K][spine].
+                let mut slots = Vec::with_capacity(2 * self.hosts.len() * rails as usize + 1);
+                for direction in 0..2 {
+                    let _ = direction;
+                    for host in &self.hosts {
+                        for _ in 0..rails {
+                            slots.push(host.links.inter_host_bw);
+                        }
+                    }
+                }
+                slots.push(spine_capacity);
+                slots
+            }
+            FabricModel::FatTree {
+                pod_hosts,
+                oversubscription,
+            } => {
+                // [per-pod uplink ×P][per-pod downlink ×P]; each pod's link
+                // is its summed NIC bandwidth divided by the oversubscription.
+                let pods = self.hosts.chunks(pod_hosts as usize);
+                let caps: Vec<f64> = pods
+                    .map(|pod| {
+                        pod.iter().map(|h| h.links.inter_host_bw).sum::<f64>() / oversubscription
+                    })
+                    .collect();
+                let mut slots = caps.clone();
+                slots.extend(caps);
+                slots
+            }
+            FabricModel::Torus2D { link_capacity, .. } => {
+                // 4 directed edges per host: +x (east), -x (west), +y
+                // (south), -y (north).
+                vec![link_capacity; self.hosts.len() * 4]
+            }
+        }
+    }
+
+    /// Appends (to `out`) the absolute resource indices a cross-host flow
+    /// `src → dst` occupies in the fabric, where `base` is the index of the
+    /// first fabric slot. Must mirror [`fabric_slot_capacities`]'s layout.
+    pub(crate) fn fabric_route(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        base: usize,
+        out: &mut Vec<usize>,
+    ) {
+        let src_host = self.host_of(src).0 as usize;
+        let dst_host = self.host_of(dst).0 as usize;
+        match self.fabric {
+            FabricModel::Flat { capacity: None } => {}
+            FabricModel::Flat { capacity: Some(_) } => out.push(base),
+            FabricModel::RailOptimized { rails, .. } => {
+                let k = rails as usize;
+                let h = self.hosts.len();
+                let src_rail = (self.local_index(src) % rails) as usize;
+                let dst_rail = (self.local_index(dst) % rails) as usize;
+                out.push(base + src_host * k + src_rail);
+                out.push(base + h * k + dst_host * k + dst_rail);
+                if src_rail != dst_rail {
+                    out.push(base + 2 * h * k);
+                }
+            }
+            FabricModel::FatTree { pod_hosts, .. } => {
+                let src_pod = src_host / pod_hosts as usize;
+                let dst_pod = dst_host / pod_hosts as usize;
+                if src_pod != dst_pod {
+                    let pods = self.hosts.len().div_ceil(pod_hosts as usize);
+                    out.push(base + src_pod);
+                    out.push(base + pods + dst_pod);
+                }
+            }
+            FabricModel::Torus2D { rows, cols, .. } => {
+                torus_route(src_host, dst_host, rows as usize, cols as usize, base, out);
+            }
+        }
+    }
+
+    /// Factor applied to each host's NIC send/recv capacity: a
+    /// rail-optimized host has one NIC per rail, so its aggregate egress is
+    /// `rails ×` the flat fabric's.
+    pub(crate) fn host_nic_multiplier(&self) -> f64 {
+        match self.fabric {
+            FabricModel::RailOptimized { rails, .. } => f64::from(rails),
+            _ => 1.0,
+        }
     }
 
     /// Total number of devices in the cluster.
@@ -255,6 +548,61 @@ impl ClusterSpec {
     /// True if `device` is a valid id for this cluster.
     pub fn contains(&self, device: DeviceId) -> bool {
         (device.0 as usize) < self.device_host.len()
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    /// One-line topology summary naming the modeled fabric explicitly, so
+    /// an unbounded fabric is a visible statement rather than a silent
+    /// default.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hosts / {} devices, fabric {}",
+            self.num_hosts(),
+            self.num_devices(),
+            self.fabric
+        )
+    }
+}
+
+/// Dimension-ordered torus routing: walks columns first, then rows, taking
+/// the shortest wrap direction (ties toward +x/+y), pushing each traversed
+/// directed edge's slot index. Edge slots per host: `host*4 + dir` with
+/// dirs 0 = east (+col), 1 = west, 2 = south (+row), 3 = north.
+fn torus_route(
+    src_host: usize,
+    dst_host: usize,
+    rows: usize,
+    cols: usize,
+    base: usize,
+    out: &mut Vec<usize>,
+) {
+    let (mut r, mut c) = (src_host / cols, src_host % cols);
+    let (dst_r, dst_c) = (dst_host / cols, dst_host % cols);
+    while c != dst_c {
+        let east = (dst_c + cols - c) % cols;
+        let west = (c + cols - dst_c) % cols;
+        let host = r * cols + c;
+        if east <= west {
+            out.push(base + host * 4);
+            c = (c + 1) % cols;
+        } else {
+            out.push(base + host * 4 + 1);
+            c = (c + cols - 1) % cols;
+        }
+    }
+    while r != dst_r {
+        let south = (dst_r + rows - r) % rows;
+        let north = (r + rows - dst_r) % rows;
+        let host = r * cols + c;
+        if south <= north {
+            out.push(base + host * 4 + 2);
+            r = (r + 1) % rows;
+        } else {
+            out.push(base + host * 4 + 3);
+            r = (r + rows - 1) % rows;
+        }
     }
 }
 
@@ -348,5 +696,121 @@ mod tests {
         for h in 0..3 {
             assert_eq!(c.host(HostId(h)).device_flops, 5e12);
         }
+    }
+
+    #[test]
+    fn default_fabric_is_unbounded_flat() {
+        let c = cluster();
+        assert!(c.fabric().is_unbounded());
+        assert_eq!(c.fabric_capacity(), None);
+        assert!(c.fabric_slot_capacities().is_empty());
+        let mut route = Vec::new();
+        c.fabric_route(DeviceId(0), DeviceId(4), 10, &mut route);
+        assert!(route.is_empty());
+        assert_eq!(c.host_nic_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn flat_capped_fabric_has_one_slot() {
+        let c = cluster().with_fabric_capacity(3.0);
+        assert!(!c.fabric().is_unbounded());
+        assert_eq!(c.fabric_capacity(), Some(3.0));
+        assert_eq!(c.fabric_slot_capacities(), vec![3.0]);
+        let mut route = Vec::new();
+        c.fabric_route(DeviceId(0), DeviceId(4), 24, &mut route);
+        assert_eq!(route, vec![24]);
+    }
+
+    #[test]
+    fn rail_fabric_routes_on_the_sender_and_receiver_rails() {
+        // 3 hosts × 4 devices, 2 rails: local index parity picks the rail.
+        let c = cluster().with_fabric(FabricModel::RailOptimized {
+            rails: 2,
+            spine_capacity: 5.0,
+        });
+        assert_eq!(c.rail_of(DeviceId(0)), Some(0));
+        assert_eq!(c.rail_of(DeviceId(1)), Some(1));
+        assert_eq!(c.rail_of(DeviceId(5)), Some(1)); // host 1, local 1
+                                                     // Slots: send 3×2, recv 3×2, spine -> 13 slots.
+        let slots = c.fabric_slot_capacities();
+        assert_eq!(slots.len(), 13);
+        assert_eq!(slots[12], 5.0);
+        assert_eq!(c.host_nic_multiplier(), 2.0);
+        // Same-rail flow h0/l1 -> h1/l1: send slot (0,1), recv slot (1,1).
+        let mut route = Vec::new();
+        c.fabric_route(DeviceId(1), DeviceId(5), 0, &mut route);
+        assert_eq!(route, vec![1, 6 + 3]);
+        // Cross-rail flow h0/l0 -> h1/l1 additionally crosses the spine.
+        route.clear();
+        c.fabric_route(DeviceId(0), DeviceId(5), 0, &mut route);
+        assert_eq!(route, vec![0, 6 + 3, 12]);
+    }
+
+    #[test]
+    fn fat_tree_charges_uplinks_only_across_pods() {
+        // 3 hosts in pods of 2 -> pods {h0,h1} and {h2}.
+        let c = cluster().with_fabric(FabricModel::FatTree {
+            pod_hosts: 2,
+            oversubscription: 4.0,
+        });
+        let slots = c.fabric_slot_capacities();
+        // Pod 0: 2 hosts × 1.25e9 / 4; pod 1: 1 host × 1.25e9 / 4.
+        assert_eq!(slots.len(), 4);
+        assert!((slots[0] - 2.0 * 1.25e9 / 4.0).abs() < 1.0);
+        assert!((slots[1] - 1.25e9 / 4.0).abs() < 1.0);
+        // Intra-pod cross-host flow: leaf is non-blocking.
+        let mut route = Vec::new();
+        c.fabric_route(DeviceId(0), DeviceId(4), 0, &mut route);
+        assert!(route.is_empty());
+        // Cross-pod flow: src pod uplink + dst pod downlink.
+        c.fabric_route(DeviceId(0), DeviceId(8), 0, &mut route);
+        assert_eq!(route, vec![0, 2 + 1]);
+    }
+
+    #[test]
+    fn torus_routes_dimension_ordered_with_wraparound() {
+        let c = ClusterSpec::homogeneous(6, 2, LinkParams::new(100e9, 1.25e9)).with_fabric(
+            FabricModel::Torus2D {
+                rows: 2,
+                cols: 3,
+                link_capacity: 7.0,
+            },
+        );
+        assert_eq!(c.fabric_slot_capacities(), vec![7.0; 24]);
+        // Host 0 (0,0) -> host 5 (1,2): cols 0->2 wraps west (1 hop beats
+        // 2 east), then rows 0->1 south.
+        let mut route = Vec::new();
+        c.fabric_route(c.device(0, 0), c.device(5, 0), 0, &mut route);
+        // West edge of host 0, then south edge of host 2 (0,2).
+        assert_eq!(route, vec![1, 2 * 4 + 2]);
+        // Adjacent east: one edge.
+        route.clear();
+        c.fabric_route(c.device(0, 0), c.device(1, 0), 0, &mut route);
+        assert_eq!(route, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus is 2x2")]
+    fn torus_shape_must_match_host_count() {
+        let _ = cluster().with_fabric(FabricModel::Torus2D {
+            rows: 2,
+            cols: 2,
+            link_capacity: 1.0,
+        });
+    }
+
+    #[test]
+    fn fabric_display_names_the_model() {
+        assert_eq!(FabricModel::default().to_string(), "flat/full-bisection");
+        assert!(cluster()
+            .with_fabric_capacity(2e9)
+            .to_string()
+            .contains("flat/core=2.000e9"));
+        let rails = FabricModel::RailOptimized {
+            rails: 4,
+            spine_capacity: 1.25e9,
+        };
+        assert_eq!(rails.to_string(), "rails(k=4, spine=1.250e9 B/s)");
+        assert!(cluster().to_string().starts_with("3 hosts / 12 devices"));
     }
 }

@@ -32,6 +32,9 @@
 //!   the unified Chrome/Perfetto timeline export shared by both backends.
 //! * [`models`] — GPT-3-like and U-Transformer workload models and the AWS
 //!   p3.8xlarge cluster preset used in the paper's evaluation.
+//! * [`moe`] — MoE all-to-all: seeded token-to-expert routing,
+//!   dispatch/combine unit-task decomposition over a destination-major
+//!   byte space, and a byte-exact expert-shard data plane.
 //! * [`autoshard`] — sharding-spec search for stage-boundary tensors (the
 //!   "auto" half of the paper's `(auto, auto, 2)` configurations).
 //! * [`serve`] — the multi-tenant resharding daemon: per-tenant
@@ -72,6 +75,7 @@ pub use crossmesh_core as core;
 pub use crossmesh_faults as faults;
 pub use crossmesh_mesh as mesh;
 pub use crossmesh_models as models;
+pub use crossmesh_moe as moe;
 pub use crossmesh_netsim as netsim;
 pub use crossmesh_obs as obs;
 pub use crossmesh_pipeline as pipeline;

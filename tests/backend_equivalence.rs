@@ -12,11 +12,16 @@
 //!   graph on the threaded [`Backend`] yields a trace whose happens-before
 //!   edges follow the graph's dependencies, with the same cross-host byte
 //!   accounting as the simulator.
+//! * [`a2a_threaded_matches_reference`] — the MoE all-to-all data plane
+//!   delivers byte-identical expert shards whether run sequentially or on
+//!   a worker pool of any width, with or without a seeded fault schedule.
 //!
 //! Case counts are modest: every case spawns real OS threads.
 
 use crossmesh::core::{EnsemblePlanner, NaivePlanner, Planner, PlannerConfig, ReshardingTask};
+use crossmesh::faults::{FaultEvent, FaultSchedule};
 use crossmesh::mesh::{DeviceMesh, DimSharding, ShardingSpec};
+use crossmesh::moe::{execute_reference, execute_threaded_with_faults, A2aTask, RoutingConfig};
 use crossmesh::netsim::{Backend, ClusterSpec, LinkParams, SimBackend, TaskGraph};
 use crossmesh::runtime::{execute_plan, ThreadedBackend};
 use proptest::prelude::*;
@@ -167,5 +172,54 @@ proptest! {
             trace.usage().total_cross_host_bytes(),
             sim_trace.usage().total_cross_host_bytes()
         );
+    }
+
+    /// The MoE all-to-all data plane is pool-width invariant: every expert
+    /// shard arrives byte-identically at pool widths 1 and 4, both clean
+    /// and under a seeded flow-drop fault schedule (drops are rolled per
+    /// unit task, so retries cannot depend on worker interleaving).
+    #[test]
+    fn a2a_threaded_matches_reference(
+        hosts_per_side in 1u32..=2,
+        devices in 1u32..=3,
+        tokens in 1u64..=24,
+        token_bytes in 1u64..=8,
+        skew in 0.0f64..2.5,
+        seed in 0u64..1024,
+    ) {
+        let cluster = ClusterSpec::homogeneous(
+            2 * hosts_per_side,
+            devices,
+            LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0),
+        );
+        let shape = (hosts_per_side as usize, devices as usize);
+        let tokens_mesh = DeviceMesh::from_cluster(&cluster, 0, shape, "tokens").unwrap();
+        let experts_mesh =
+            DeviceMesh::from_cluster(&cluster, shape.0, shape, "experts").unwrap();
+        let routing = RoutingConfig {
+            tokens_per_device: tokens,
+            token_bytes,
+            skew,
+            seed,
+            ..RoutingConfig::default()
+        };
+        let n = shape.0 * shape.1;
+        let bytes = routing.bytes_matrix(n, n);
+        let a2a = A2aTask::dispatch(&tokens_mesh, &experts_mesh, &bytes);
+
+        let reference = execute_reference(&a2a)
+            .map_err(|e| TestCaseError::fail(format!("reference: {e}")))?;
+        prop_assert_eq!(reference.delivered_bytes, a2a.total_bytes());
+        let faults = FaultSchedule::new(seed)
+            .with_event(FaultEvent::FlowDrop { prob: 0.2 })
+            .with_retry_policy(6, 1e-3);
+        for pool in [1usize, 4] {
+            let clean = execute_threaded_with_faults(&a2a, pool, None)
+                .map_err(|e| TestCaseError::fail(format!("pool {pool}: {e}")))?;
+            prop_assert_eq!(&clean, &reference, "pool {} diverged", pool);
+            let faulty = execute_threaded_with_faults(&a2a, pool, Some(&faults))
+                .map_err(|e| TestCaseError::fail(format!("pool {pool} faults: {e}")))?;
+            prop_assert_eq!(&faulty, &reference, "pool {} with faults diverged", pool);
+        }
     }
 }
