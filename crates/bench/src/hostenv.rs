@@ -47,6 +47,15 @@ impl HostEnv {
         requested > self.host_threads
     }
 
+    /// A speedup figure the host can actually vouch for: `Some(speedup)`
+    /// when `requested` pool threads genuinely run in parallel here,
+    /// `None` when the width is oversubscribed — in that regime the ratio
+    /// measures scheduler interleaving, and reporting it as a speedup
+    /// would let a 1-core CI runner publish fictional scaling numbers.
+    pub fn reliable_speedup(&self, requested: usize, speedup: f64) -> Option<f64> {
+        (!self.oversubscribed(requested)).then_some(speedup)
+    }
+
     /// The warning to attach to a report (and print to stderr) when a
     /// sweep requests `requested` pool threads, or `None` if the host can
     /// genuinely run them in parallel.
@@ -87,6 +96,18 @@ mod tests {
         let warn = env.oversubscription_warning(8).expect("warns");
         assert!(warn.contains("8") && warn.contains("2"), "{warn}");
         assert!(env.oversubscription_warning(2).is_none());
+    }
+
+    #[test]
+    fn reliable_speedup_refuses_oversubscribed_widths() {
+        let env = HostEnv {
+            host_threads: 2,
+            crossmesh_threads: None,
+            profile: "debug".into(),
+            platform: "test/test".into(),
+        };
+        assert_eq!(env.reliable_speedup(2, 1.8), Some(1.8));
+        assert_eq!(env.reliable_speedup(4, 3.5), None);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`planner`] | extension — planner wall-clock vs pool width + plan cache (not in the paper) |
 //! | [`obs_overhead`] | extension — observability overhead with collectors on/off (not in the paper) |
 //! | [`moe`] | extension — MoE all-to-all strategies across fabrics and gate skews (not in the paper) |
+//! | [`netsim`] | extension — incremental engine vs frozen reference + 10k-host GPT sweep (not in the paper) |
 //! | [`serve`] | extension — multi-tenant daemon throughput/latency under trace-driven load (not in the paper) |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
@@ -34,6 +35,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod hostenv;
 pub mod moe;
+pub mod netsim;
 pub mod obs_overhead;
 pub mod planner;
 pub mod repro;

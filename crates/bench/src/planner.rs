@@ -48,8 +48,15 @@ pub struct Row {
     pub threads: usize,
     /// Best-of-N wall-clock milliseconds for one `plan()` call.
     pub millis: f64,
-    /// This row's 1-thread time divided by this row's time.
-    pub speedup_vs_1: f64,
+    /// This row's 1-thread time divided by this row's time, or `None`
+    /// when the pool width oversubscribes the host (see
+    /// [`HostEnv::reliable_speedup`]) — the raw ratio would measure
+    /// scheduler interleaving, not parallel speedup, so the report
+    /// refuses to publish it.
+    pub speedup_vs_1: Option<f64>,
+    /// True exactly when `speedup_vs_1` was withheld because the host
+    /// could not genuinely run this pool width in parallel.
+    pub speedup_unreliable: bool,
     /// The plan's estimated makespan — identical across `threads` by the
     /// determinism contract (asserted by [`run`]).
     pub estimate: f64,
@@ -205,12 +212,14 @@ pub fn run(smoke: bool) -> Report {
                         "{name}/{units}u: estimate changed between 1 and {threads} threads"
                     );
                 }
+                let speedup_vs_1 = env.reliable_speedup(threads, baseline / millis);
                 rows.push(Row {
                     units,
                     planner: name.clone(),
                     threads,
                     millis,
-                    speedup_vs_1: baseline / millis,
+                    speedup_vs_1,
+                    speedup_unreliable: speedup_vs_1.is_none(),
                     estimate,
                 });
             }
@@ -272,7 +281,8 @@ pub fn render(report: &Report) -> String {
             row.planner.clone(),
             row.threads.to_string(),
             format!("{:.3}", row.millis),
-            table_fmt::speedup(row.speedup_vs_1),
+            row.speedup_vs_1
+                .map_or_else(|| "n/a (oversubscribed)".to_string(), table_fmt::speedup),
         ]);
     }
     let c = &report.cache;
@@ -307,6 +317,18 @@ mod tests {
         for row in &report.rows {
             assert!(row.millis >= 0.0 && row.millis.is_finite());
             assert!(row.estimate.is_finite() && row.estimate > 0.0);
+            // A speedup figure is published exactly when the host could
+            // genuinely run the pool width in parallel; oversubscribed
+            // widths get the explicit refusal flag instead.
+            assert_eq!(row.speedup_unreliable, row.speedup_vs_1.is_none());
+            assert_eq!(
+                row.speedup_unreliable,
+                report.env.oversubscribed(row.threads),
+                "unreliable flag must track host oversubscription"
+            );
+            if let Some(s) = row.speedup_vs_1 {
+                assert!(s.is_finite() && s > 0.0);
+            }
         }
         // run() itself asserts cross-pool estimate identity; re-check one
         // planner here so the contract is visible in a test name.

@@ -32,7 +32,10 @@ use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::gpt::GptConfig;
 use crossmesh_models::utransformer::UTransformerConfig;
 use crossmesh_models::{presets, ModelJob, Precision};
-use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend, TaskGraph, Trace, Work};
+use crossmesh_netsim::{
+    AggregateSimBackend, Backend, ClusterSpec, LinkParams, SimBackend, SimModel, TaskGraph, Trace,
+    Work,
+};
 use crossmesh_obs as obs;
 use crossmesh_pipeline::{
     simulate_with_cache, CommMode, PipelineConfig, ScheduleKind, WeightDelay,
@@ -47,11 +50,11 @@ crossmesh — cross-mesh resharding planner/simulator (MLSys 2023 reproduction)
 USAGE:
   crossmesh reshard  --src-spec <SPEC> --dst-spec <SPEC> --src-mesh <RxC> --dst-mesh <RxC>
                      --shape <AxBxC> [--elem-bytes N] [--strategy S] [--planner P]
-                     [--backend B] [--seed N] [--inter-bw B] [--intra-bw B]
+                     [--backend B] [--sim-model M] [--seed N] [--inter-bw B] [--intra-bw B]
                      [--faults FILE] [--threads N] [--verify] [--json]
   crossmesh pipeline --model gpt-case1|gpt-case2|utrans [--schedule eager|1f1b|gpipe]
                      [--comm overlap|sync|signal] [--microbatches N] [--iterations N]
-                     [--backend B] [--threads N] [--json]
+                     [--backend B] [--sim-model M] [--threads N] [--json]
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
   crossmesh check    --task spec.json --plan plan.json [--format text|json]
@@ -71,6 +74,9 @@ USAGE:
   planners:   ours (default) | naive | lpt | dfs | greedy
   backends:   sim (default, flow-level simulator) | threads (real multi-threaded
               execution) | tcp (threads + TCP loopback for inter-host flows)
+  --sim-model: exact (default, max-min fair sharing) | aggregate (uniform
+              cap/count sharing: conservative, much cheaper on 10k-host
+              clusters); only meaningful with --backend sim
   specs:      R / S0 / S1 / S01 per tensor dimension, e.g. S0RR
   --seed:     RNG seed for the randomized-greedy planner (ours/greedy)
   --faults:   JSON fault schedule (crossmesh-faults format) injected into the
@@ -169,6 +175,9 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
             .install(dispatch),
     }?;
     if args.has_flag("metrics") {
+        // Fold the netsim engine's cumulative counters in before rendering
+        // so simulator-backed commands report netsim.* alongside the rest.
+        obs::sync_netsim_metrics(obs::metrics());
         let text = obs::metrics().render_text();
         return Ok(format!("{out}\n\n== metrics ==\n{}", text.trim_end()));
     }
@@ -316,13 +325,21 @@ fn planner_for(
     })
 }
 
-fn backend_for(name: &str) -> Result<Box<dyn Backend>, Box<dyn Error>> {
-    Ok(match name {
-        "sim" => Box::new(SimBackend),
-        "threads" => Box::new(ThreadedBackend::threads()),
-        "tcp" => Box::new(ThreadedBackend::tcp()),
-        other => return Err(format!("unknown backend {other:?}").into()),
+fn backend_for(name: &str, sim_model: SimModel) -> Result<Box<dyn Backend>, Box<dyn Error>> {
+    Ok(match (name, sim_model) {
+        ("sim", SimModel::Exact) => Box::new(SimBackend),
+        ("sim", SimModel::Aggregate) => Box::new(AggregateSimBackend),
+        ("threads", _) => Box::new(ThreadedBackend::threads()),
+        ("tcp", _) => Box::new(ThreadedBackend::tcp()),
+        (other, _) => return Err(format!("unknown backend {other:?}").into()),
     })
+}
+
+/// Parses `--sim-model exact|aggregate` (default exact). Only meaningful
+/// with `--backend sim`; the real backends ignore it.
+fn sim_model_arg(args: &Args) -> Result<SimModel, Box<dyn Error>> {
+    let name = args.get_or("sim-model", "exact");
+    SimModel::parse(name).ok_or_else(|| format!("unknown sim model {name:?}").into())
 }
 
 /// The portable description of a resharding problem that `reshard
@@ -596,7 +613,7 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
         .with_strategy(strategy_choice(args.get_or("strategy", "broadcast"))?);
     let planner = planner_for(args.get_or("planner", "ours"), config, seed)?;
     let backend_name = args.get_or("backend", "sim");
-    let backend = backend_for(backend_name)?;
+    let backend = backend_for(backend_name, sim_model_arg(args)?)?;
     let plan = planner.plan(&task);
     if let Some(path) = args.get("emit-task") {
         let spec = TaskSpecFile {
@@ -636,7 +653,14 @@ fn reshard(args: &Args) -> Result<String, Box<dyn Error>> {
                 .validate()
                 .map_err(|e| format!("--faults {path:?}: compiled schedule invalid: {e}"))?;
             let r: RecoveryReport = match backend_name {
-                "sim" => execute_with_repair(&plan, &cluster, &SimBackend, &schedule)?,
+                "sim" => match sim_model_arg(args)? {
+                    SimModel::Exact => {
+                        execute_with_repair(&plan, &cluster, &SimBackend, &schedule)?
+                    }
+                    SimModel::Aggregate => {
+                        execute_with_repair(&plan, &cluster, &AggregateSimBackend, &schedule)?
+                    }
+                },
                 "threads" => {
                     execute_with_repair(&plan, &cluster, &ThreadedBackend::threads(), &schedule)?
                 }
@@ -790,7 +814,7 @@ fn pipeline(args: &Args) -> Result<String, Box<dyn Error>> {
         "signal" => CommMode::Signal,
         other => return Err(format!("unknown comm mode {other:?}").into()),
     };
-    let backend = backend_for(args.get_or("backend", "sim"))?;
+    let backend = backend_for(args.get_or("backend", "sim"), sim_model_arg(args)?)?;
     let planner = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
     let config = PipelineConfig {
         schedule,
@@ -1171,9 +1195,10 @@ mod tests {
             planner_for(p, cfg, Some(42)).unwrap();
         }
         for b in ["sim", "threads", "tcp"] {
-            backend_for(b).unwrap();
+            backend_for(b, SimModel::Exact).unwrap();
+            backend_for(b, SimModel::Aggregate).unwrap();
         }
-        assert!(backend_for("nope").is_err());
+        assert!(backend_for("nope", SimModel::Exact).is_err());
     }
 
     #[test]
@@ -1285,6 +1310,29 @@ mod tests {
         .unwrap();
         assert!(out.contains("== metrics =="), "got: {out}");
         assert!(out.contains("planner.greedy.plans"), "got: {out}");
+        assert!(out.contains("netsim.events_processed"), "got: {out}");
+    }
+
+    #[test]
+    fn sim_model_selects_the_contention_model() {
+        let reshard = |model: &str| {
+            let out = run(toks(&format!(
+                "reshard --src-spec S0R --dst-spec RS1 --src-mesh 1x4 --dst-mesh 2x2 \
+                 --shape 32x32 --sim-model {model} --json"
+            )))
+            .unwrap();
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            v["simulated_seconds"].as_f64().unwrap()
+        };
+        let exact = reshard("exact");
+        let aggregate = reshard("aggregate");
+        // Uniform sharing never predicts a faster transfer than max-min.
+        assert!(aggregate >= exact - 1e-9, "{aggregate} vs {exact}");
+        assert!(run(toks(
+            "reshard --src-spec S0R --dst-spec RS1 --src-mesh 1x4 --dst-mesh 2x2 \
+             --shape 32x32 --sim-model bogus"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use crate::schedule::FaultSchedule;
 use crossmesh_netsim::{
-    Backend, ClusterSpec, Engine, FailureKind, SimBackend, SimError, TaskGraph, Trace,
+    AggregateSimBackend, Backend, ClusterSpec, Engine, FailureKind, SimBackend, SimError, SimModel,
+    TaskGraph, Trace,
 };
 use crossmesh_runtime::ThreadedBackend;
 
@@ -53,6 +54,19 @@ impl FaultInjectable for SimBackend {
     ) -> Result<Trace, SimError> {
         check_schedule(self.name(), schedule)?;
         Engine::new(cluster).run_with_disruptions(graph, &schedule.to_disruptions(graph))
+    }
+}
+
+impl FaultInjectable for AggregateSimBackend {
+    fn execute_with_faults(
+        &self,
+        cluster: &ClusterSpec,
+        graph: &TaskGraph,
+        schedule: &FaultSchedule,
+    ) -> Result<Trace, SimError> {
+        check_schedule(self.name(), schedule)?;
+        Engine::with_model(cluster, SimModel::Aggregate)
+            .run_with_disruptions(graph, &schedule.to_disruptions(graph))
     }
 }
 

@@ -1,24 +1,33 @@
 //! The discrete-event execution engine.
 //!
 //! Compute tasks occupy their device serially, FIFO in ready order.
-//! Flows share network resources with max–min fairness, computed by
-//! progressive filling over four resource classes: per-device intra-host
-//! send/receive capacity (NVLink-class) and per-host NIC send/receive
-//! capacity (inter-host flows only). The engine advances simulated time to
-//! the next task completion and recomputes fair-share rates whenever the set
-//! of active flows changes.
+//! Flows share network resources with max–min fairness, solved
+//! *incrementally*: the [`FairShare`] solver keeps per-resource flow
+//! counts and a resource→flow index, and a flow-set change re-solves only
+//! the connected components of the flow↔resource graph it touches
+//! (untouched components keep their cached rates bit-for-bit). Flow
+//! completions live in the event heap as `FlowDrained` entries keyed by
+//! predicted drain time and invalidated lazily by a per-slot generation
+//! counter when a rate changes, so advancing time never scans the active
+//! flow set. Same-timestamp completions (within `REL_EPS` relative) are
+//! batched into one cascade, exactly like the pre-refactor engine.
+//!
+//! [`SimModel::Exact`] reproduces progressive-filling max–min fairness;
+//! [`SimModel::Aggregate`] swaps in the dslab-style per-resource
+//! aggregate-throughput approximation (`min_r cap/count`) for coarse
+//! 10k-host sweeps. The frozen pre-refactor engine survives as
+//! [`ReferenceEngine`](crate::reference::ReferenceEngine) and pins this
+//! one in `tests/netsim_equivalence.rs`.
 
 use crate::error::SimError;
 use crate::faults::Disruptions;
 use crate::graph::{TaskGraph, TaskId, Work};
+use crate::rates::{FairShare, SimModel, REL_EPS};
+use crate::stats::{self, SimStats};
 use crate::topology::{ClusterSpec, DeviceId, HostId};
 use crate::trace::{FaultStats, ResourceUsage, TaskInterval, Trace};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
-
-/// Relative tolerance used to decide simultaneity of events and saturation
-/// of resources.
-const REL_EPS: f64 = 1e-9;
 
 /// Executes [`TaskGraph`]s on a [`ClusterSpec`].
 ///
@@ -26,14 +35,20 @@ const REL_EPS: f64 = 1e-9;
 #[derive(Debug)]
 pub struct Engine<'a> {
     cluster: &'a ClusterSpec,
+    model: SimModel,
 }
 
-/// Timed events other than flow completions (those are derived from rates).
+/// Timed events. Flow completions are `FlowDrained` entries scheduled at
+/// the flow's predicted drain time; a rate change bumps the slot's
+/// generation so the superseded entry is discarded when popped.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     ComputeDone(TaskId),
     /// The fixed latency of a flow elapsed; the flow starts draining bytes.
     FlowLatencyDone(TaskId),
+    /// The flow in this slot drains its last byte — valid only if the
+    /// slot's generation still matches the second payload.
+    FlowDrained(u32, u32),
     /// An injected fault fires; the payload indexes `Run::fault_actions`.
     Fault(usize),
 }
@@ -73,16 +88,20 @@ impl Ord for Event {
     }
 }
 
-#[derive(Debug)]
-struct FlowState {
+/// One active (or recycled) flow slot. Bytes drain lazily: `remaining`
+/// is exact as of `updated_at` and is only materialized when the rate
+/// changes, not on every event.
+#[derive(Debug, Clone, Copy)]
+struct FlowSlot {
     task: TaskId,
     remaining: f64,
     rate: f64,
-    /// Indices into the engine's resource capacity table: device send/recv,
-    /// host NIC send/recv for cross-host flows, then whatever fabric slots
-    /// the cluster's [`FabricModel`](crate::FabricModel) routes the flow
-    /// over (aggregate core, rail NICs + spine, pod uplinks, torus edges).
-    resources: Vec<usize>,
+    /// Simulated time at which `remaining` was last materialized.
+    updated_at: f64,
+    /// Bumped on every rate change and on release, so events scheduled
+    /// against an older rate (or a previous occupant) are stale.
+    gen: u32,
+    alive: bool,
 }
 
 /// An entry in a per-device FIFO ready queue, ordered by ready time then id.
@@ -112,9 +131,23 @@ impl Ord for QueuedCompute {
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine over the given cluster.
+    /// Creates an engine over the given cluster using the exact
+    /// (max–min fair) contention model.
     pub fn new(cluster: &'a ClusterSpec) -> Self {
-        Engine { cluster }
+        Engine {
+            cluster,
+            model: SimModel::Exact,
+        }
+    }
+
+    /// Creates an engine with an explicit contention model.
+    pub fn with_model(cluster: &'a ClusterSpec, model: SimModel) -> Self {
+        Engine { cluster, model }
+    }
+
+    /// The contention model this engine applies.
+    pub fn model(&self) -> SimModel {
+        self.model
     }
 
     /// Runs `graph` to completion and returns the trace.
@@ -126,7 +159,17 @@ impl<'a> Engine<'a> {
     /// progress (impossible for graphs built through [`TaskGraph::add`],
     /// which are acyclic by construction).
     pub fn run(&self, graph: &TaskGraph) -> Result<Trace, SimError> {
-        Run::new(self.cluster, graph, &Disruptions::none())?.execute()
+        self.run_stats(graph).map(|(trace, _)| trace)
+    }
+
+    /// Like [`run`](Self::run), additionally returning the engine's
+    /// performance counters for this run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`].
+    pub fn run_stats(&self, graph: &TaskGraph) -> Result<(Trace, SimStats), SimError> {
+        Run::new(self.cluster, graph, &Disruptions::none(), self.model)?.execute()
     }
 
     /// Runs `graph` under the given injected [`Disruptions`].
@@ -153,7 +196,9 @@ impl<'a> Engine<'a> {
         if let Err(why) = disruptions.validate() {
             panic!("invalid disruptions: {why}");
         }
-        Run::new(self.cluster, graph, disruptions)?.execute()
+        Run::new(self.cluster, graph, disruptions, self.model)?
+            .execute()
+            .map(|(trace, _)| trace)
     }
 }
 
@@ -176,12 +221,21 @@ struct Run<'a> {
     /// Per-device: queue of ready compute tasks and whether one is running.
     device_queue: Vec<BinaryHeap<Reverse<QueuedCompute>>>,
     device_busy: Vec<bool>,
+    /// Devices that may be able to start a queued compute (a task was
+    /// queued or the device went idle); only these are visited by
+    /// `dispatch_computes` — never the whole device array.
+    dispatch_dirty: Vec<u32>,
+    dispatch_marked: Vec<bool>,
 
-    flows: Vec<FlowState>,
+    /// Flow slot arena; completed slots go on the free list and are
+    /// recycled (generation counters survive reuse).
+    flows: Vec<FlowSlot>,
+    free_slots: Vec<u32>,
+    active_flows: usize,
+    solver: FairShare,
     rates_dirty: bool,
-    /// Capacity of each resource: device send, device recv, host send,
-    /// host recv (indexed contiguously).
-    capacities: Vec<f64>,
+    /// Scratch: slots whose rate the last resolve changed.
+    changed: Vec<u32>,
 
     // --- fault injection state (all neutral for a clean run) ---
     /// Scheduled state changes, indexed by `EventKind::Fault` payloads.
@@ -201,7 +255,8 @@ struct Run<'a> {
     /// Tasks that failed (directly or by poisoned dependency).
     failed: Vec<bool>,
     failed_tasks: Vec<TaskId>,
-    stats: FaultStats,
+    fault_stats: FaultStats,
+    sim_stats: SimStats,
 }
 
 impl<'a> Run<'a> {
@@ -209,6 +264,7 @@ impl<'a> Run<'a> {
         cluster: &'a ClusterSpec,
         graph: &'a TaskGraph,
         disruptions: &Disruptions,
+        model: SimModel,
     ) -> Result<Self, SimError> {
         let n = graph.len();
         let mut pending_deps = vec![0usize; n];
@@ -244,20 +300,7 @@ impl<'a> Run<'a> {
         // Resource layout: device send, device recv, host NIC send, host
         // NIC recv, then the fabric slots of the cluster's FabricModel
         // (empty for an unbounded flat fabric).
-        let mut capacities = vec![0.0; 2 * d + 2 * h];
-        for dev in 0..d {
-            let host = cluster.host_of(DeviceId(dev as u32));
-            let bw = cluster.host(host).links.intra_host_bw;
-            capacities[dev] = bw; // device send
-            capacities[d + dev] = bw; // device recv
-        }
-        let nic_mult = cluster.host_nic_multiplier();
-        for host in 0..h {
-            let bw = cluster.host(crate::HostId(host as u32)).links.inter_host_bw * nic_mult;
-            capacities[2 * d + host] = bw; // host send
-            capacities[2 * d + h + host] = bw; // host recv
-        }
-        capacities.extend(cluster.fabric_slot_capacities());
+        let capacities = cluster.resource_capacities();
 
         let mut compute_scale = vec![1.0f64; d];
         for &(device, factor) in &disruptions.compute_slowdown {
@@ -286,9 +329,14 @@ impl<'a> Run<'a> {
             next_seq: 0,
             device_queue: (0..d).map(|_| BinaryHeap::new()).collect(),
             device_busy: vec![false; d],
+            dispatch_dirty: Vec::new(),
+            dispatch_marked: vec![false; d],
             flows: Vec::new(),
+            free_slots: Vec::new(),
+            active_flows: 0,
+            solver: FairShare::new(capacities, model),
             rates_dirty: false,
-            capacities,
+            changed: Vec::new(),
             fault_actions: Vec::new(),
             host_dead: vec![false; h],
             running_on: vec![None; d],
@@ -304,7 +352,8 @@ impl<'a> Run<'a> {
             max_retries: disruptions.max_retries,
             failed: vec![false; n],
             failed_tasks: Vec::new(),
-            stats: FaultStats::default(),
+            fault_stats: FaultStats::default(),
+            sim_stats: SimStats::default(),
         };
 
         // Schedule timed fault actions before any task event so that, at
@@ -383,6 +432,7 @@ impl<'a> Run<'a> {
                     ready: self.time,
                     task,
                 }));
+                self.mark_dispatch(device.0 as usize);
             }
             Work::Flow { src, dst, bytes } => {
                 let src_host = self.cluster.host_of(src);
@@ -427,18 +477,118 @@ impl<'a> Run<'a> {
             self.cluster
                 .fabric_route(src, dst, 2 * d + 2 * h, &mut resources);
         }
-        self.flows.push(FlowState {
-            task,
-            remaining: bytes,
-            rate: 0.0,
-            resources,
-        });
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                let gen = self.flows[slot as usize].gen;
+                self.flows[slot as usize] = FlowSlot {
+                    task,
+                    remaining: bytes,
+                    rate: 0.0,
+                    updated_at: self.time,
+                    gen,
+                    alive: true,
+                };
+                slot
+            }
+            None => {
+                let slot = self.flows.len() as u32;
+                self.flows.push(FlowSlot {
+                    task,
+                    remaining: bytes,
+                    rate: 0.0,
+                    updated_at: self.time,
+                    gen: 0,
+                    alive: true,
+                });
+                slot
+            }
+        };
+        self.solver.add_flow(slot, resources);
+        self.active_flows += 1;
+        if self.active_flows > self.sim_stats.peak_active_flows {
+            self.sim_stats.peak_active_flows = self.active_flows;
+        }
         self.rates_dirty = true;
     }
 
-    /// Starts the next queued compute task on every idle device.
+    /// Removes `slot` from the active set (completion or kill). The slot's
+    /// generation bump invalidates any drain event still in the heap.
+    fn release_flow(&mut self, slot: u32) {
+        let f = &mut self.flows[slot as usize];
+        debug_assert!(f.alive, "flow released twice");
+        f.alive = false;
+        f.gen = f.gen.wrapping_add(1);
+        self.solver.remove_flow(slot);
+        self.free_slots.push(slot);
+        self.active_flows -= 1;
+        self.rates_dirty = true;
+    }
+
+    /// Re-solves fair shares and reschedules drain events for every flow
+    /// whose rate changed, materializing its lazily-drained `remaining`.
+    fn apply_rates(&mut self) {
+        let mut changed = std::mem::take(&mut self.changed);
+        changed.clear();
+        self.solver.resolve(&mut changed);
+        for &slot in &changed {
+            let f = &mut self.flows[slot as usize];
+            if !f.alive {
+                // The solver can report a slot that was re-rated and then
+                // killed within one batch; its event is already stale.
+                continue;
+            }
+            let dt = self.time - f.updated_at;
+            if dt > 0.0 && f.rate > 0.0 && f.rate.is_finite() {
+                f.remaining -= f.rate * dt;
+                if f.remaining < 0.0 {
+                    f.remaining = 0.0;
+                }
+            }
+            f.updated_at = self.time;
+            f.rate = self.solver.rate(slot);
+            f.gen = f.gen.wrapping_add(1);
+            if f.rate > 0.0 {
+                let due = if f.rate.is_finite() {
+                    self.time + f.remaining / f.rate
+                } else {
+                    self.time
+                };
+                let gen = f.gen;
+                self.push_event(due, EventKind::FlowDrained(slot, gen));
+            }
+            // rate == 0 (a zeroed NIC): no event; the flow waits for a
+            // future rate change, or the run stalls like the old engine.
+        }
+        self.changed = changed;
+    }
+
+    /// The flow in `slot` drained its last byte: release it and either
+    /// complete the task or spend an injected drop on a retry.
+    fn finish_flow(&mut self, slot: u32, completions: &mut Vec<TaskId>) {
+        let task = self.flows[slot as usize].task;
+        self.flows[slot as usize].remaining = 0.0;
+        self.release_flow(slot);
+        if self.drops_left.get(&task.0).copied().unwrap_or(0) > 0 {
+            self.handle_dropped_flow(task, completions);
+        } else {
+            completions.push(task);
+        }
+    }
+
+    /// Marks `dev` for the next `dispatch_computes` pass.
+    fn mark_dispatch(&mut self, dev: usize) {
+        if !self.dispatch_marked[dev] {
+            self.dispatch_marked[dev] = true;
+            self.dispatch_dirty.push(dev as u32);
+        }
+    }
+
+    /// Starts the next queued compute task on every marked idle device.
     fn dispatch_computes(&mut self) {
-        for dev in 0..self.device_queue.len() {
+        let mut dirty = std::mem::take(&mut self.dispatch_dirty);
+        for dev in dirty.drain(..) {
+            let dev = dev as usize;
+            self.dispatch_marked[dev] = false;
             if self.device_busy[dev] {
                 continue;
             }
@@ -459,6 +609,8 @@ impl<'a> Run<'a> {
                 self.push_event(self.time + seconds, EventKind::ComputeDone(q.task));
             }
         }
+        // Reuse the allocation across passes.
+        self.dispatch_dirty = dirty;
     }
 
     /// Applies a scheduled fault action at the current time.
@@ -469,8 +621,10 @@ impl<'a> Run<'a> {
             FaultAction::SetNicScale(host, scale) => {
                 let base = self.cluster.host(host).links.inter_host_bw
                     * self.cluster.host_nic_multiplier();
-                self.capacities[2 * d + host.0 as usize] = base * scale;
-                self.capacities[2 * d + h + host.0 as usize] = base * scale;
+                self.solver
+                    .set_capacity(2 * d + host.0 as usize, base * scale);
+                self.solver
+                    .set_capacity(2 * d + h + host.0 as usize, base * scale);
                 self.rates_dirty = true;
             }
             FaultAction::HostDown(host) => {
@@ -479,21 +633,20 @@ impl<'a> Run<'a> {
                 }
                 self.host_dead[host.0 as usize] = true;
                 // Kill active flows touching the host.
-                let mut i = 0;
-                while i < self.flows.len() {
-                    let fails = match self.graph.task(self.flows[i].task).work {
+                for slot in 0..self.flows.len() as u32 {
+                    if !self.flows[slot as usize].alive {
+                        continue;
+                    }
+                    let task = self.flows[slot as usize].task;
+                    let fails = match self.graph.task(task).work {
                         Work::Flow { src, dst, .. } => {
                             self.cluster.host_of(src) == host || self.cluster.host_of(dst) == host
                         }
                         _ => false,
                     };
                     if fails {
-                        let task = self.flows[i].task;
-                        self.flows.swap_remove(i);
-                        self.rates_dirty = true;
+                        self.release_flow(slot);
                         self.fail_task(task, completions);
-                    } else {
-                        i += 1;
                     }
                 }
                 // Kill running and queued computes on the host's devices.
@@ -513,60 +666,6 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Progressive-filling max–min fair rate assignment for active flows.
-    fn recompute_rates(&mut self) {
-        let mut used = vec![0.0f64; self.capacities.len()];
-        let mut count = vec![0u32; self.capacities.len()];
-        let mut frozen = vec![false; self.flows.len()];
-        for f in &self.flows {
-            for &r in &f.resources {
-                count[r] += 1;
-            }
-        }
-        let mut remaining = self.flows.len();
-        let mut fill = 0.0f64;
-        while remaining > 0 {
-            // Smallest headroom per unfrozen flow across loaded resources.
-            let mut delta = f64::INFINITY;
-            for (r, &c) in count.iter().enumerate() {
-                if c > 0 {
-                    let head = (self.capacities[r] - used[r]) / c as f64;
-                    if head < delta {
-                        delta = head;
-                    }
-                }
-            }
-            debug_assert!(delta.is_finite());
-            fill += delta;
-            for (r, &c) in count.iter().enumerate() {
-                if c > 0 {
-                    used[r] += delta * c as f64;
-                }
-            }
-            // Freeze flows that touch a saturated resource.
-            for (i, f) in self.flows.iter_mut().enumerate() {
-                if frozen[i] {
-                    continue;
-                }
-                let saturated = f
-                    .resources
-                    .iter()
-                    .any(|&r| self.capacities[r] - used[r] <= REL_EPS * self.capacities[r]);
-                if saturated {
-                    frozen[i] = true;
-                    f.rate = fill;
-                    remaining -= 1;
-                    // Its contribution so far is exactly `fill` per
-                    // resource, which stays accounted in `used`.
-                    for &r in &f.resources {
-                        count[r] -= 1;
-                    }
-                }
-            }
-        }
-        self.rates_dirty = false;
-    }
-
     fn complete(&mut self, task: TaskId, newly_ready: &mut Vec<TaskId>) {
         debug_assert!(!self.done[task.0 as usize], "task completed twice");
         self.done[task.0 as usize] = true;
@@ -582,7 +681,7 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn execute(mut self) -> Result<Trace, SimError> {
+    fn execute(mut self) -> Result<(Trace, SimStats), SimError> {
         // Seed: tasks with no dependencies are ready at t=0.
         let mut completions: Vec<TaskId> = Vec::new();
         let initially_ready: Vec<TaskId> = self
@@ -608,104 +707,86 @@ impl<'a> Run<'a> {
             }
             self.dispatch_computes();
             if self.rates_dirty {
-                self.recompute_rates();
+                self.rates_dirty = false;
+                self.apply_rates();
             }
 
             if self.completed == self.graph.len() {
                 break;
             }
 
-            // Next event time: earliest heap event or flow drain.
-            let heap_next = self.events.peek().map(|Reverse(e)| e.time);
-            let flow_next = self
-                .flows
-                .iter()
-                .map(|f| {
-                    if f.rate > 0.0 {
-                        self.time + f.remaining / f.rate
-                    } else {
-                        f64::INFINITY
-                    }
-                })
-                .fold(f64::INFINITY, f64::min);
-            let next = match heap_next {
-                Some(h) => h.min(flow_next),
-                None => flow_next,
-            };
-            if !next.is_finite() {
+            // Next event time: the heap is the single source of truth —
+            // flow completions are FlowDrained entries, not a scan.
+            let Some(&Reverse(head)) = self.events.peek() else {
                 return Err(SimError::Stalled {
                     remaining: self.graph.len() - self.completed,
                 });
-            }
-
-            // Advance time; drain bytes from active flows.
-            let dt = next - self.time;
+            };
+            let next = head.time;
             let eps = REL_EPS * next.max(1e-12);
             self.time = next;
-            if dt > 0.0 {
-                for f in &mut self.flows {
-                    f.remaining -= f.rate * dt;
-                }
-            }
 
-            // Collect simultaneous completions.
-            let mut i = 0;
-            while i < self.flows.len() {
-                let f = &self.flows[i];
-                let finished = f.remaining <= f.rate * eps || f.remaining <= 0.0;
-                if finished {
-                    let task = f.task;
-                    self.flows.swap_remove(i);
-                    self.rates_dirty = true;
-                    if self.drops_left.get(&task.0).copied().unwrap_or(0) > 0 {
-                        self.handle_dropped_flow(task, &mut completions);
-                    } else {
+            // Pop the batch of (near-)simultaneous events.
+            while let Some(Reverse(e)) = self.events.peek().copied() {
+                if e.time > self.time + eps {
+                    break;
+                }
+                self.events.pop();
+                match e.kind {
+                    EventKind::ComputeDone(task) => {
+                        // Skip tasks already failed by a host crash.
+                        if self.done[task.0 as usize] {
+                            continue;
+                        }
+                        self.sim_stats.events_processed += 1;
+                        let device = self
+                            .graph
+                            .task(task)
+                            .work
+                            .compute_device()
+                            .expect("compute event for non-compute task");
+                        self.device_busy[device.0 as usize] = false;
+                        self.running_on[device.0 as usize] = None;
+                        self.mark_dispatch(device.0 as usize);
                         completions.push(task);
                     }
-                } else {
-                    i += 1;
-                }
-            }
-            while let Some(Reverse(e)) = self.events.peek().copied() {
-                if e.time <= self.time + eps {
-                    self.events.pop();
-                    match e.kind {
-                        EventKind::ComputeDone(task) => {
-                            // Skip tasks already failed by a host crash.
-                            if self.done[task.0 as usize] {
-                                continue;
-                            }
-                            let device = self
-                                .graph
-                                .task(task)
-                                .work
-                                .compute_device()
-                                .expect("compute event for non-compute task");
-                            self.device_busy[device.0 as usize] = false;
-                            self.running_on[device.0 as usize] = None;
-                            completions.push(task);
-                        }
-                        EventKind::FlowLatencyDone(task) => {
-                            self.activate_flow(task, &mut completions);
-                        }
-                        EventKind::Fault(idx) => {
-                            let action = self.fault_actions[idx];
-                            self.apply_fault(action, &mut completions);
-                        }
+                    EventKind::FlowLatencyDone(task) => {
+                        self.sim_stats.events_processed += 1;
+                        self.activate_flow(task, &mut completions);
                     }
-                } else {
-                    break;
+                    EventKind::FlowDrained(slot, gen) => {
+                        let f = &self.flows[slot as usize];
+                        if !f.alive || f.gen != gen {
+                            self.sim_stats.events_stale += 1;
+                            continue;
+                        }
+                        self.sim_stats.events_processed += 1;
+                        self.finish_flow(slot, &mut completions);
+                    }
+                    EventKind::Fault(idx) => {
+                        self.sim_stats.events_processed += 1;
+                        let action = self.fault_actions[idx];
+                        self.apply_fault(action, &mut completions);
+                    }
                 }
             }
         }
 
+        self.sim_stats.rate_recomputes = self.solver.stats.recomputes;
+        self.sim_stats.flows_resolved = self.solver.stats.flows_resolved;
+        self.sim_stats.frontier_size = self.solver.stats.frontier_peak;
+        stats::record(&self.sim_stats);
+
         self.failed_tasks.sort_unstable();
         self.failed_tasks.dedup();
-        Ok(Trace::faulted(
-            self.intervals,
-            self.usage,
-            self.stats,
-            self.failed_tasks,
+        Ok((
+            Trace::faulted(
+                self.intervals,
+                self.usage,
+                self.fault_stats,
+                self.failed_tasks,
+            ),
+            self.sim_stats,
         ))
     }
 
@@ -715,7 +796,7 @@ impl<'a> Run<'a> {
         let attempts = self.attempts.get(&task.0).copied().unwrap_or(0);
         if attempts >= self.max_retries {
             self.drops_left.remove(&task.0);
-            self.stats.dropped_flows += 1;
+            self.fault_stats.dropped_flows += 1;
             self.fail_task(task, completions);
             return;
         }
@@ -728,7 +809,7 @@ impl<'a> Run<'a> {
             self.drops_left.remove(&task.0);
         }
         self.attempts.insert(task.0, attempts + 1);
-        self.stats.retries += 1;
+        self.fault_stats.retries += 1;
         // The re-transmission re-sends every byte across the NICs.
         if let Work::Flow { src, dst, bytes } = self.graph.task(task).work {
             let src_host = self.cluster.host_of(src);
@@ -1317,5 +1398,140 @@ mod tests {
         let mut d = Disruptions::none();
         d.host_down.push((crate::HostId(0), f64::NAN));
         let _ = Engine::new(&c).run_with_disruptions(&g, &d);
+    }
+
+    // --- SimModel / stats tests (new with the incremental engine) ---
+
+    #[test]
+    fn sim_model_names_round_trip() {
+        assert_eq!(SimModel::parse("exact"), Some(SimModel::Exact));
+        assert_eq!(SimModel::parse("aggregate"), Some(SimModel::Aggregate));
+        assert_eq!(SimModel::parse("bogus"), None);
+        assert_eq!(SimModel::Exact.name(), "exact");
+        assert_eq!(SimModel::Aggregate.name(), "aggregate");
+        assert_eq!(Engine::new(&two_hosts()).model(), SimModel::Exact);
+    }
+
+    #[test]
+    fn aggregate_model_matches_exact_on_symmetric_sharing() {
+        // Two identical flows over one NIC: uniform sharing IS max–min.
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        g.add(Work::flow(c.device(0, 1), c.device(1, 1), 2.0), []);
+        let exact = Engine::new(&c).run(&g).unwrap();
+        let agg = Engine::with_model(&c, SimModel::Aggregate).run(&g).unwrap();
+        assert!((agg.makespan() - exact.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_model_is_conservative_on_asymmetric_sharing() {
+        // Fast sender (4 B/s) + slow sender (1 B/s) into one 4 B/s
+        // receiver. Exact max–min redistributes the slow flow's unused
+        // share to the fast flow (3 B/s); the aggregate model keeps the
+        // uniform split (2 B/s), so the fast flow finishes later — but
+        // never earlier than exact.
+        let links_fast = LinkParams::new(100.0, 4.0).with_latencies(0.0, 0.0);
+        let links_slow = LinkParams::new(100.0, 1.0).with_latencies(0.0, 0.0);
+        let c = ClusterSpec::new(vec![
+            HostSpec {
+                devices: 1,
+                links: links_fast,
+                device_flops: 1e12,
+            },
+            HostSpec {
+                devices: 1,
+                links: links_slow,
+                device_flops: 1e12,
+            },
+            HostSpec {
+                devices: 1,
+                links: links_fast,
+                device_flops: 1e12,
+            },
+        ]);
+        let mut g = TaskGraph::new();
+        let fast = g.add(Work::flow(c.device(0, 0), c.device(2, 0), 8.0), []);
+        let slow = g.add(Work::flow(c.device(1, 0), c.device(2, 0), 8.0), []);
+        let exact = Engine::new(&c).run(&g).unwrap();
+        let agg = Engine::with_model(&c, SimModel::Aggregate).run(&g).unwrap();
+        // Aggregate: fast = min(4/1, 4/2) = 2 B/s → done at t=4 (exact:
+        // 8/3 s). Slow: 1 B/s → t=8 either way.
+        assert!((agg.interval(fast).finish - 4.0).abs() < 1e-9);
+        assert!((agg.interval(slow).finish - 8.0).abs() < 1e-9);
+        assert!(agg.interval(fast).finish >= exact.interval(fast).finish - 1e-9);
+        assert!(agg.makespan() >= exact.makespan() - 1e-9);
+    }
+
+    #[test]
+    fn aggregate_model_is_deterministic() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            let src = c.device(0, i % 2);
+            let dst = c.device(1, (i + 1) % 2);
+            g.add(Work::flow(src, dst, 1.0 + i as f64), []);
+        }
+        let e = Engine::with_model(&c, SimModel::Aggregate);
+        assert_eq!(e.run(&g).unwrap(), e.run(&g).unwrap());
+    }
+
+    #[test]
+    fn run_stats_counts_events_and_recomputes() {
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let a = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 2.0), []);
+        g.add(Work::flow(c.device(0, 1), c.device(1, 1), 6.0), [a]);
+        g.add(Work::compute(c.device(0, 0), 1.0), []);
+        let (t, s) = Engine::new(&c).run_stats(&g).unwrap();
+        assert!(t.makespan() > 0.0);
+        // 2 latency events + 2 drains + 1 compute.
+        assert_eq!(s.events_processed, 5);
+        assert!(s.rate_recomputes >= 2, "{s:?}");
+        assert!(s.flows_resolved >= 2);
+        assert_eq!(s.peak_active_flows, 1, "flows are sequential here");
+        assert!(s.frontier_size >= 1);
+        // Cumulative process-wide counters absorbed this run.
+        let total = crate::stats::cumulative();
+        assert!(total.events_processed >= s.events_processed);
+    }
+
+    #[test]
+    fn stale_drain_events_are_discarded_not_processed() {
+        // Flow B starts alone at 1 B/s (drain predicted at t=4); at t=1 a
+        // compute finishes and unlocks flow A on the same NIC, halving B's
+        // rate. B's superseded t=4 event pops before its real t=7 finish
+        // and must be discarded as stale, not processed.
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let b = g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4.0), []);
+        let w = g.add(Work::compute(c.device(0, 1), 1.0), []);
+        let a = g.add(Work::flow(c.device(0, 1), c.device(1, 1), 4.0), [w]);
+        let (t, s) = Engine::new(&c).run_stats(&g).unwrap();
+        assert!((t.interval(b).finish - 7.0).abs() < 1e-9, "{t:?}");
+        // A: 2 bytes by t=5 at 0.5 B/s... it speeds back up to 1 B/s when
+        // B ends at t=7 (3 bytes drained), finishing its last byte at t=8.
+        assert!((t.interval(a).finish - 8.0).abs() < 1e-9, "{t:?}");
+        assert!(s.events_stale >= 1, "{s:?}");
+        assert_eq!(s.peak_active_flows, 2);
+    }
+
+    #[test]
+    fn recycled_flow_slots_do_not_resurrect_old_events() {
+        // Many short sequential flows force slot reuse; generations must
+        // keep a recycled slot's stale events from completing the new
+        // occupant early.
+        let c = two_hosts();
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for i in 0..16 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(g.add(
+                Work::flow(c.device(0, i % 2), c.device(1, i % 2), 1.0),
+                deps,
+            ));
+        }
+        let t = Engine::new(&c).run(&g).unwrap();
+        assert!((t.makespan() - 16.0).abs() < 1e-9, "got {}", t.makespan());
     }
 }

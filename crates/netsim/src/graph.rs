@@ -110,6 +110,15 @@ impl TaskGraph {
         TaskGraph::default()
     }
 
+    /// Creates an empty graph with room for `tasks` tasks — worth it when
+    /// generating cluster-scale workloads (a 10k-host sweep adds ~100k
+    /// tasks) so the arena never reallocates mid-build.
+    pub fn with_capacity(tasks: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::with_capacity(tasks),
+        }
+    }
+
     /// Adds a task with the given dependencies and returns its id.
     ///
     /// # Panics

@@ -484,6 +484,34 @@ impl ClusterSpec {
         }
     }
 
+    /// The full engine resource-capacity table for this cluster, in the
+    /// canonical slot layout shared by both simulator engines:
+    /// `[device send ×D][device recv ×D][host NIC send ×H][host NIC recv
+    /// ×H][fabric slots…]`. Device slots carry the host's intra-host
+    /// bandwidth; NIC slots carry the inter-host bandwidth times
+    /// [`host_nic_multiplier`](Self::host_nic_multiplier); fabric slots
+    /// follow [`fabric_slot_capacities`](Self::fabric_slot_capacities).
+    pub(crate) fn resource_capacities(&self) -> Vec<f64> {
+        let d = self.num_devices() as usize;
+        let h = self.num_hosts() as usize;
+        let fabric = self.fabric_slot_capacities();
+        let mut capacities = vec![0.0; 2 * d + 2 * h];
+        for dev in 0..d {
+            let host = self.host_of(DeviceId(dev as u32));
+            let bw = self.host(host).links.intra_host_bw;
+            capacities[dev] = bw; // device send
+            capacities[d + dev] = bw; // device recv
+        }
+        let nic_mult = self.host_nic_multiplier();
+        for host in 0..h {
+            let bw = self.host(HostId(host as u32)).links.inter_host_bw * nic_mult;
+            capacities[2 * d + host] = bw; // host send
+            capacities[2 * d + h + host] = bw; // host recv
+        }
+        capacities.extend(fabric);
+        capacities
+    }
+
     /// Factor applied to each host's NIC send/recv capacity: a
     /// rail-optimized host has one NIC per rail, so its aggregate egress is
     /// `rails ×` the flat fabric's.

@@ -30,10 +30,12 @@
 pub mod collect;
 pub mod export;
 pub mod metrics;
+pub mod simstats;
 mod span;
 
 pub use collect::{Collector, CountingCollector, Fanout, StderrLogger, TimelineCollector};
 pub use metrics::{metrics, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use simstats::sync_netsim_metrics;
 pub use span::{Span, SpanId};
 
 use std::fmt;

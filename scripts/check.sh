@@ -45,6 +45,9 @@ cargo run --offline --release -p crossmesh-bench --bin repro_obs -- --smoke
 echo "==> MoE a2a smoke (rails beat both baselines, zero convictions)"
 cargo run --offline --release -p crossmesh-bench --bin repro_moe -- --smoke > /dev/null
 
+echo "==> netsim engine smoke (incremental vs reference, aggregate sweep, zero convictions)"
+cargo run --offline --release -p crossmesh-bench --bin repro_netsim -- --smoke > /dev/null
+
 echo "==> serve smoke (daemon + trace-driven load, zero convictions, clean drain)"
 serve_dir="$(mktemp -d)"
 cargo run --offline --release -p crossmesh-cli -- serve \
