@@ -1,0 +1,136 @@
+//! The benchmark regression gate.
+//!
+//! Full mode diffs fresh `BENCH_*.json` reports against a committed
+//! baseline set under the default manifests and exits non-zero on any
+//! regression:
+//!
+//! ```text
+//! repro_regress --baseline-dir <dir> [--fresh-dir <dir>] [--json]
+//! ```
+//!
+//! `--smoke` instead self-tests the detector on the committed baselines:
+//! every report must pass against itself, and a synthetic slowdown 20%
+//! beyond each rule's tolerance must convict every ratio rule — proving
+//! the gate would actually fire before CI trusts it to stay green.
+
+use crossmesh_bench::regress::{self, Check, Options, Outcome, Verdict};
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn read_doc(path: &Path) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::from_str(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("warning: {} does not parse: {e:?}", path.display());
+            None
+        }
+    }
+}
+
+fn self_test() -> ExitCode {
+    let opts = Options {
+        live: crossmesh_bench::hostenv::HostEnv::detect(),
+        // A 1-core CI runner must still prove the detector fires.
+        force_wallclock: true,
+    };
+    let mut convicted = 0usize;
+    let mut checked = 0usize;
+    for manifest in regress::default_manifests() {
+        let Some(base) = read_doc(Path::new(&manifest.file)) else {
+            println!("regress self-test: {} absent, skipped", manifest.file);
+            continue;
+        };
+        let identity = regress::compare(&manifest, &base, &base, &opts);
+        if regress::has_regressions(&identity) {
+            eprintln!(
+                "regress self-test FAILED: {} regresses against itself\n{}",
+                manifest.file,
+                regress::render(&identity)
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut slow = base.clone();
+        regress::inject_slowdown(&mut slow, &manifest, 0.2);
+        let injected = regress::compare(&manifest, &base, &slow, &opts);
+        for o in &injected {
+            let is_ratio = manifest
+                .rules
+                .iter()
+                .find(|r| r.path == o.path)
+                .is_some_and(|r| matches!(r.check, Check::Ratio { .. }));
+            if !is_ratio || o.verdict == Verdict::Skipped {
+                continue;
+            }
+            checked += 1;
+            if o.verdict == Verdict::Regressed {
+                convicted += 1;
+            } else {
+                eprintln!(
+                    "regress self-test FAILED: injected slowdown in {} {} \
+                     went unconvicted ({})",
+                    o.file, o.path, o.detail
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("regress self-test: {} ok", manifest.file);
+    }
+    if checked == 0 {
+        eprintln!("regress self-test FAILED: no committed baseline had a ratio rule to test");
+        return ExitCode::FAILURE;
+    }
+    println!("regress self-test: {convicted}/{checked} injected slowdowns convicted");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--smoke") {
+        return self_test();
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_dir = get("--baseline-dir").unwrap_or_else(|| ".".into());
+    let fresh_dir = get("--fresh-dir").unwrap_or_else(|| ".".into());
+
+    let opts = Options::detect();
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for manifest in regress::default_manifests() {
+        let base = read_doc(&Path::new(&baseline_dir).join(&manifest.file));
+        let fresh = read_doc(&Path::new(&fresh_dir).join(&manifest.file));
+        match (base, fresh) {
+            (Some(b), Some(f)) => outcomes.extend(regress::compare(&manifest, &b, &f, &opts)),
+            (b, f) => outcomes.push(Outcome {
+                file: manifest.file.clone(),
+                path: "*".into(),
+                verdict: Verdict::Skipped,
+                ratio: None,
+                detail: format!(
+                    "report missing ({} baseline, {} fresh)",
+                    if b.is_some() { "have" } else { "no" },
+                    if f.is_some() { "have" } else { "no" },
+                ),
+            }),
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+        );
+    } else {
+        print!("{}", regress::render(&outcomes));
+    }
+    if regress::has_regressions(&outcomes) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

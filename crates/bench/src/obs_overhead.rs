@@ -27,9 +27,10 @@ pub struct Report {
     pub units: usize,
     /// Timed `plan()` calls per side.
     pub iters: usize,
-    /// Mean milliseconds per plan with no collector installed.
+    /// Best-round mean milliseconds per plan with no collector installed.
     pub disabled_ms: f64,
-    /// Mean milliseconds per plan with a counting collector installed.
+    /// Best-round mean milliseconds per plan with a counting collector
+    /// installed.
     pub enabled_ms: f64,
     /// `(enabled / disabled - 1) * 100`. Noisy on small cases; the
     /// contract is "no measurable regression with collectors disabled",
@@ -37,53 +38,95 @@ pub struct Report {
     pub overhead_pct: f64,
     /// Spans + events the collector saw across the enabled side.
     pub observed: u64,
-    /// Whether the estimate was byte-identical across both sides — the
+    /// Best-round mean milliseconds per plan with a
+    /// [`obs::FlightRecorder`] installed — the always-on black-box
+    /// configuration the serve daemon runs with.
+    pub recorder_ms: f64,
+    /// `(recorder / disabled - 1) * 100`: the price of keeping the
+    /// flight recorder armed. The regression gate holds this at or
+    /// under 2% on the full run.
+    pub recorder_overhead_pct: f64,
+    /// Spans + events + metric deltas the recorder retained (post-drop).
+    pub recorder_records: u64,
+    /// Whether the estimate was byte-identical across all sides — the
     /// observer-passivity half of the determinism contract.
     pub identical_estimates: bool,
 }
 
-/// Runs the measurement. `smoke` trims it (8 units, 5 iters) for CI; the
-/// full run uses the 20-unit case over 30 iterations per side.
+/// Runs the measurement. `smoke` trims it (8 units, 3 rounds of 3) for
+/// CI; the full run uses the 20-unit case over 12 rounds of 5 plans per
+/// arm.
+///
+/// The three arms (no collector, counting collector, flight recorder)
+/// are *interleaved round-robin* and each arm's time is the **minimum of
+/// its per-round means**: scheduler noise on a shared host only ever
+/// adds time, so the fastest round is the least contaminated estimate of
+/// the true cost, and interleaving gives every arm the same shot at the
+/// quiet windows. A block-per-arm layout was measured to swing ±40% run
+/// to run on an oversubscribed container; this layout holds the recorder
+/// arm within the gate's 2% budget.
 ///
 /// Takes the global collector test lock for the duration, since it
-/// installs a process-wide collector for the enabled side.
+/// installs a process-wide collector for two of the arms.
 pub fn run(smoke: bool) -> Report {
     let _guard = obs::collect::test_lock();
     let units = if smoke { 8 } else { 20 };
-    let iters = if smoke { 5 } else { 30 };
+    let rounds = if smoke { 3 } else { 12 };
+    let per_round = if smoke { 3 } else { 5 };
     let (_cluster, task) = planner::case(units);
     let plnr = EnsemblePlanner::new(PlannerConfig::new(presets::p3_cost_params()));
 
-    // One warm-up plan so lazy statics and allocator state don't bias
-    // whichever side runs first.
+    // Warm-up plans so lazy statics and allocator state don't bias the
+    // first round.
     let warmup = plnr.plan(&task).estimate();
-
-    let mut disabled_est = warmup;
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        disabled_est = plnr.plan(&task).estimate();
-    }
-    let disabled_ms = t0.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
+    let _ = plnr.plan(&task).estimate();
 
     let counting = Arc::new(CountingCollector::new());
-    let installed = obs::install(counting.clone());
+    let recorder = Arc::new(obs::FlightRecorder::new());
+    let mut disabled_est = warmup;
     let mut enabled_est = warmup;
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        enabled_est = plnr.plan(&task).estimate();
+    let mut recorder_est = warmup;
+    let mut round_ms = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..rounds {
+        for (arm, times) in round_ms.iter_mut().enumerate() {
+            let installed = match arm {
+                1 => Some(obs::install(counting.clone())),
+                // The bounded flight recorder: exactly what a serve daemon
+                // keeps armed in production for dump-on-trigger debugging.
+                2 => Some(obs::install(recorder.clone())),
+                _ => None,
+            };
+            let est = match arm {
+                1 => &mut enabled_est,
+                2 => &mut recorder_est,
+                _ => &mut disabled_est,
+            };
+            let t0 = Instant::now();
+            for _ in 0..per_round {
+                *est = plnr.plan(&task).estimate();
+            }
+            times.push(t0.elapsed().as_secs_f64() * 1e3 / per_round as f64);
+            drop(installed);
+        }
     }
-    let enabled_ms = t0.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
-    drop(installed);
+    let best = |times: &[f64]| times.iter().copied().fold(f64::MAX, f64::min);
+    let disabled_ms = best(&round_ms[0]);
+    let enabled_ms = best(&round_ms[1]);
+    let recorder_ms = best(&round_ms[2]);
 
     Report {
         env: HostEnv::detect(),
         units,
-        iters,
+        iters: rounds * per_round,
         disabled_ms,
         enabled_ms,
         overhead_pct: (enabled_ms / disabled_ms - 1.0) * 100.0,
         observed: counting.total(),
+        recorder_ms,
+        recorder_overhead_pct: (recorder_ms / disabled_ms - 1.0) * 100.0,
+        recorder_records: recorder.recorded(),
         identical_estimates: disabled_est.to_bits() == enabled_est.to_bits()
+            && disabled_est.to_bits() == recorder_est.to_bits()
             && disabled_est.to_bits() == warmup.to_bits(),
     }
 }
@@ -92,12 +135,16 @@ pub fn run(smoke: bool) -> Report {
 pub fn render(r: &Report) -> String {
     format!(
         "Obs overhead — {}-unit ensemble, {} plans/side: disabled {:.3} ms, \
-         enabled {:.3} ms ({:+.1}%), {} spans+events observed, estimates {}\n",
+         enabled {:.3} ms ({:+.1}%), recorder {:.3} ms ({:+.1}%, {} records), \
+         {} spans+events observed, estimates {}\n",
         r.units,
         r.iters,
         r.disabled_ms,
         r.enabled_ms,
         r.overhead_pct,
+        r.recorder_ms,
+        r.recorder_overhead_pct,
+        r.recorder_records,
         r.observed,
         if r.identical_estimates {
             "byte-identical"
@@ -118,6 +165,11 @@ mod tests {
         assert!(
             r.observed > 0,
             "the enabled side must reach the collector; saw nothing"
+        );
+        assert!(r.recorder_ms > 0.0);
+        assert!(
+            r.recorder_records > 0,
+            "the recorder arm must retain records; saw nothing"
         );
         assert!(
             r.identical_estimates,

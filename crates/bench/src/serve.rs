@@ -127,6 +127,7 @@ fn shape_pool(n: usize) -> Vec<ReshardRequest> {
                 elem_bytes: 4,
                 planner: "ours".into(),
                 seed: None,
+                faults: None,
             }
         })
         .collect()
@@ -402,6 +403,8 @@ pub fn run_with_workers(smoke: bool, workers: usize) -> Report {
             allow_remote_shutdown: false,
             metrics_out: None,
             trace_out: None,
+            flightrec_dir: None,
+            slo_exec_p99_ms: None,
         })
         .expect("daemon starts");
         let report = run_scenario_against(server.addr(), scenario).expect("scenario completes");

@@ -61,13 +61,14 @@ USAGE:
   crossmesh validate-trace --trace FILE.json [--against OTHER.json] [--json]
   crossmesh moe      [--hosts N] [--gpus-per-host N] [--fabric rails|flat|fat-tree|torus]
                      [--strategy multi_rail|send_recv|broadcast] [--direction dispatch|combine]
-                     [--tokens N] [--skew F] [--seed N] [--verify] [--json]
+                     [--tokens N] [--skew F] [--seed N] [--trace-out FILE] [--verify] [--json]
   crossmesh serve    [--workers N] [--backend B] [--planner P] [--rate R] [--burst B]
                      [--queue-depth N] [--allow-remote-shutdown] [--addr-out FILE]
-                     [--metrics-out FILE] [--trace-out FILE] [--max-seconds S] [--json]
-  crossmesh client   --addr HOST:PORT [--tenant NAME] [--ping|--stats|--shutdown]
+                     [--metrics-out FILE] [--trace-out FILE] [--flightrec-dir DIR]
+                     [--slo-exec-p99-ms MS] [--max-seconds S] [--json]
+  crossmesh client   --addr HOST:PORT [--tenant NAME] [--ping|--stats|--telemetry|--shutdown]
                      [reshard args: --src-spec/--dst-spec/--src-mesh/--dst-mesh/--shape
-                      [--elem-bytes N] [--planner P] [--seed N]] [--json]
+                      [--elem-bytes N] [--planner P] [--seed N] [--faults FILE]] [--json]
 
   strategies: broadcast (default) | send_recv | local_allgather | global_allgather
               | tree_broadcast | multi_rail | alpa
@@ -94,6 +95,15 @@ USAGE:
               backend; open at https://ui.perfetto.dev
   --metrics:  append the global metrics registry (planner, plan cache,
               recovery, runtime) to the output
+  --metrics-out: write that same registry to a file; the serve daemon
+              flushes it at shutdown, every other command after the run
+  --flightrec-dir: serve — directory for flight-recorder dumps; the daemon
+              writes a Perfetto-compatible flightrec-*.json on check
+              convictions, fault repairs, shed spikes, SLO breaches, and
+              worker panics
+  --slo-exec-p99-ms: serve — SLO ceiling on the rolling-window p99
+              execute latency; breaches bump obs.slo.* and dump the
+              flight recorder
   --log-level: error|warn|info|debug|trace — stream structured spans and
               events to stderr
   moe:        plan, statically verify (plan.* and plan.a2a.* rules), and
@@ -106,7 +116,10 @@ USAGE:
               --queue-depth), graceful drain on shutdown; --max-seconds
               bounds the run for CI harnesses
   client:     talk to a running daemon — submit a reshard (same spec
-              arguments as `reshard`), or --ping/--stats/--shutdown";
+              arguments as `reshard`, --faults ships a fault schedule for
+              the daemon to inject), or --ping/--stats/--shutdown;
+              --telemetry prints the daemon's live Prometheus exposition
+              with rolling-window latency quantiles";
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +146,7 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
             "allow-remote-shutdown",
             "ping",
             "stats",
+            "telemetry",
             "shutdown",
         ],
     )?;
@@ -174,6 +188,17 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
             .map_err(|e| format!("cannot build a {n}-thread pool: {e}"))?
             .install(dispatch),
     }?;
+    // --metrics-out snapshots the whole registry to a file after any
+    // non-serve command, netsim counters folded in first so the file is
+    // never missing the engine's share. (The serve daemon owns the same
+    // flag itself: it flushes at shutdown, after its workers are done.)
+    if args.command.as_deref() != Some("serve") {
+        if let Some(path) = args.get("metrics-out") {
+            obs::sync_netsim_metrics(obs::metrics());
+            std::fs::write(path, obs::metrics().render_text())
+                .map_err(|e| format!("cannot write --metrics-out {path:?}: {e}"))?;
+        }
+    }
     if args.has_flag("metrics") {
         // Fold the netsim engine's cumulative counters in before rendering
         // so simulator-backed commands report netsim.* alongside the rest.
@@ -538,6 +563,47 @@ fn moe(args: &Args) -> Result<String, Box<dyn Error>> {
 
     let report = plan.execute(&cluster)?;
 
+    // Per-rail spray totals feed the moe.rail.* gauges so --metrics /
+    // --metrics-out runs show how evenly the typed fabric's rails were
+    // loaded; an empty vector means no assignment used multi-rail.
+    let rail_bytes = a2a.rail_utilization(&plan);
+    let rail_imbalance = if rail_bytes.is_empty() {
+        None
+    } else {
+        let max = rail_bytes.iter().copied().fold(0.0f64, f64::max);
+        let mean = rail_bytes.iter().sum::<f64>() / rail_bytes.len() as f64;
+        Some(if mean > 0.0 { max / mean } else { 1.0 })
+    };
+    {
+        let m = obs::metrics();
+        for (i, b) in rail_bytes.iter().enumerate() {
+            m.gauge(&format!("moe.rail.{i}.bytes")).set(*b);
+        }
+        if let Some(imb) = rail_imbalance {
+            m.gauge("moe.rail.imbalance").set(imb);
+            m.counter("moe.rail.sprayed_bytes")
+                .add(rail_bytes.iter().sum::<f64>() as u64);
+        }
+    }
+
+    if let Some(path) = args.get("trace-out") {
+        // Same unified timeline as `reshard --trace-out`, plus a static
+        // per-rail byte-load counter track for the spray decision.
+        let mut graph = TaskGraph::new();
+        plan.lower(&mut graph, &[]);
+        let trace = SimBackend.execute(&cluster, &graph)?;
+        let mut export = obs::export::TraceExport::new();
+        export.push_run(&graph, &trace, &cluster, obs::export::RunKind::Primary, 0.0);
+        export.add_counter(
+            "comm.inflight_flows",
+            &inflight_flow_samples(&graph, &trace),
+        );
+        for (i, b) in rail_bytes.iter().enumerate() {
+            export.add_counter(format!("moe.rail.{i}.bytes"), &[(0.0, *b)]);
+        }
+        std::fs::write(path, export.render())?;
+    }
+
     let verified = if args.has_flag("verify") {
         let reference = execute_reference(&a2a)?;
         let threaded = execute_threaded(&a2a, 4)?;
@@ -561,6 +627,8 @@ fn moe(args: &Args) -> Result<String, Box<dyn Error>> {
             "total_bytes": a2a.total_bytes(),
             "simulated_seconds": report.simulated_seconds,
             "cross_host_bytes": report.cross_host_bytes,
+            "rail_bytes": rail_bytes,
+            "rail_imbalance": rail_imbalance,
             "diagnostics": warnings,
             "data_plane_verified": verified,
         });
@@ -578,6 +646,16 @@ fn moe(args: &Args) -> Result<String, Box<dyn Error>> {
         report.cross_host_bytes / 1e6,
         warnings,
     );
+    if let Some(imb) = rail_imbalance {
+        out.push_str(&format!(
+            "\nrails: [{}] MB, imbalance {imb:.3} (max/mean)",
+            rail_bytes
+                .iter()
+                .map(|b| format!("{:.1}", b / 1e6))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
     if verified == Some(true) {
         out.push_str("\ndata plane: verified — every expert shard delivered byte-exactly");
     }
@@ -897,6 +975,11 @@ fn serve(args: &Args) -> Result<String, Box<dyn Error>> {
         allow_remote_shutdown: args.has_flag("allow-remote-shutdown"),
         metrics_out: args.get("metrics-out").map(String::from),
         trace_out: args.get("trace-out").map(String::from),
+        flightrec_dir: args.get("flightrec-dir").map(String::from),
+        slo_exec_p99_ms: match args.get("slo-exec-p99-ms") {
+            Some(v) => Some(v.parse::<f64>().map_err(|_| "bad --slo-exec-p99-ms")?),
+            None => None,
+        },
     };
     let max_seconds = args.get_parsed("max-seconds", 0.0f64)?;
     let server = Server::start(cfg)?;
@@ -953,6 +1036,11 @@ fn client(args: &Args) -> Result<String, Box<dyn Error>> {
         client.shutdown()?;
         return Ok("daemon is shutting down".to_string());
     }
+    if args.has_flag("telemetry") {
+        // The daemon's live Prometheus-style exposition: counters,
+        // histograms, and the rolling-window latency quantiles.
+        return Ok(client.telemetry()?.trim_end().to_string());
+    }
     if args.has_flag("stats") {
         let stats = client.stats()?;
         return Ok(if args.has_flag("json") {
@@ -995,6 +1083,13 @@ fn client(args: &Args) -> Result<String, Box<dyn Error>> {
         planner: args.get_or("planner", "").to_string(),
         seed: match args.get("seed") {
             Some(s) => Some(s.parse::<u64>().map_err(|_| "bad --seed")?),
+            None => None,
+        },
+        faults: match args.get("faults") {
+            Some(path) => Some(
+                std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read --faults {path:?}: {e}"))?,
+            ),
             None => None,
         },
     };
@@ -1095,6 +1190,88 @@ mod tests {
         assert!(run(toks("moe --strategy nope")).is_err());
         assert!(run(toks("moe --direction nope")).is_err());
         assert!(run(toks("moe --hosts 3")).is_err());
+    }
+
+    #[test]
+    fn moe_reports_rail_utilization() {
+        let out = run(toks("moe --tokens 16 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let rails = v["rail_bytes"].as_array().unwrap();
+        assert!(!rails.is_empty(), "multi_rail plan sprayed nothing");
+        let sum: f64 = rails.iter().map(|b| b.as_f64().unwrap()).sum();
+        assert!(sum > 0.0);
+        assert!(v["rail_imbalance"].as_f64().unwrap() >= 1.0);
+        // A send_recv plan never sprays, so there is no rail load to report.
+        let out = run(toks("moe --tokens 16 --strategy send_recv --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["rail_bytes"].as_array().unwrap().is_empty());
+        assert!(v["rail_imbalance"].is_null());
+    }
+
+    #[test]
+    fn moe_metrics_and_trace_out_expose_rail_load() {
+        let path = std::env::temp_dir().join("crossmesh_cli_moe_trace.json");
+        let out = run(toks(&format!(
+            "moe --tokens 16 --trace-out {} --metrics",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("rails: ["), "got: {out}");
+        assert!(out.contains("moe.rail.0.bytes"), "got: {out}");
+        assert!(out.contains("moe.rail.imbalance"), "got: {out}");
+        let validated = run(toks(&format!(
+            "validate-trace --trace {} --json",
+            path.display()
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&validated).unwrap();
+        assert!(v["events"].as_u64().unwrap() > 0);
+        let tracks: Vec<&str> = v["counter_tracks"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t.as_str().unwrap())
+            .collect();
+        assert!(tracks.contains(&"comm.inflight_flows"), "got: {tracks:?}");
+        assert!(tracks.contains(&"moe.rail.0.bytes"), "got: {tracks:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_out_file_includes_netsim_counters() {
+        let path = std::env::temp_dir().join("crossmesh_cli_metrics_out.txt");
+        run(toks(&format!(
+            "reshard --src-spec S0R --dst-spec RS1 --src-mesh 1x4 --dst-mesh 2x2 \
+             --shape 32x32 --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The flush must fold the netsim engine's counters in before
+        // rendering, or simulator runs silently lose their netsim.* share.
+        assert!(text.contains("netsim.events_processed"), "got: {text}");
+        assert!(text.contains("planner."), "got: {text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn client_telemetry_prints_the_daemon_exposition() {
+        let server = crossmesh_serve::Server::start(crossmesh_serve::ServeConfig {
+            workers: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let out = run(toks(&format!(
+            "client --addr {addr} --src-spec S0R --dst-spec RS1 --src-mesh 1x4 \
+             --dst-mesh 2x2 --shape 32x32"
+        )))
+        .unwrap();
+        assert!(out.contains("done:"), "got: {out}");
+        let tel = run(toks(&format!("client --addr {addr} --telemetry"))).unwrap();
+        assert!(tel.contains("# TYPE serve_requests counter"), "got: {tel}");
+        assert!(tel.contains("serve_exec_ms_window"), "got: {tel}");
+        server.shutdown();
     }
 
     #[test]

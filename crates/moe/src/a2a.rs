@@ -16,7 +16,8 @@
 //!   expert's region is one contiguous tile.
 
 use crossmesh_check::verify::A2aPairView;
-use crossmesh_core::ReshardingTask;
+use crossmesh_collectives::{multi_rail_spray, Strategy};
+use crossmesh_core::{Plan, ReshardingTask};
 use crossmesh_mesh::{DeviceMesh, Receiver, ShardingSpec, Tile, UnitTask};
 use crossmesh_netsim::DeviceId;
 use serde::{Deserialize, Serialize};
@@ -200,6 +201,30 @@ impl A2aTask {
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
     }
+
+    /// Per-rail byte totals for `plan`'s [`Strategy::MultiRail`]
+    /// assignments, re-deriving the same greedy chunk-to-rail spray the
+    /// lowering uses. The result's length is the widest rail count any
+    /// assignment sprays over; an empty vector means no unit task used
+    /// multi-rail (co-hosted receivers ride NVLink and contribute no
+    /// rail bytes). Observability callers turn this into `moe.rail.*`
+    /// utilization metrics without lowering a task graph.
+    pub fn rail_utilization(&self, plan: &Plan<'_>) -> Vec<f64> {
+        let units = self.task.units();
+        let mut totals: Vec<f64> = Vec::new();
+        for a in plan.assignments() {
+            if let Strategy::MultiRail { rails, chunks } = a.strategy {
+                let spray = multi_rail_spray(&units[a.unit], a.sender_host, rails, chunks);
+                if spray.rail_bytes.len() > totals.len() {
+                    totals.resize(spray.rail_bytes.len(), 0.0);
+                }
+                for (t, b) in totals.iter_mut().zip(&spray.rail_bytes) {
+                    *t += *b;
+                }
+            }
+        }
+        totals
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +298,42 @@ mod tests {
             assert_eq!(s, d);
             assert_eq!(p.bytes, bytes[d][s]);
         }
+    }
+
+    #[test]
+    fn rail_utilization_accounts_every_remote_byte() {
+        use crossmesh_core::{NaivePlanner, Planner, PlannerConfig, Strategy, StrategyChoice};
+        let (_c, tokens, experts) = meshes();
+        let bytes = vec![
+            vec![10, 0, 3, 1],
+            vec![0, 0, 0, 7],
+            vec![2, 5, 0, 0],
+            vec![1, 1, 1, 1],
+        ];
+        let a2a = A2aTask::dispatch(&tokens, &experts, &bytes);
+
+        // Token and expert meshes live on disjoint hosts, so every pair is
+        // remote and every sprayed byte must land on some rail.
+        let rails = 3u32;
+        let config =
+            PlannerConfig::default().with_strategy(StrategyChoice::Fixed(Strategy::MultiRail {
+                rails,
+                chunks: 4,
+            }));
+        let plan = NaivePlanner::new(config).plan(a2a.task());
+        let util = a2a.rail_utilization(&plan);
+        assert_eq!(util.len(), rails as usize);
+        let total: f64 = util.iter().sum();
+        assert!(
+            (total - a2a.total_bytes() as f64).abs() < 1e-9,
+            "rails carry {total} bytes, expected {}",
+            a2a.total_bytes()
+        );
+        assert!(util.iter().all(|&b| b > 0.0), "a rail sat idle: {util:?}");
+
+        // A non-multi-rail plan has no rail traffic to report.
+        let broadcast = NaivePlanner::new(PlannerConfig::default()).plan(a2a.task());
+        assert!(a2a.rail_utilization(&broadcast).is_empty());
     }
 
     #[test]

@@ -126,6 +126,38 @@ impl TraceExport {
         }
     }
 
+    /// Names a process row explicitly (used by exporters that are not
+    /// backed by a [`TaskGraph`] run, like the flight recorder).
+    pub fn add_process(&mut self, pid: u32, name: impl Into<String>) {
+        self.processes.insert(pid, name.into());
+    }
+
+    /// Names a thread row explicitly.
+    pub fn add_thread(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.threads.insert((pid, tid), name.into());
+    }
+
+    /// Adds one complete (`ph: "X"`) event on an explicit row. Durations
+    /// are clamped non-negative so the document always validates.
+    pub fn add_complete(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u32,
+        tid: u32,
+    ) {
+        self.complete.push(CompleteEvent {
+            name: name.into(),
+            cat,
+            ts_us,
+            dur_us: dur_us.max(0.0),
+            pid,
+            tid,
+        });
+    }
+
     /// Adds an instant event on an explicit device row (used for runtime
     /// flow ack marks).
     pub fn add_instant(
@@ -481,6 +513,24 @@ mod tests {
             "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":0}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn explicit_rows_and_completes_validate_without_a_run() {
+        let mut export = TraceExport::new();
+        export.add_process(0, "flight-recorder");
+        export.add_thread(0, 3, "shard 3");
+        export.add_complete("plan", "flightrec", 10.0, -4.0, 0, 3);
+        export.add_instant("dump: slo-breach", "flightrec", 20.0, 0, 0);
+        export.add_counter("flightrec.dropped", &[(20.0, 0.0)]);
+        let json = export.render();
+        let summary = validate(&json).expect("validates");
+        assert!(summary.phases.contains("M"));
+        assert!(summary.phases.contains("X"));
+        assert!(summary.phases.contains("C"));
+        assert!(summary.device_rows.contains(&(0, 3)));
+        // The negative duration was clamped, not emitted.
+        assert!(json.contains("\"dur\":0"));
     }
 
     #[test]

@@ -30,12 +30,18 @@
 pub mod collect;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod simstats;
+pub mod slo;
 mod span;
 
 pub use collect::{Collector, CountingCollector, Fanout, StderrLogger, TimelineCollector};
-pub use metrics::{metrics, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SlidingWindowHistogram,
+};
+pub use recorder::FlightRecorder;
 pub use simstats::sync_netsim_metrics;
+pub use slo::{SloBreach, SloMonitor, SloRule};
 pub use span::{Span, SpanId};
 
 use std::fmt;

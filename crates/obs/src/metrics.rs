@@ -363,6 +363,179 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Renders the snapshot as Prometheus-style text exposition: `# TYPE`
+    /// comments, sanitised names, cumulative `_bucket{le=...}` series plus
+    /// `_sum`/`_count` for histograms. Deterministic (name order).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+                    }
+                    None => {
+                        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    }
+                }
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// A sliding-window histogram for rolling-tail latency (p50/p99/p999).
+///
+/// Samples land in fixed-width time slots keyed by an externally supplied
+/// clock (`now_s`), so the window is deterministic for callers that feed a
+/// virtual clock; slots older than the window are pruned on every touch.
+/// Quantiles are exact over the retained samples (each slot keeps raw
+/// values up to a per-slot cap, counting overflow as dropped).
+#[derive(Clone)]
+pub struct SlidingWindowHistogram {
+    inner: Arc<Mutex<WindowInner>>,
+}
+
+struct WindowInner {
+    slot_secs: f64,
+    slots: usize,
+    per_slot_cap: usize,
+    buckets: BTreeMap<i64, Vec<f64>>,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for SlidingWindowHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("SlidingWindowHistogram")
+            .field("slot_secs", &inner.slot_secs)
+            .field("slots", &inner.slots)
+            .field("live_slots", &inner.buckets.len())
+            .finish()
+    }
+}
+
+impl SlidingWindowHistogram {
+    /// A window of `slots` slots, each `slot_secs` wide (so the rolling
+    /// window spans `slots * slot_secs` seconds). Each slot retains at
+    /// most 65 536 raw samples.
+    pub fn new(slot_secs: f64, slots: usize) -> SlidingWindowHistogram {
+        assert!(slot_secs > 0.0, "slot width must be positive");
+        assert!(slots > 0, "need at least one slot");
+        SlidingWindowHistogram {
+            inner: Arc::new(Mutex::new(WindowInner {
+                slot_secs,
+                slots,
+                per_slot_cap: 65_536,
+                buckets: BTreeMap::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WindowInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The rolling window's span in seconds.
+    pub fn window_secs(&self) -> f64 {
+        let inner = self.lock();
+        inner.slot_secs * inner.slots as f64
+    }
+
+    /// Records `value` at time `now_s` (seconds on the caller's clock).
+    pub fn observe(&self, now_s: f64, value: f64) {
+        let mut inner = self.lock();
+        let slot = (now_s / inner.slot_secs).floor() as i64;
+        prune(&mut inner, slot);
+        let cap = inner.per_slot_cap;
+        let bucket = inner.buckets.entry(slot).or_default();
+        if bucket.len() >= cap {
+            inner.dropped += 1;
+        } else {
+            bucket.push(value);
+        }
+    }
+
+    /// Samples currently inside the window as of `now_s`.
+    pub fn count(&self, now_s: f64) -> u64 {
+        let mut inner = self.lock();
+        let slot = (now_s / inner.slot_secs).floor() as i64;
+        prune(&mut inner, slot);
+        inner.buckets.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Samples discarded because a slot hit its cap.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) over the samples inside the
+    /// window as of `now_s`, or `None` when the window is empty.
+    pub fn quantile(&self, now_s: f64, q: f64) -> Option<f64> {
+        let mut inner = self.lock();
+        let slot = (now_s / inner.slot_secs).floor() as i64;
+        prune(&mut inner, slot);
+        let mut all: Vec<f64> = inner.buckets.values().flatten().copied().collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(f64::total_cmp);
+        let idx = (q.clamp(0.0, 1.0) * (all.len() - 1) as f64).round() as usize;
+        Some(all[idx.min(all.len() - 1)])
+    }
+
+    /// Renders Prometheus-style summary lines (`quantile` labels for
+    /// p50/p99/p999 plus `_count`) for this window under `name`.
+    pub fn render_prometheus(&self, name: &str, now_s: f64) -> String {
+        let name = prometheus_name(name);
+        let mut out = format!("# TYPE {name} summary\n");
+        for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+            let v = self.quantile(now_s, q).unwrap_or(0.0);
+            out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{name}_count {}\n", self.count(now_s)));
+        out
+    }
+}
+
+fn prune(inner: &mut WindowInner, now_slot: i64) {
+    let oldest = now_slot - inner.slots as i64 + 1;
+    inner.buckets.retain(|&slot, _| slot >= oldest);
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`); anything else becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 static GLOBAL: MetricsRegistry = MetricsRegistry::new();
@@ -433,6 +606,82 @@ mod tests {
         g.set(3.5);
         g.set(-1.25);
         assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn sliding_window_quantiles_roll_off_old_samples() {
+        let w = SlidingWindowHistogram::new(1.0, 10);
+        for i in 0..100 {
+            w.observe(0.5, i as f64);
+        }
+        assert_eq!(w.count(0.5), 100);
+        let p50 = w.quantile(0.5, 0.5).unwrap();
+        assert!((49.0..=51.0).contains(&p50), "p50 {p50}");
+        let p99 = w.quantile(0.5, 0.99).unwrap();
+        assert!((97.0..=99.0).contains(&p99), "p99 {p99}");
+        assert_eq!(w.quantile(0.5, 0.999).unwrap(), 99.0);
+        // Nine seconds later the slot is still inside the 10 s window...
+        assert_eq!(w.count(9.2), 100);
+        // ...but after the window passes the samples are gone.
+        assert_eq!(w.count(30.0), 0);
+        assert!(w.quantile(30.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn sliding_window_caps_each_slot() {
+        let w = SlidingWindowHistogram::new(1.0, 4);
+        {
+            let mut inner = w.lock();
+            inner.per_slot_cap = 8;
+        }
+        for i in 0..20 {
+            w.observe(0.0, i as f64);
+        }
+        assert_eq!(w.count(0.0), 8);
+        assert_eq!(w.dropped(), 12);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(7);
+        reg.gauge("serve.queue_depth").set(2.0);
+        let h = reg.histogram("serve.exec_ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 7\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n"));
+        assert!(text.contains("serve_exec_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("serve_exec_ms_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("serve_exec_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_exec_ms_count 3\n"));
+        // No raw dots survive into metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitised name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        assert_eq!(prometheus_name("a.b-c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn window_summary_lines_render() {
+        let w = SlidingWindowHistogram::new(1.0, 60);
+        for i in 1..=100 {
+            w.observe(0.0, i as f64);
+        }
+        let text = w.render_prometheus("serve.exec_ms.window", 0.0);
+        assert!(text.contains("# TYPE serve_exec_ms_window summary"));
+        assert!(text.contains("serve_exec_ms_window{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_exec_ms_window{quantile=\"0.999\"} 100\n"));
+        assert!(text.contains("serve_exec_ms_window_count 100\n"));
     }
 
     #[test]

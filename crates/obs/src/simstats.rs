@@ -67,8 +67,13 @@ mod tests {
     use super::*;
     use crossmesh_netsim::{ClusterSpec, Engine, LinkParams, TaskGraph, Work};
 
+    /// The delta cursor is process-wide; tests that sync must not run
+    /// concurrently with each other or they steal each other's deltas.
+    static SYNC_TESTS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn sync_publishes_engine_counters_once() {
+        let _serial = SYNC_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let c = ClusterSpec::homogeneous(2, 1, LinkParams::new(10.0, 1.0));
         let mut g = TaskGraph::new();
         g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4.0), []);
@@ -85,5 +90,55 @@ mod tests {
         let before = reg.snapshot().counter("netsim.events_processed");
         sync_netsim_metrics(&reg);
         assert_eq!(reg.snapshot().counter("netsim.events_processed"), before);
+    }
+
+    #[test]
+    fn concurrent_syncs_never_double_count_or_lose_deltas() {
+        let _serial = SYNC_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        // Zero the process-wide cursor into a throwaway registry so this
+        // test's window starts clean, then capture the cumulative base.
+        sync_netsim_metrics(&MetricsRegistry::new());
+        let base = cumulative();
+
+        // Generate a known amount of engine work.
+        let c = ClusterSpec::homogeneous(2, 1, LinkParams::new(10.0, 1.0));
+        let before_runs = cumulative();
+        for _ in 0..8 {
+            let mut g = TaskGraph::new();
+            g.add(Work::flow(c.device(0, 0), c.device(1, 0), 4.0), []);
+            Engine::new(&c).run(&g).unwrap();
+        }
+        let produced = cumulative().events_processed - before_runs.events_processed;
+        assert!(produced > 0, "the engine must tally events");
+
+        // Hammer the delta cursor from two threads into one registry.
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        sync_netsim_metrics(reg);
+                    }
+                });
+            }
+        });
+        sync_netsim_metrics(&reg);
+        let end = cumulative();
+
+        // Every delta this window produced must land exactly once: at
+        // least this test's own events (no loss), and no more than the
+        // whole process-wide window (no double counting, even if other
+        // tests ran engines concurrently).
+        let synced = reg.snapshot().counter("netsim.events_processed");
+        assert!(
+            synced >= produced,
+            "lost deltas: synced {synced} < produced {produced}"
+        );
+        let window = end.events_processed - base.events_processed;
+        assert!(
+            synced <= window,
+            "double-counted deltas: synced {synced} > window {window}"
+        );
     }
 }

@@ -1,0 +1,313 @@
+//! SLO monitoring: threshold and burn-rate rules over rolling windows.
+//!
+//! A [`SloMonitor`] owns a set of rules and is evaluated at whatever
+//! cadence the host chooses (the serve daemon evaluates after each
+//! completed job and on every `Telemetry` request). Each evaluation
+//! publishes `obs.slo.*` counters into the registry it is handed;
+//! breaches are returned to the caller, which typically fires a flight
+//! recorder dump — the monitor itself never blocks or perturbs the
+//! instrumented path (same passivity contract as collectors).
+//!
+//! Two rule shapes:
+//!
+//! * **Quantile threshold** — a [`SlidingWindowHistogram`] quantile (say
+//!   exec-latency p99 over the last minute) must stay at or under a
+//!   bound.
+//! * **Burn rate** — the ratio of a *bad* counter's growth to a *total*
+//!   counter's growth between evaluations (say shed / admitted) must
+//!   stay at or under a bound.
+//!
+//! Per-rule cooldowns keep a sustained breach from re-firing on every
+//! evaluation: after a breach the rule is silenced for the cooldown,
+//! then fires again if the condition still holds.
+
+use crate::metrics::{Counter, MetricsRegistry, SlidingWindowHistogram};
+use std::sync::Mutex;
+
+/// One SLO rule. Construct via [`SloRule::quantile`] or
+/// [`SloRule::burn_rate`].
+#[derive(Clone)]
+pub struct SloRule {
+    /// Dotted rule name, used in `obs.slo.breach.<name>` counters.
+    pub name: String,
+    kind: RuleKind,
+}
+
+#[derive(Clone)]
+enum RuleKind {
+    Quantile {
+        window: SlidingWindowHistogram,
+        q: f64,
+        max_value: f64,
+        /// Quantiles over a near-empty window are noise; the rule stays
+        /// quiet below this sample count.
+        min_count: u64,
+    },
+    BurnRate {
+        bad: Counter,
+        total: Counter,
+        max_ratio: f64,
+        /// Ratios over a handful of requests are noise; the rule stays
+        /// quiet until this many total events land between evaluations.
+        min_events: u64,
+    },
+}
+
+impl std::fmt::Debug for SloRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            RuleKind::Quantile { q, max_value, .. } => format!("p{q} <= {max_value}"),
+            RuleKind::BurnRate { max_ratio, .. } => format!("burn <= {max_ratio}"),
+        };
+        f.debug_struct("SloRule")
+            .field("name", &self.name)
+            .field("kind", &kind)
+            .finish()
+    }
+}
+
+impl SloRule {
+    /// `window`'s `q`-quantile must stay `<= max_value` once at least
+    /// `min_count` samples are in the window.
+    pub fn quantile(
+        name: impl Into<String>,
+        window: SlidingWindowHistogram,
+        q: f64,
+        max_value: f64,
+        min_count: u64,
+    ) -> SloRule {
+        SloRule {
+            name: name.into(),
+            kind: RuleKind::Quantile {
+                window,
+                q,
+                max_value,
+                min_count,
+            },
+        }
+    }
+
+    /// `bad`'s growth divided by `total`'s growth between evaluations
+    /// must stay `<= max_ratio`, once at least `min_events` total events
+    /// arrive in the evaluation interval.
+    pub fn burn_rate(
+        name: impl Into<String>,
+        bad: Counter,
+        total: Counter,
+        max_ratio: f64,
+        min_events: u64,
+    ) -> SloRule {
+        SloRule {
+            name: name.into(),
+            kind: RuleKind::BurnRate {
+                bad,
+                total,
+                max_ratio,
+                min_events,
+            },
+        }
+    }
+}
+
+/// One rule violation found by [`SloMonitor::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBreach {
+    /// The violated rule's name.
+    pub rule: String,
+    /// The observed value (quantile, or burn ratio).
+    pub value: f64,
+    /// The configured bound it exceeded.
+    pub threshold: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleState {
+    last_bad: u64,
+    last_total: u64,
+    /// Breaches are silenced until this time (monitor clock, seconds).
+    cooldown_until: f64,
+}
+
+/// Evaluates a rule set against its windows and counters. See the
+/// module docs.
+pub struct SloMonitor {
+    rules: Vec<SloRule>,
+    state: Mutex<Vec<RuleState>>,
+    cooldown_secs: f64,
+}
+
+impl std::fmt::Debug for SloMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMonitor")
+            .field("rules", &self.rules)
+            .field("cooldown_secs", &self.cooldown_secs)
+            .finish()
+    }
+}
+
+impl SloMonitor {
+    /// An empty monitor whose rules re-fire at most once per
+    /// `cooldown_secs` while a breach persists.
+    pub fn new(cooldown_secs: f64) -> SloMonitor {
+        SloMonitor {
+            rules: Vec::new(),
+            state: Mutex::new(Vec::new()),
+            cooldown_secs,
+        }
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: SloRule) {
+        self.rules.push(rule);
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(RuleState::default());
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule at time `now_s` (caller's clock), publishing
+    /// `obs.slo.evaluations`, `obs.slo.breaches`, and per-rule
+    /// `obs.slo.breach.<name>` counters into `registry`, and returning
+    /// the breaches that fired (post-cooldown).
+    pub fn evaluate(&self, now_s: f64, registry: &MetricsRegistry) -> Vec<SloBreach> {
+        registry.counter("obs.slo.evaluations").inc();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut breaches = Vec::new();
+        for (rule, st) in self.rules.iter().zip(state.iter_mut()) {
+            let violation = match &rule.kind {
+                RuleKind::Quantile {
+                    window,
+                    q,
+                    max_value,
+                    min_count,
+                } => {
+                    if window.count(now_s) < *min_count {
+                        None
+                    } else {
+                        window
+                            .quantile(now_s, *q)
+                            .filter(|v| v > max_value)
+                            .map(|v| (v, *max_value))
+                    }
+                }
+                RuleKind::BurnRate {
+                    bad,
+                    total,
+                    max_ratio,
+                    min_events,
+                } => {
+                    let (bad_now, total_now) = (bad.get(), total.get());
+                    let d_bad = bad_now.saturating_sub(st.last_bad);
+                    let d_total = total_now.saturating_sub(st.last_total);
+                    st.last_bad = bad_now;
+                    st.last_total = total_now;
+                    if d_total < *min_events {
+                        None
+                    } else {
+                        let ratio = d_bad as f64 / d_total as f64;
+                        (ratio > *max_ratio).then_some((ratio, *max_ratio))
+                    }
+                }
+            };
+            if let Some((value, threshold)) = violation {
+                if now_s >= st.cooldown_until {
+                    st.cooldown_until = now_s + self.cooldown_secs;
+                    registry.counter("obs.slo.breaches").inc();
+                    registry
+                        .counter(&format!("obs.slo.breach.{}", rule.name))
+                        .inc();
+                    breaches.push(SloBreach {
+                        rule: rule.name.clone(),
+                        value,
+                        threshold,
+                    });
+                }
+            }
+        }
+        breaches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_rule_fires_only_past_threshold_and_min_count() {
+        let w = SlidingWindowHistogram::new(1.0, 60);
+        let reg = MetricsRegistry::new();
+        let mut mon = SloMonitor::new(10.0);
+        mon.add_rule(SloRule::quantile("exec_p99", w.clone(), 0.99, 50.0, 5));
+
+        // Below min_count: quiet even though the values are terrible.
+        w.observe(0.0, 500.0);
+        assert!(mon.evaluate(0.0, &reg).is_empty());
+
+        for _ in 0..10 {
+            w.observe(0.0, 10.0);
+        }
+        // p99 picks up the 500 ms outlier -> breach.
+        let breaches = mon.evaluate(1.0, &reg);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].rule, "exec_p99");
+        assert!(breaches[0].value > 50.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("obs.slo.breaches"), 1);
+        assert_eq!(snap.counter("obs.slo.breach.exec_p99"), 1);
+        assert_eq!(snap.counter("obs.slo.evaluations"), 2);
+    }
+
+    #[test]
+    fn cooldown_silences_then_refires() {
+        let w = SlidingWindowHistogram::new(1.0, 600);
+        for _ in 0..10 {
+            w.observe(0.0, 100.0);
+        }
+        let reg = MetricsRegistry::new();
+        let mut mon = SloMonitor::new(30.0);
+        mon.add_rule(SloRule::quantile("p50", w, 0.5, 1.0, 1));
+        assert_eq!(mon.evaluate(0.0, &reg).len(), 1);
+        // Still breaching, but inside the cooldown.
+        assert!(mon.evaluate(10.0, &reg).is_empty());
+        // Past the cooldown the sustained breach fires again.
+        assert_eq!(mon.evaluate(31.0, &reg).len(), 1);
+        assert_eq!(reg.snapshot().counter("obs.slo.breach.p50"), 2);
+    }
+
+    #[test]
+    fn burn_rate_tracks_counter_growth_between_evaluations() {
+        let reg = MetricsRegistry::new();
+        let bad = reg.counter("serve.shed");
+        let total = reg.counter("serve.requests");
+        let mut mon = SloMonitor::new(0.0);
+        mon.add_rule(SloRule::burn_rate(
+            "shed_rate",
+            bad.clone(),
+            total.clone(),
+            0.1,
+            10,
+        ));
+
+        total.add(100);
+        bad.add(5);
+        // 5% < 10%: fine.
+        assert!(mon.evaluate(1.0, &reg).is_empty());
+
+        total.add(20);
+        bad.add(19);
+        // The *delta* is 19/20, not the lifetime 24/120.
+        let breaches = mon.evaluate(2.0, &reg);
+        assert_eq!(breaches.len(), 1);
+        assert!((breaches[0].value - 0.95).abs() < 1e-9);
+
+        // Too few events in the interval: quiet.
+        total.add(3);
+        bad.add(3);
+        assert!(mon.evaluate(3.0, &reg).is_empty());
+    }
+}

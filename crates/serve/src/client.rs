@@ -120,6 +120,26 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's live Prometheus-style metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing errors, or `InvalidData` on a non-telemetry reply.
+    pub fn telemetry(&mut self) -> io::Result<String> {
+        let r = Request {
+            id: self.fresh_id(),
+            tenant: String::new(),
+            body: RequestBody::Telemetry,
+        };
+        match self.request(&r)? {
+            Response::Telemetry(t) => Ok(t.text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected telemetry, got {other:?}"),
+            )),
+        }
+    }
+
     /// Liveness probe.
     ///
     /// # Errors

@@ -44,6 +44,6 @@ pub use admission::{AdmissionConfig, TokenBucket};
 pub use client::Client;
 pub use proto::{
     DoneReply, ErrorReply, RejectedReply, Request, RequestBody, ReshardRequest, Response,
-    StatsReply, TenantStats,
+    StatsReply, TelemetryReply, TenantStats,
 };
 pub use server::{BackendKind, ServeConfig, ServeSummary, Server};

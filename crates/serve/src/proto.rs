@@ -38,6 +38,9 @@ pub enum RequestBody {
     Reshard(ReshardRequest),
     /// Report server-wide and per-tenant counters.
     Stats,
+    /// Report live metrics in Prometheus text exposition format,
+    /// including rolling-window p50/p99/p999 latency quantiles.
+    Telemetry,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to drain and exit (honoured only when the server
@@ -67,6 +70,10 @@ pub struct ReshardRequest {
     pub planner: String,
     /// Seed for the randomized-greedy planner.
     pub seed: Option<u64>,
+    /// Optional inline JSON fault schedule (`crossmesh-faults` format).
+    /// When set, the job executes under fault injection with automatic
+    /// repair; absent (or `null`, as older clients send) runs clean.
+    pub faults: Option<String>,
 }
 
 impl ReshardRequest {
@@ -81,6 +88,7 @@ impl ReshardRequest {
             elem_bytes: 4,
             planner: String::new(),
             seed: None,
+            faults: None,
         }
     }
 }
@@ -97,6 +105,8 @@ pub enum Response {
     Error(ErrorReply),
     /// Counter snapshot.
     Stats(StatsReply),
+    /// Prometheus-style exposition for [`RequestBody::Telemetry`].
+    Telemetry(TelemetryReply),
     /// Pong for [`RequestBody::Ping`].
     Pong {
         /// Echoed request id.
@@ -118,6 +128,7 @@ impl Response {
             Response::Rejected(r) => r.id,
             Response::Error(r) => r.id,
             Response::Stats(r) => r.id,
+            Response::Telemetry(r) => r.id,
             Response::Pong { id } | Response::ShuttingDown { id } => *id,
         }
     }
@@ -163,6 +174,17 @@ pub struct ErrorReply {
     pub id: u64,
     /// Human-readable failure description.
     pub message: String,
+}
+
+/// Live metrics in Prometheus text exposition format: every counter,
+/// gauge, and histogram in the daemon's registry plus rolling-window
+/// latency summaries (`*_window{quantile="0.5"|"0.99"|"0.999"}`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReply {
+    /// Echoed request id.
+    pub id: u64,
+    /// The exposition text (newline-terminated metric lines).
+    pub text: String,
 }
 
 /// Per-tenant counter snapshot inside [`StatsReply`].
@@ -386,6 +408,34 @@ mod tests {
     }
 
     #[test]
+    fn reshard_frames_from_pre_faults_clients_still_parse() {
+        // Hand-built frame with no `faults` key, as clients predating the
+        // field send it: the field must default to None, not error.
+        let body = r#"{"id":3,"tenant":"t","body":{"Reshard":{"src_spec":"RS0R","dst_spec":"S0RR","src_mesh":"2x4","dst_mesh":"2x4","shape":"64x64x8","elem_bytes":4,"planner":"","seed":null}}}"#;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(body.as_bytes());
+        let got: Request = read_frame(&mut &buf[..]).unwrap().expect("frame");
+        match got.body {
+            RequestBody::Reshard(r) => assert_eq!(r.faults, None),
+            other => panic!("parsed wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_request_round_trips() {
+        let req = Request {
+            id: 11,
+            tenant: "ops".into(),
+            body: RequestBody::Telemetry,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let got: Request = read_frame(&mut &buf[..]).unwrap().expect("frame");
+        assert_eq!(got, req);
+    }
+
+    #[test]
     fn every_response_variant_round_trips_with_its_id() {
         let responses = [
             Response::Done(DoneReply {
@@ -411,8 +461,12 @@ mod tests {
                 id: 4,
                 ..StatsReply::default()
             }),
-            Response::Pong { id: 5 },
-            Response::ShuttingDown { id: 6 },
+            Response::Telemetry(TelemetryReply {
+                id: 5,
+                text: "serve_completed_total 3\n".into(),
+            }),
+            Response::Pong { id: 6 },
+            Response::ShuttingDown { id: 7 },
         ];
         for (i, r) in responses.iter().enumerate() {
             let mut buf = Vec::new();

@@ -18,12 +18,13 @@
 use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::proto::{
     self, DoneReply, ErrorReply, FrameRead, RejectedReply, Request, RequestBody, ReshardRequest,
-    Response, StatsReply, TenantStats,
+    Response, StatsReply, TelemetryReply, TenantStats,
 };
 use crossmesh_core::{
     CostParams, DfsPlanner, EnsemblePlanner, LoadBalancePlanner, NaivePlanner, Plan, PlanCache,
     Planner, PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, SenderExclusions,
 };
+use crossmesh_faults::{execute_with_repair_cached, FaultSchedule};
 use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::presets;
 use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
@@ -32,10 +33,18 @@ use crossmesh_runtime::{PollListener, ThreadedBackend};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Consecutive rejections (across all tenants, with no admission in
+/// between) that count as a shed spike and trigger a flight-recorder
+/// dump. Fires once per spike: the streak must be broken by an admission
+/// before another dump can trigger.
+const SHED_SPIKE_STREAK: u64 = 16;
 
 /// Which execution backend serves requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +101,14 @@ pub struct ServeConfig {
     /// Write a Chrome/Perfetto timeline of queue depth and throughput
     /// counters here on shutdown.
     pub trace_out: Option<String>,
+    /// Directory for flight-recorder dumps (`flightrec-<trigger>-<n>.json`).
+    /// Dump triggers — check convictions, fault repairs, shed spikes, SLO
+    /// breaches, worker/reader panics — are no-ops when unset.
+    pub flightrec_dir: Option<String>,
+    /// SLO bound on the rolling-window p99 of execution latency,
+    /// milliseconds. Breaches fire `obs.slo.*` counters and a
+    /// flight-recorder dump. Unset installs no latency rule.
+    pub slo_exec_p99_ms: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +121,8 @@ impl Default for ServeConfig {
             allow_remote_shutdown: false,
             metrics_out: None,
             trace_out: None,
+            flightrec_dir: None,
+            slo_exec_p99_ms: None,
         }
     }
 }
@@ -199,9 +218,104 @@ struct Shared {
     queue_ms: obs::Histogram,
     plan_ms: obs::Histogram,
     exec_ms: obs::Histogram,
+    /// Rolling one-minute latency windows behind the `Telemetry` reply's
+    /// p50/p99/p999 summaries and the SLO monitor's quantile rules.
+    queue_window: obs::SlidingWindowHistogram,
+    plan_window: obs::SlidingWindowHistogram,
+    exec_window: obs::SlidingWindowHistogram,
+    /// Always-on flight recorder; dumped on triggers when
+    /// [`ServeConfig::flightrec_dir`] is set.
+    recorder: Arc<obs::FlightRecorder>,
+    slo: obs::SloMonitor,
+    /// Consecutive rejections with no admission in between; a shed spike
+    /// fires when it reaches [`SHED_SPIKE_STREAK`].
+    shed_streak: AtomicU64,
 }
 
 impl Shared {
+    /// The daemon's monotonic clock, seconds since start. Feeds the
+    /// sliding windows and the SLO monitor.
+    fn clock(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Best-effort flight-recorder dump; a no-op without a configured
+    /// dump directory, and a failing write never takes down the daemon
+    /// it is trying to explain.
+    fn dump_flightrec(&self, trigger: &str) {
+        let Some(dir) = &self.cfg.flightrec_dir else {
+            return;
+        };
+        match self.recorder.dump_to_dir(Path::new(dir), trigger) {
+            Ok(path) => {
+                self.registry.counter("serve.flightrec_dumps").inc();
+                obs::event(
+                    obs::Level::Info,
+                    "serve",
+                    "flightrec_dump",
+                    &[
+                        obs::Field::str("trigger", trigger),
+                        obs::Field::str("path", path.display().to_string()),
+                    ],
+                );
+            }
+            Err(e) => obs::event(
+                obs::Level::Warn,
+                "serve",
+                "flightrec_dump_failed",
+                &[obs::Field::str("error", e.to_string())],
+            ),
+        }
+    }
+
+    /// Runs the SLO rules; each breach logs, counts (inside the monitor),
+    /// and dumps the flight recorder. The monitor's per-rule cooldown
+    /// keeps a sustained breach from dumping on every evaluation.
+    fn evaluate_slo(&self) {
+        for breach in self.slo.evaluate(self.clock(), &self.registry) {
+            obs::event(
+                obs::Level::Warn,
+                "serve",
+                "slo_breach",
+                &[
+                    obs::Field::str("rule", breach.rule.clone()),
+                    obs::Field::f64("value", breach.value),
+                    obs::Field::f64("threshold", breach.threshold),
+                ],
+            );
+            self.dump_flightrec("slo-breach");
+        }
+    }
+
+    /// Renders the full Prometheus-style exposition: the daemon and
+    /// plan-cache registries plus the rolling-window latency summaries.
+    /// Syncs the netsim engine counters first so `netsim.*` metrics are
+    /// current, and evaluates the SLO rules so `obs.slo.*` counters in
+    /// the exposition reflect this scrape.
+    fn telemetry_text(&self) -> String {
+        obs::sync_netsim_metrics(&self.registry);
+        self.evaluate_slo();
+        let now = self.clock();
+        let mut text = self.registry.snapshot().render_prometheus();
+        text.push_str(&self.cache.registry().snapshot().render_prometheus());
+        text.push_str(
+            &self
+                .queue_window
+                .render_prometheus("serve.queue_ms.window", now),
+        );
+        text.push_str(
+            &self
+                .plan_window
+                .render_prometheus("serve.plan_ms.window", now),
+        );
+        text.push_str(
+            &self
+                .exec_window
+                .render_prometheus("serve.exec_ms.window", now),
+        );
+        text
+    }
+
     fn sample(&self) {
         let ts = self.started.elapsed().as_secs_f64() * 1e6;
         let (depth, completed) = {
@@ -290,6 +404,10 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Keeps the flight recorder installed (fanned out with whatever
+    /// collector was already active) for the server's lifetime; dropping
+    /// the guard on shutdown restores the previous collector.
+    _obs_guard: obs::CollectorGuard,
 }
 
 impl std::fmt::Debug for Server {
@@ -313,11 +431,59 @@ impl Server {
         let addr = listener.local_addr()?;
         let registry = obs::MetricsRegistry::new();
         let hist_bounds = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0];
+
+        // One-minute rolling windows (60 one-second slots) behind the
+        // telemetry quantiles and the SLO rules.
+        let queue_window = obs::SlidingWindowHistogram::new(1.0, 60);
+        let plan_window = obs::SlidingWindowHistogram::new(1.0, 60);
+        let exec_window = obs::SlidingWindowHistogram::new(1.0, 60);
+        let mut slo = obs::SloMonitor::new(5.0);
+        // Burn rate: shedding more than half the incoming requests over
+        // an evaluation interval (with enough traffic to mean something)
+        // is an overload signal even when latency looks fine.
+        slo.add_rule(obs::SloRule::burn_rate(
+            "shed_rate",
+            registry.counter("serve.shed"),
+            registry.counter("serve.requests"),
+            0.5,
+            20,
+        ));
+        if let Some(p99_ms) = cfg.slo_exec_p99_ms {
+            slo.add_rule(obs::SloRule::quantile(
+                "exec_p99_ms",
+                exec_window.clone(),
+                0.99,
+                p99_ms,
+                8,
+            ));
+        }
+
+        // Install the flight recorder for the server's lifetime, fanned
+        // out with whatever collector the host process already had. Also
+        // publish it as the process-wide recorder so the panic hook (and
+        // any other `dump_global` trigger) can reach it.
+        let recorder = Arc::new(obs::FlightRecorder::new());
+        let fanned: Arc<dyn obs::Collector> = match obs::collector() {
+            Some(prev) => Arc::new(obs::Fanout::new(vec![prev, recorder.clone()])),
+            None => recorder.clone(),
+        };
+        let obs_guard = obs::install(fanned);
+        obs::recorder::set_global(Some(recorder.clone()));
+        if let Some(dir) = &cfg.flightrec_dir {
+            obs::recorder::install_panic_hook(PathBuf::from(dir));
+        }
+
         let shared = Arc::new(Shared {
             queue_depth: registry.gauge("serve.queue_depth"),
             queue_ms: registry.histogram("serve.queue_ms", &hist_bounds),
             plan_ms: registry.histogram("serve.plan_ms", &hist_bounds),
             exec_ms: registry.histogram("serve.exec_ms", &hist_bounds),
+            queue_window,
+            plan_window,
+            exec_window,
+            recorder,
+            slo,
+            shed_streak: AtomicU64::new(0),
             cfg,
             cache: PlanCache::new(),
             registry,
@@ -368,6 +534,7 @@ impl Server {
             accept: Some(accept),
             workers,
             readers,
+            _obs_guard: obs_guard,
         })
     }
 
@@ -379,6 +546,11 @@ impl Server {
     /// Live counter snapshot (same shape the `Stats` request returns).
     pub fn stats(&self) -> StatsReply {
         self.shared.stats_reply(0)
+    }
+
+    /// The Prometheus-style exposition the `Telemetry` request returns.
+    pub fn telemetry(&self) -> String {
+        self.shared.telemetry_text()
     }
 
     /// The daemon's metrics registry (per-tenant counters, latency
@@ -433,8 +605,10 @@ impl Server {
             let _ = r.join();
         }
         shared.sample();
-        // Phase 3: flush observability outputs.
+        // Phase 3: flush observability outputs. Sync the netsim engine
+        // counters first so `netsim.*` metrics are current in the dump.
         if let Some(path) = &shared.cfg.metrics_out {
+            obs::sync_netsim_metrics(&shared.registry);
             let mut text = shared.registry.render_text();
             text.push_str(&shared.cache.registry().render_text());
             let _ = std::fs::write(path, text);
@@ -501,7 +675,16 @@ fn accept_loop(
                 let s = Arc::clone(shared);
                 let spawned = thread::Builder::new()
                     .name(format!("serve-conn-{next_conn}"))
-                    .spawn(move || reader_loop(stream, &s));
+                    .spawn(move || {
+                        // A panicking reader must not die silently: dump
+                        // the flight recorder so the frame that killed it
+                        // is inspectable, and count the death.
+                        let r = catch_unwind(AssertUnwindSafe(|| reader_loop(stream, &s)));
+                        if r.is_err() {
+                            s.registry.counter("serve.worker_panics").inc();
+                            s.dump_flightrec("reader-panic");
+                        }
+                    });
                 match spawned {
                     Ok(handle) => readers.lock().push(handle),
                     Err(e) => obs::event(
@@ -585,6 +768,10 @@ fn handle_request(req: Request, conn: &Arc<Conn>, shared: &Arc<Shared>) {
     match req.body {
         RequestBody::Ping => conn.send(&Response::Pong { id: req.id }),
         RequestBody::Stats => conn.send(&Response::Stats(shared.stats_reply(req.id))),
+        RequestBody::Telemetry => conn.send(&Response::Telemetry(TelemetryReply {
+            id: req.id,
+            text: shared.telemetry_text(),
+        })),
         RequestBody::Shutdown => {
             if shared.cfg.allow_remote_shutdown {
                 conn.send(&Response::ShuttingDown { id: req.id });
@@ -648,14 +835,30 @@ fn admit(id: u64, tenant: String, req: ReshardRequest, conn: &Arc<Conn>, shared:
             }
         }
     };
+    shared.registry.counter("serve.requests").inc();
     match verdict {
         Ok(()) => {
+            shared.shed_streak.store(0, Ordering::Relaxed);
             shared.tenant_counter(&tenant, "accepted").inc();
             shared.sample();
             shared.work.notify_one();
         }
         Err((reason, retry_after_ms)) => {
+            shared.registry.counter("serve.shed").inc();
             shared.tenant_counter(&tenant, "rejected").inc();
+            let streak = shared.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if streak == SHED_SPIKE_STREAK {
+                obs::event(
+                    obs::Level::Warn,
+                    "serve",
+                    "shed_spike",
+                    &[
+                        obs::Field::u64("streak", streak),
+                        obs::Field::str("reason", reason.clone()),
+                    ],
+                );
+                shared.dump_flightrec("shed-spike");
+            }
             conn.send(&Response::Rejected(RejectedReply {
                 id,
                 reason,
@@ -693,7 +896,26 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        process(job, shared);
+        // A panicking job must cost the daemon one reply, not one worker:
+        // dump the recorder, answer the client, count the tenant failure,
+        // and keep looping.
+        let (id, tenant, conn) = (job.id, job.tenant.clone(), Arc::clone(&job.conn));
+        if catch_unwind(AssertUnwindSafe(|| process(job, shared))).is_err() {
+            shared.registry.counter("serve.worker_panics").inc();
+            shared.dump_flightrec("worker-panic");
+            {
+                let mut st = shared.dispatch.lock();
+                if let Some(t) = st.tenants.get_mut(&tenant) {
+                    t.failed += 1;
+                }
+            }
+            shared.tenant_counter(&tenant, "failed").inc();
+            conn.send(&Response::Error(ErrorReply {
+                id,
+                message: "internal error: worker panicked (flight recorder dumped)".into(),
+            }));
+        }
+        shared.evaluate_slo();
         shared.sample();
     }
 }
@@ -759,6 +981,7 @@ fn build_task(req: &ReshardRequest) -> Result<(ReshardingTask, ClusterSpec, Cost
 fn process(job: Job, shared: &Arc<Shared>) {
     let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
     shared.queue_ms.observe(queue_ms);
+    shared.queue_window.observe(shared.clock(), queue_ms);
     let outcome = run_job(&job, shared, queue_ms);
     let (ok, resp) = match outcome {
         Ok(done) => (true, Response::Done(done)),
@@ -802,18 +1025,75 @@ fn run_job(job: &Job, shared: &Arc<Shared>, queue_ms: f64) -> Result<DoneReply, 
         .map_err(|e| format!("planning failed: {e}"))?;
     let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
     shared.plan_ms.observe(plan_ms);
+    shared.plan_window.observe(shared.clock(), plan_ms);
 
-    let backend = shared.cfg.backend.instantiate();
     let exec_start = Instant::now();
-    let report = plan.execute_with(&*backend, &cluster).map_err(|e| {
-        let msg = format!("{e}");
-        if msg.contains("static verification") {
+    let on_exec_error = |e: String| {
+        if e.contains("static verification") {
             shared.exec_convictions.fetch_add(1, Ordering::Relaxed);
+            shared.dump_flightrec("check-conviction");
         }
-        format!("execution failed: {msg}")
-    })?;
+        format!("execution failed: {e}")
+    };
+
+    // Requests carrying a fault schedule execute under injection with
+    // automatic repair; the repair's failover planning reuses the shared
+    // plan cache, so repeated (plan, crashed-hosts) pairs replay.
+    let simulated_seconds = match parse_faults(job.req.faults.as_deref())? {
+        Some(schedule) => {
+            let recovery = match shared.cfg.backend {
+                BackendKind::Sim => execute_with_repair_cached(
+                    &plan,
+                    &cluster,
+                    &SimBackend,
+                    &schedule,
+                    Some(&shared.cache),
+                ),
+                BackendKind::Threads => execute_with_repair_cached(
+                    &plan,
+                    &cluster,
+                    &ThreadedBackend::threads(),
+                    &schedule,
+                    Some(&shared.cache),
+                ),
+                BackendKind::Tcp => execute_with_repair_cached(
+                    &plan,
+                    &cluster,
+                    &ThreadedBackend::tcp(),
+                    &schedule,
+                    Some(&shared.cache),
+                ),
+            }
+            .map_err(|e| on_exec_error(format!("{e}")))?;
+            if recovery.repaired {
+                shared.registry.counter("serve.fault_repairs").inc();
+                shared
+                    .registry
+                    .counter("serve.failovers")
+                    .add(recovery.failovers as u64);
+                obs::event(
+                    obs::Level::Warn,
+                    "serve",
+                    "fault_repair",
+                    &[
+                        obs::Field::u64("failovers", recovery.failovers as u64),
+                        obs::Field::u64("retries", recovery.retries),
+                    ],
+                );
+                shared.dump_flightrec("fault-repair");
+            }
+            recovery.report.simulated_seconds
+        }
+        None => {
+            let backend = shared.cfg.backend.instantiate();
+            plan.execute_with(&*backend, &cluster)
+                .map_err(|e| on_exec_error(format!("{e}")))?
+                .simulated_seconds
+        }
+    };
     let exec_ms = exec_start.elapsed().as_secs_f64() * 1e3;
     shared.exec_ms.observe(exec_ms);
+    shared.exec_window.observe(shared.clock(), exec_ms);
 
     Ok(DoneReply {
         id: job.id,
@@ -822,7 +1102,18 @@ fn run_job(job: &Job, shared: &Arc<Shared>, queue_ms: f64) -> Result<DoneReply, 
         plan_ms,
         exec_ms,
         estimate_seconds: plan.estimate(),
-        simulated_seconds: report.simulated_seconds,
+        simulated_seconds,
         unit_tasks: task.units().len(),
     })
+}
+
+/// Parses a request's optional inline fault schedule. Empty or
+/// whitespace-only text counts as absent.
+fn parse_faults(text: Option<&str>) -> Result<Option<FaultSchedule>, String> {
+    match text {
+        Some(t) if !t.trim().is_empty() => FaultSchedule::from_json(t)
+            .map(Some)
+            .map_err(|e| format!("bad fault schedule: {e}")),
+        _ => Ok(None),
+    }
 }

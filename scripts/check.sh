@@ -33,13 +33,17 @@ cargo run --offline --release -p crossmesh-check --bin crossmesh-lint
 echo "==> bounded model checker smoke (runtime dataflow interleavings)"
 cargo run --offline --release -p crossmesh-check --bin crossmesh-modelcheck -- --smoke
 
+echo "==> snapshot committed bench baselines (regression-gate reference)"
+bench_baseline="$(mktemp -d)"
+cp BENCH_*.json "$bench_baseline"/
+
 echo "==> planner bench smoke (1 vs 4 threads)"
 cargo run --offline --release -p crossmesh-bench --bin repro_planner -- --smoke > /dev/null
 
 echo "==> verifier overhead smoke"
 cargo run --offline --release -p crossmesh-bench --bin repro_check -- --smoke > /dev/null
 
-echo "==> obs overhead smoke (collectors off vs on, determinism)"
+echo "==> obs overhead smoke (collectors off vs on vs flight recorder, determinism)"
 cargo run --offline --release -p crossmesh-bench --bin repro_obs -- --smoke
 
 echo "==> MoE a2a smoke (rails beat both baselines, zero convictions)"
@@ -62,6 +66,38 @@ cargo run --offline --release -p crossmesh-cli -- client \
     --addr "$(cat "$serve_dir/addr")" --shutdown
 wait "$serve_pid"   # non-zero (unclean drain) fails the gate via set -e
 rm -rf "$serve_dir"
+
+echo "==> bench regression gate (self-test, then fresh vs committed baselines)"
+cargo run --offline --release -p crossmesh-bench --bin repro_regress -- --smoke
+cargo run --offline --release -p crossmesh-bench --bin repro_regress -- \
+    --baseline-dir "$bench_baseline" --fresh-dir .
+
+echo "==> restore committed bench baselines (smoke runs overwrote them)"
+cp "$bench_baseline"/BENCH_*.json .
+rm -rf "$bench_baseline"
+
+echo "==> seeded-fault serve smoke (flight-recorder dump validates)"
+fault_dir="$(mktemp -d)"
+printf '%s' '{"seed":0,"events":[{"HostCrash":{"host":0,"at":0.0}}],"max_retries":3,"retry_backoff":0.001}' \
+    > "$fault_dir/faults.json"
+cargo run --offline --release -p crossmesh-cli -- serve \
+    --workers 1 --allow-remote-shutdown --max-seconds 120 \
+    --flightrec-dir "$fault_dir" \
+    --addr-out "$fault_dir/addr" > "$fault_dir/serve.log" 2>&1 &
+fault_pid=$!
+for _ in $(seq 1 100); do [ -s "$fault_dir/addr" ] && break; sleep 0.1; done
+[ -s "$fault_dir/addr" ] || { cat "$fault_dir/serve.log"; exit 1; }
+cargo run --offline --release -p crossmesh-cli -- client \
+    --addr "$(cat "$fault_dir/addr")" \
+    --src-spec RS1R --dst-spec S0RR --src-mesh 2x4 --dst-mesh 2x4 \
+    --shape 64x64x8 --faults "$fault_dir/faults.json" > /dev/null
+cargo run --offline --release -p crossmesh-cli -- client \
+    --addr "$(cat "$fault_dir/addr")" --shutdown
+wait "$fault_pid"
+dump="$(ls "$fault_dir"/flightrec-fault-repair-*.json | head -1)"
+[ -n "$dump" ] || { echo "no flight-recorder dump produced"; exit 1; }
+cargo run --offline --release -p crossmesh-cli -- validate-trace --trace "$dump"
+rm -rf "$fault_dir"
 
 echo "==> unified timeline export, one schema across backends"
 trace_dir="$(mktemp -d)"

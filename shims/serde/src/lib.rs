@@ -109,6 +109,22 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
     }
+
+    /// Mutable member lookup on objects; `None` for other value kinds.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable array, if it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
 }
 
 impl Index<&str> for Value {
@@ -122,6 +138,17 @@ impl Index<usize> for Value {
     type Output = Value;
     fn index(&self, idx: usize) -> &Value {
         self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Object member assignment, `serde_json`-style: a missing key is
+    /// inserted as `Null` first so `doc["k"] = v` always works on objects.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index {other:?} with a string key"),
+        }
     }
 }
 

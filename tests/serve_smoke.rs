@@ -24,6 +24,8 @@ fn config(workers: usize) -> ServeConfig {
         allow_remote_shutdown: false,
         metrics_out: None,
         trace_out: None,
+        flightrec_dir: None,
+        slo_exec_p99_ms: None,
     }
 }
 
@@ -37,6 +39,7 @@ fn small_request() -> ReshardRequest {
         elem_bytes: 4,
         planner: "ours".into(),
         seed: Some(7),
+        faults: None,
     }
 }
 
@@ -235,6 +238,10 @@ fn graceful_shutdown_drains_in_flight_rejects_new_and_flushes_files() {
             "workers={workers}: per-tenant counters present:\n{metrics}"
         );
         assert!(metrics.contains("plan_cache."), "cache counters present");
+        assert!(
+            metrics.contains("netsim.events_processed"),
+            "workers={workers}: the netsim counters are synced before the flush:\n{metrics}"
+        );
         let trace = std::fs::read_to_string(&trace_path).expect("trace flushed");
         let summary = crossmesh::obs::export::validate(&trace).expect("trace validates");
         assert!(
@@ -274,6 +281,166 @@ fn remote_shutdown_is_gated_on_operator_opt_in() {
     let summary = server.run_until_shutdown();
     assert_eq!(summary.completed, 1);
     assert_eq!(summary.verifier_convictions, 0);
+}
+
+#[test]
+fn telemetry_exposes_prometheus_metrics_and_rolling_quantiles() {
+    let server = Server::start(config(2)).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    for _ in 0..3 {
+        assert!(matches!(
+            client.reshard("acme", small_request()).expect("answered"),
+            Response::Done(_)
+        ));
+    }
+    let text = client.telemetry().expect("telemetry");
+    // Counters and gauges in exposition format, names sanitised.
+    assert!(
+        text.contains("# TYPE serve_requests counter"),
+        "typed counter lines:\n{text}"
+    );
+    assert!(text.contains("# TYPE serve_queue_depth gauge"));
+    // Latency histograms with cumulative buckets.
+    assert!(text.contains("serve_exec_ms_bucket{le=\"+Inf\"}"));
+    // Rolling-window quantile summaries over the last minute.
+    for q in ["0.5", "0.99", "0.999"] {
+        assert!(
+            text.contains(&format!("serve_exec_ms_window{{quantile=\"{q}\"}}")),
+            "missing p{q} summary:\n{text}"
+        );
+    }
+    assert!(text.contains("serve_queue_ms_window_count"));
+    // The netsim engine counters are synced into every scrape (the sim
+    // backend just executed three plans).
+    assert!(
+        text.contains("netsim_events_processed"),
+        "netsim counters synced before render:\n{text}"
+    );
+    // The plan cache's registry rides along.
+    assert!(text.contains("plan_cache_"), "cache metrics present");
+    // SLO rules were evaluated as part of the scrape.
+    assert!(text.contains("obs_slo_evaluations"));
+    server.shutdown();
+}
+
+#[test]
+fn seeded_faults_repair_and_dump_a_validating_flight_record() {
+    let dir =
+        std::env::temp_dir().join(format!("crossmesh_serve_flightrec_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = config(2);
+    cfg.flightrec_dir = Some(dir.to_string_lossy().into_owned());
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    // Crash a source host at t=0: the run fails, the daemon repairs the
+    // plan around the crash, re-executes, and still answers `Done`.
+    // RS1R replicates every slice across both sender hosts, so the crash
+    // of host 0 is recoverable by failover.
+    let schedule = crossmesh::faults::FaultSchedule::new(0)
+        .with_event(crossmesh::faults::FaultEvent::HostCrash { host: 0, at: 0.0 });
+    let mut req = small_request();
+    req.src_spec = "RS1R".into();
+    req.faults = Some(schedule.to_json());
+    match client.reshard("faulty", req).expect("answered") {
+        Response::Done(d) => assert!(d.simulated_seconds > 0.0),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // The repair bumped the counter and dumped the flight recorder.
+    let snap = server.registry().snapshot();
+    assert!(snap.counter("serve.fault_repairs") >= 1, "repair counted");
+    server.shutdown();
+
+    let dump = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-fault-repair-"))
+        })
+        .expect("a fault-repair flight record was dumped");
+    let json = std::fs::read_to_string(&dump).expect("dump readable");
+    crossmesh::obs::export::validate(&json).expect("dump passes validate-trace");
+    assert!(json.contains("dump: fault-repair"), "trigger marked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_breach_and_shed_spike_trigger_flight_recorder_dumps() {
+    // SLO: an absurdly tight exec-p99 bound that any real execution
+    // breaches once the window holds enough samples.
+    let dir = std::env::temp_dir().join(format!("crossmesh_serve_slo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = config(2);
+    cfg.flightrec_dir = Some(dir.to_string_lossy().into_owned());
+    cfg.slo_exec_p99_ms = Some(1e-9);
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    for _ in 0..12 {
+        assert!(matches!(
+            client.reshard("hot", small_request()).expect("answered"),
+            Response::Done(_)
+        ));
+    }
+    let snap = server.registry().snapshot();
+    assert!(
+        snap.counter("obs.slo.breach.exec_p99_ms") >= 1,
+        "the impossible p99 bound must be breached"
+    );
+    server.shutdown();
+    let breach_dump = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("flightrec-slo-breach-"))
+        });
+    assert!(breach_dump, "SLO breach dumped the flight recorder");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Shed spike: a starved token bucket rejects a pipelined burst; 16
+    // consecutive rejections fire one spike dump.
+    let dir = std::env::temp_dir().join(format!("crossmesh_serve_shed_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = config(1);
+    cfg.flightrec_dir = Some(dir.to_string_lossy().into_owned());
+    cfg.admission = AdmissionConfig {
+        rate: 0.001,
+        burst: 1.0,
+        queue_depth: 4,
+    };
+    let server = Server::start(cfg).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    for i in 0..40u64 {
+        client
+            .send(&Request {
+                id: i + 1,
+                tenant: "burst".into(),
+                body: RequestBody::Reshard(small_request()),
+            })
+            .expect("sends");
+    }
+    let mut rejected = 0;
+    for _ in 0..40 {
+        if let Response::Rejected(_) = client.recv().expect("reply").expect("not eof") {
+            rejected += 1;
+        }
+    }
+    assert!(rejected >= 30, "the burst is shed (got {rejected})");
+    server.shutdown();
+    let spike_dump = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("flightrec-shed-spike-"))
+        });
+    assert!(spike_dump, "the shed spike dumped the flight recorder");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
