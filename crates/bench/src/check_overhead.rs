@@ -94,7 +94,7 @@ pub fn run(smoke: bool) -> Report {
         });
     }
     Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         rows,
     }
 }

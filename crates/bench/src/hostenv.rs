@@ -25,6 +25,13 @@ pub struct HostEnv {
     pub profile: String,
     /// `os/arch`, e.g. `linux/x86_64`.
     pub platform: String,
+    /// Whether this report came from a trimmed `--smoke` run. Smoke
+    /// measurements validate plumbing, not timings: their few iterations
+    /// swing far too much for tight wall-clock bounds, so the regression
+    /// gate skips those pins on smoke reports. `None` means the report
+    /// predates this field (committed full-run baselines), which the
+    /// gate treats as a full run.
+    pub smoke: Option<bool>,
 }
 
 impl HostEnv {
@@ -39,7 +46,21 @@ impl HostEnv {
                 "release".to_string()
             },
             platform: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+            smoke: None,
         }
+    }
+
+    /// Marks the report as coming from a trimmed smoke run (see the
+    /// [`smoke`](HostEnv::smoke) field).
+    #[must_use]
+    pub fn with_smoke(mut self, smoke: bool) -> HostEnv {
+        self.smoke = Some(smoke);
+        self
+    }
+
+    /// Whether the report is a trimmed smoke run (absent field = full).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke == Some(true)
     }
 
     /// Whether a requested pool width exceeds the host's real parallelism.
@@ -89,6 +110,7 @@ mod tests {
             crossmesh_threads: None,
             profile: "debug".into(),
             platform: "test/test".into(),
+            smoke: None,
         };
         assert!(!env.oversubscribed(1));
         assert!(!env.oversubscribed(2));
@@ -105,6 +127,7 @@ mod tests {
             crossmesh_threads: None,
             profile: "debug".into(),
             platform: "test/test".into(),
+            smoke: None,
         };
         assert_eq!(env.reliable_speedup(2, 1.8), Some(1.8));
         assert_eq!(env.reliable_speedup(4, 3.5), None);

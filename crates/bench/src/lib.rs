@@ -18,6 +18,7 @@
 //! | [`moe`] | extension — MoE all-to-all strategies across fabrics and gate skews (not in the paper) |
 //! | [`netsim`] | extension — incremental engine vs frozen reference + 10k-host GPT sweep (not in the paper) |
 //! | [`serve`] | extension — multi-tenant daemon throughput/latency under trace-driven load (not in the paper) |
+//! | [`race`] | extension — happens-before race-detector overhead, conviction sweep, clean-suite silence (not in the paper) |
 //! | [`regress`] | extension — noise-aware regression gate over the committed `BENCH_*.json` baselines |
 //!
 //! Simulated numbers are not the paper's wall-clock numbers — the substrate
@@ -39,6 +40,7 @@ pub mod moe;
 pub mod netsim;
 pub mod obs_overhead;
 pub mod planner;
+pub mod race;
 pub mod regress;
 pub mod repro;
 pub mod serve;

@@ -233,7 +233,7 @@ pub fn run(smoke: bool) -> Report {
         .collect();
 
     Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         rows,
         rail_speedups,
     }

@@ -341,7 +341,7 @@ pub fn run(smoke: bool) -> Report {
     ];
     let (convictions, gate_exact_seconds, gate_aggregate_seconds) = conviction_gate();
     Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         smoke,
         convictions,
         gate_exact_seconds,

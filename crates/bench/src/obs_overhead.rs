@@ -115,7 +115,7 @@ pub fn run(smoke: bool) -> Report {
     let recorder_ms = best(&round_ms[2]);
 
     Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         units,
         iters: rounds * per_round,
         disabled_ms,

@@ -179,7 +179,7 @@ pub fn run(smoke: bool) -> Report {
     let thread_counts: &[usize] = if smoke { &[1, 4] } else { &THREAD_COUNTS };
     let reps = if smoke { 1 } else { 3 };
 
-    let env = HostEnv::detect();
+    let env = HostEnv::detect().with_smoke(smoke);
     let warnings: Vec<String> = thread_counts
         .iter()
         .filter_map(|&t| env.oversubscription_warning(t))

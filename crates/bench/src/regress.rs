@@ -16,7 +16,17 @@
 //!
 //! Shape mismatches (a `--smoke` run diffed against a full baseline)
 //! are reported as [`Verdict::Skipped`], not failures: the gate only
-//! ever convicts on evidence it actually holds.
+//! ever convicts on evidence it actually holds. For the same reason,
+//! wall-clock Max/Min pins are skipped when the fresh report is itself
+//! a smoke run (`env.smoke`): a handful of iterations cannot support a
+//! single-digit-percent bound, and convicting on that jitter would
+//! train people to ignore the gate. Ratio rules are likewise skipped
+//! when one report is a smoke run and the other is not — a smoke run
+//! measures a smaller workload, so scalar figures like `cache.speedup`
+//! compare different experiments across modes. The tight pins and
+//! drift checks bind on full runs — exactly the runs that produce
+//! committed baselines; deterministic invariant pins (conviction
+//! counts, byte-identity) hold in every mode and are always checked.
 
 use crate::hostenv::HostEnv;
 use serde::{Deserialize, Serialize};
@@ -313,6 +323,22 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// Evaluates one manifest against a (baseline, fresh) report pair.
 pub fn compare(manifest: &Manifest, base: &Value, fresh: &Value, opts: &Options) -> Vec<Outcome> {
     let skip_wallclock = wallclock_skip_reason(base, fresh, opts);
+    // A trimmed smoke run validates plumbing, not timings: its handful
+    // of iterations swings far too much for a tight absolute pin, so
+    // wall-clock Max/Min bounds are skipped — never noise-convicted —
+    // on smoke reports. And a smoke report measures a *smaller
+    // workload* than a full one, so diffing one against a full
+    // baseline compares different experiments: ratio rules are skipped
+    // whenever the two reports' modes differ (the scalar cousin of the
+    // shape-mismatch skip — `cache.speedup` on an 8-unit smoke case
+    // can never match the committed 20-unit figure). Both are
+    // precision properties of the measurement, not host trust, so
+    // `force_wallclock` does not override them; deterministic Max/Min
+    // invariant pins (conviction counts, byte-identity) hold in every
+    // mode and are always checked.
+    let fresh_is_smoke = doc_env(fresh).map(|e| e.is_smoke()).unwrap_or(false);
+    let base_is_smoke = doc_env(base).map(|e| e.is_smoke()).unwrap_or(false);
+    let mode_mismatch = fresh_is_smoke != base_is_smoke;
     let mut out = Vec::new();
     for rule in &manifest.rules {
         let outcome = |verdict, ratio, detail: String| Outcome {
@@ -327,6 +353,22 @@ pub fn compare(manifest: &Manifest, base: &Value, fresh: &Value, opts: &Options)
                 out.push(outcome(Verdict::Skipped, None, reason.clone()));
                 continue;
             }
+            if fresh_is_smoke && matches!(rule.check, Check::Max { .. } | Check::Min { .. }) {
+                out.push(outcome(
+                    Verdict::Skipped,
+                    None,
+                    "smoke run: too few iterations for a wall-clock bound".into(),
+                ));
+                continue;
+            }
+        }
+        if mode_mismatch && matches!(rule.check, Check::Ratio { .. }) {
+            out.push(outcome(
+                Verdict::Skipped,
+                None,
+                "measurement mode mismatch: smoke vs full run".into(),
+            ));
+            continue;
         }
         let fresh_vals = extract(fresh, &rule.path);
         if fresh_vals.is_empty() {
@@ -486,10 +528,26 @@ pub fn default_manifests() -> Vec<Manifest> {
             ],
         },
         Manifest {
+            file: "BENCH_race.json".into(),
+            rules: vec![
+                // The acceptance pin: the armed FastTrack engine may tax
+                // the all-to-all at most 5%; disarmed cost is measured
+                // per-site and drift-checked, both host-env-gated.
+                Rule::max("armed_overhead_pct", 5.0, true),
+                Rule::wallclock("armed_ms", Direction::Lower, 0.5),
+                // Detector accuracy is deterministic: checked everywhere.
+                Rule::min("convicted_fraction", 1.0, false),
+                Rule::max("clean_findings", 0.0, false),
+                Rule::min("identical_outputs", 1.0, false),
+            ],
+        },
+        Manifest {
             file: "BENCH_obs.json".into(),
             rules: vec![
                 // The acceptance budget: an armed flight recorder may tax
-                // the planner at most 2%.
+                // the planner at most 2%. Wall-clock-gated, so it binds
+                // on full runs and is skipped on smoke reports, whose
+                // 9-iteration measurement swings by double digits.
                 Rule::max("recorder_overhead_pct", 2.0, true),
                 Rule::max("overhead_pct", 50.0, true),
                 Rule::min("identical_estimates", 1.0, false),
@@ -550,6 +608,7 @@ mod tests {
                 crossmesh_threads: None,
                 profile: "release".into(),
                 platform: "test/x".into(),
+                smoke: None,
             },
             force_wallclock: false,
         }
@@ -574,6 +633,56 @@ mod tests {
     fn timing_doc(ms: &[f64]) -> Value {
         let rows: Vec<Value> = ms.iter().map(|&v| json!({"ms": v})).collect();
         json!({"env": test_env(), "rows": rows})
+    }
+
+    #[test]
+    fn smoke_reports_skip_wallclock_bounds_only() {
+        let manifest = Manifest {
+            file: "BENCH_t.json".into(),
+            rules: vec![
+                Rule::max("overhead_pct", 2.0, true),
+                Rule::min("convictions_ok", 1.0, false),
+                Rule::wallclock("rows[*].ms", Direction::Lower, 0.5),
+            ],
+        };
+        let mut smoke_env = test_env();
+        smoke_env["smoke"] = json!(true);
+        let base = json!({
+            "env": test_env(),
+            "rows": json!([json!({"ms": 1.0})]),
+            "overhead_pct": 1.0,
+            "convictions_ok": true,
+        });
+        // Way past the pin — but smoke jitter, not evidence.
+        let fresh = json!({
+            "env": smoke_env,
+            "rows": json!([json!({"ms": 1.1})]),
+            "overhead_pct": 50.0,
+            "convictions_ok": false,
+        });
+        // Even under force_wallclock: the skip is about measurement
+        // precision, not host trust.
+        let mut o = opts();
+        o.force_wallclock = true;
+        let outcomes = compare(&manifest, &base, &fresh, &o);
+        assert_eq!(outcomes[0].verdict, Verdict::Skipped, "{outcomes:?}");
+        assert!(outcomes[0].detail.contains("smoke"), "{outcomes:?}");
+        // Deterministic pins still run on smoke reports.
+        assert_eq!(outcomes[1].verdict, Verdict::Regressed, "{outcomes:?}");
+        // Smoke-vs-full ratio drift compares different workloads: skipped.
+        assert_eq!(outcomes[2].verdict, Verdict::Skipped, "{outcomes:?}");
+        assert!(outcomes[2].detail.contains("mode mismatch"), "{outcomes:?}");
+        // Smoke-vs-smoke ratio drift is comparable and checked.
+        let mut smoke_base = base.clone();
+        smoke_base["env"] = fresh["env"].clone();
+        let outcomes = compare(&manifest, &smoke_base, &fresh, &o);
+        assert_eq!(outcomes[2].verdict, Verdict::Ok, "{outcomes:?}");
+        // A full-run report with the same values convicts the pin.
+        let mut full = fresh.clone();
+        full["env"] = test_env();
+        let outcomes = compare(&manifest, &base, &full, &o);
+        assert_eq!(outcomes[0].verdict, Verdict::Regressed, "{outcomes:?}");
+        assert_eq!(outcomes[2].verdict, Verdict::Ok, "{outcomes:?}");
     }
 
     #[test]

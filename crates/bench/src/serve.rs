@@ -416,7 +416,7 @@ pub fn run_with_workers(smoke: bool, workers: usize) -> Report {
         out.push(report);
     }
     Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         workers,
         scenarios: out,
     }
@@ -446,7 +446,7 @@ pub fn run_against(addr: SocketAddr, smoke: bool) -> std::io::Result<Report> {
         out.push(run_scenario_against(addr, scenario)?);
     }
     Ok(Report {
-        env: HostEnv::detect(),
+        env: HostEnv::detect().with_smoke(smoke),
         workers: 0, // unknown: the external daemon owns the pool
         scenarios: out,
     })

@@ -1,0 +1,108 @@
+//! Happens-before race detector runner: sweeps the seeded defect
+//! self-tests (every defect class must convict under every schedule seed)
+//! and the clean concurrent suite (which must be silent at pool widths
+//! 1, 4, and 8), exiting non-zero on any miss.
+//!
+//! ```text
+//! cargo run -p crossmesh-check --bin crossmesh-race [-- --smoke] [--self-test] [--seeds N]
+//! ```
+//!
+//! `--self-test` runs only the seeded-defect half; the default runs both.
+//! `--smoke` trims the seed count for CI.
+
+use crossmesh_check::race::{run_clean, run_defect, Defect};
+use crossmesh_check::schedules::sweep;
+use std::process::ExitCode;
+
+const CLEAN_WIDTHS: [usize; 3] = [1, 4, 8];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let self_test_only = args.iter().any(|a| a == "--self-test");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 32 });
+
+    let mut failed = false;
+
+    // Seeded defects: the detector must convict every class under every
+    // schedule seed — a single silent seed means a real race of that
+    // shape could slip through the clean suite below.
+    for defect in Defect::all() {
+        let report = sweep(0, seeds, |seed| (run_defect(defect, seed), None));
+        let convicted = report.convicting_seeds().len() as u64;
+        let matching = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.diagnostics
+                    .iter()
+                    .any(|d| defect.expected_rules().contains(&d.rule))
+            })
+            .count() as u64;
+        let status = if matching == seeds { "ok" } else { "MISSED" };
+        println!(
+            "race self-test {}: {status} ({matching}/{seeds} seeds convicted under {}, \
+             {convicted}/{seeds} under any rule, {} findings)",
+            defect.name(),
+            defect
+                .expected_rules()
+                .iter()
+                .map(|r| r.id())
+                .collect::<Vec<_>>()
+                .join("|"),
+            report.total_findings(),
+        );
+        if matching != seeds {
+            failed = true;
+            for outcome in report
+                .outcomes
+                .iter()
+                .filter(|o| o.diagnostics.is_empty())
+                .take(3)
+            {
+                println!("  seed {} produced no findings", outcome.seed);
+            }
+        }
+    }
+
+    if !self_test_only {
+        // Clean suite: properly synchronized pool workloads must stay
+        // silent at every width, or the detector is crying wolf.
+        for width in CLEAN_WIDTHS {
+            let clean_seeds = if smoke { seeds.min(4) } else { seeds.min(8) };
+            let report = sweep(0, clean_seeds, |seed| (run_clean(width, seed), None));
+            let findings = report.total_findings();
+            let oracle_failures = report.oracle_failures();
+            let status = if findings == 0 && oracle_failures.is_empty() {
+                "ok"
+            } else {
+                failed = true;
+                "FALSE POSITIVE"
+            };
+            println!(
+                "race clean width {width}: {status} ({clean_seeds} seeds, {findings} findings, \
+                 {} oracle failures)",
+                oracle_failures.len()
+            );
+            for outcome in report.outcomes.iter().filter(|o| !o.diagnostics.is_empty()) {
+                for d in &outcome.diagnostics {
+                    println!("  seed {}: {d}", outcome.seed);
+                }
+            }
+            for seed in &oracle_failures {
+                println!("  seed {seed}: equivalence oracle failed");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -19,7 +19,19 @@
 //! * [`lint`] — a **determinism lint**: a source scanner enforcing the
 //!   repo's determinism rules (no `HashMap`/`HashSet` in the planners, no
 //!   wall clocks or unseeded RNG in the deterministic layers, no
-//!   `unwrap()` in runtime send/recv paths), with an allowlist file.
+//!   `unwrap()` in runtime send/recv paths, consistent multi-lock
+//!   acquisition order, no stray `Ordering::Relaxed`), with an allowlist
+//!   file.
+//! * [`race`] — a **happens-before race detector**: a FastTrack-style
+//!   vector-clock engine (epoch-compressed) fed by the `crossmesh-hb`
+//!   instrumentation seam in the vendored sync shims; unordered
+//!   conflicting accesses to declared shared-state access points surface
+//!   as `race.*` diagnostics carrying both stack-side locations.
+//! * [`schedules`] — a **seeded schedule fuzzer**: a preemption-point
+//!   perturbation sweep that re-runs a workload (and its byte-identical
+//!   equivalence oracle) across deterministic seeds, optionally with the
+//!   race detector armed — covering interleavings far beyond [`model`]'s
+//!   exhaustive bound.
 //!
 //! Every pass reports through one currency, [`Diagnostic`]: a stable
 //! [`Rule`] id, a [`Severity`], a human-locatable `location`, and an
@@ -36,6 +48,8 @@
 
 pub mod lint;
 pub mod model;
+pub mod race;
+pub mod schedules;
 pub mod verify;
 
 use crossmesh_mesh::Tile;
@@ -153,6 +167,22 @@ pub enum Rule {
     LintWallClock,
     /// `unwrap()` in a runtime send/recv path.
     LintUnwrap,
+    /// Two locks acquired in opposite orders in different places: a
+    /// lock-order inversion that can deadlock under contention.
+    LintLockOrder,
+    /// `Ordering::Relaxed` on an atomic outside the allowlisted
+    /// counter/fast-path sites: relaxed atomics carry no happens-before
+    /// edge, so data published around them is unsynchronized.
+    LintAtomicOrdering,
+    /// Two threads wrote the same shared state with no happens-before
+    /// edge between the writes.
+    RaceWriteWrite,
+    /// A read raced a later write to the same shared state (no
+    /// happens-before edge from the read to the write).
+    RaceReadWrite,
+    /// A write raced a later read of the same shared state (no
+    /// happens-before edge from the write to the read).
+    RaceWriteRead,
 }
 
 impl Rule {
@@ -190,6 +220,11 @@ impl Rule {
             Rule::LintHashIteration => "lint.hash-iteration",
             Rule::LintWallClock => "lint.wall-clock",
             Rule::LintUnwrap => "lint.unwrap",
+            Rule::LintLockOrder => "lint.lock-order",
+            Rule::LintAtomicOrdering => "lint.atomic-ordering",
+            Rule::RaceWriteWrite => "race.write-write",
+            Rule::RaceReadWrite => "race.read-write",
+            Rule::RaceWriteRead => "race.write-read",
         }
     }
 }
@@ -333,6 +368,7 @@ struct CheckMetrics {
     errors: obs::Counter,
     model_transitions: obs::Counter,
     lint_findings: obs::Counter,
+    race_findings: obs::Counter,
 }
 
 fn check_metrics() -> &'static CheckMetrics {
@@ -345,6 +381,7 @@ fn check_metrics() -> &'static CheckMetrics {
             errors: m.counter("check.errors"),
             model_transitions: m.counter("check.model_transitions"),
             lint_findings: m.counter("check.lint_findings"),
+            race_findings: m.counter("check.race_findings"),
         }
     })
 }
@@ -382,6 +419,10 @@ pub(crate) fn record_model_transitions(n: u64) {
 
 pub(crate) fn record_lint_findings(n: u64) {
     check_metrics().lint_findings.add(n);
+}
+
+pub(crate) fn record_race_findings(n: u64) {
+    check_metrics().race_findings.add(n);
 }
 
 #[cfg(test)]
@@ -422,6 +463,11 @@ mod tests {
             Rule::LintHashIteration,
             Rule::LintWallClock,
             Rule::LintUnwrap,
+            Rule::LintLockOrder,
+            Rule::LintAtomicOrdering,
+            Rule::RaceWriteWrite,
+            Rule::RaceReadWrite,
+            Rule::RaceWriteRead,
         ];
         let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
         ids.sort_unstable();

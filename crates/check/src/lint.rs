@@ -5,13 +5,15 @@
 //! and the runtime's send/recv paths may not `unwrap()` (a poisoned
 //! channel must surface as a transport error, not a panic).
 //!
-//! Three rules, each scoped to the directories where the invariant holds:
+//! Five rules, each scoped to the directories where the invariant holds:
 //!
 //! | rule | scope | bans |
 //! |---|---|---|
 //! | `lint.hash-iteration` | `crates/core/src/planners/` | `HashMap`, `HashSet` |
 //! | `lint.wall-clock` | core, collectives, mesh, netsim, pipeline | `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`, `rand::random` |
-//! | `lint.unwrap` | `crates/runtime/src/` | `.unwrap()` |
+//! | `lint.unwrap` | runtime, serve, `crates/obs/src/recorder.rs` | `.unwrap()` |
+//! | `lint.atomic-ordering` | core, runtime, serve | `Ordering::Relaxed` outside allowlisted counter/fast-path sites |
+//! | `lint.lock-order` | core, runtime, serve, obs | the same two locks taken in both orders (see [`LockOrderScanner`]) |
 //!
 //! Lines inside `#[cfg(test)]` regions and comment lines are skipped.
 //! Findings can be suppressed through an allowlist file (see
@@ -37,8 +39,32 @@ const DETERMINISTIC_SCOPES: &[&str] = &[
 /// Directory scanned for the hash-iteration rule.
 const PLANNER_SCOPE: &str = "crates/core/src/planners/";
 
-/// Directory scanned for the unwrap rule.
-const RUNTIME_SCOPE: &str = "crates/runtime/src/";
+/// Directories scanned for the unwrap rule: the runtime's send/recv
+/// paths, the serve daemon's request paths, and the flight recorder's
+/// dump path (each runs on threads whose panic would strand a run).
+const UNWRAP_SCOPES: &[&str] = &[
+    "crates/runtime/src/",
+    "crates/serve/src/",
+    "crates/obs/src/recorder.rs",
+];
+
+/// Directories scanned for the atomic-ordering rule. `Relaxed` is only
+/// sound for monotone counters and snapshot gauges; anything that
+/// *publishes* data needs Acquire/Release, so every `Relaxed` outside the
+/// allowlist is a finding.
+const ATOMIC_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/runtime/src/",
+    "crates/serve/src/",
+];
+
+/// Directories scanned for the lock-order rule.
+const LOCK_ORDER_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/runtime/src/",
+    "crates/serve/src/",
+    "crates/obs/src/",
+];
 
 /// One allowlist entry: suppresses `rule` findings in files whose
 /// workspace-relative path ends with `path_suffix`, on lines containing
@@ -99,8 +125,9 @@ pub fn lint_source(rel_path: &str, content: &str, allow: &[AllowEntry]) -> Vec<D
     }
     let hash_scope = rel_path.starts_with(PLANNER_SCOPE);
     let clock_scope = in_scope(rel_path, DETERMINISTIC_SCOPES);
-    let unwrap_scope = rel_path.starts_with(RUNTIME_SCOPE);
-    if !(hash_scope || clock_scope || unwrap_scope) {
+    let unwrap_scope = in_scope(rel_path, UNWRAP_SCOPES);
+    let atomic_scope = in_scope(rel_path, ATOMIC_SCOPES);
+    if !(hash_scope || clock_scope || unwrap_scope || atomic_scope) {
         return diags;
     }
 
@@ -158,8 +185,173 @@ pub fn lint_source(rel_path: &str, content: &str, allow: &[AllowEntry]) -> Vec<D
                 "runtime send/recv paths must surface errors, not panic; use expect with a message or propagate",
             );
         }
+        if atomic_scope && line.contains("Ordering::Relaxed") {
+            push(
+                Rule::LintAtomicOrdering,
+                "Ordering::Relaxed",
+                "relaxed atomics publish nothing; allowlist the site if it is a pure counter/gauge, \
+                 otherwise use Acquire/Release",
+            );
+        }
     }
     diags
+}
+
+/// Cross-file lock-acquisition-order scanner behind `lint.lock-order`.
+///
+/// Within each function it records, for every `X.lock()` that happens
+/// textually after an earlier `Y.lock()`, the ordered receiver pair
+/// `(Y, X)`. After the whole corpus is scanned, any pair observed in
+/// *both* orders is an inversion — two call paths that could deadlock by
+/// each holding one lock while waiting on the other — and every involved
+/// site is reported. Receivers are normalized (index and call-argument
+/// text stripped, so `self.shards[i].lock()` and `self.shards[j].lock()`
+/// agree); the textual-order heuristic over-approximates guard lifetimes,
+/// which is what the allowlist is for.
+#[derive(Debug, Default)]
+pub struct LockOrderScanner {
+    /// Ordered pair `(first, second)` -> sites where it was observed,
+    /// each as `(location, source line of the second lock)`.
+    pairs: std::collections::BTreeMap<(String, String), Vec<(String, String)>>,
+}
+
+/// The normalized lock receiver ending at `end` (the index of `.lock()`),
+/// or `None` when there is no plausible receiver expression.
+fn lock_receiver(line: &str, end: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut depth = 0u32;
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        let take = match c {
+            ')' | ']' => {
+                depth += 1;
+                true
+            }
+            '(' | '[' => {
+                if depth == 0 {
+                    false
+                } else {
+                    depth -= 1;
+                    true
+                }
+            }
+            _ if depth > 0 => true,
+            _ => c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':',
+        };
+        if !take {
+            break;
+        }
+        start -= 1;
+    }
+    // Strip bracket contents so distinct keys hash to the same receiver.
+    let mut out = String::new();
+    let mut depth = 0u32;
+    for c in line[start..end].chars() {
+        match c {
+            '(' | '[' => {
+                if depth == 0 {
+                    out.push(c);
+                }
+                depth += 1;
+            }
+            ')' | ']' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(c);
+                }
+            }
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    let out = out.trim_start_matches('.').to_string();
+    if out.is_empty() || out == "self" {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+impl LockOrderScanner {
+    /// An empty scanner.
+    pub fn new() -> LockOrderScanner {
+        LockOrderScanner::default()
+    }
+
+    /// Scans one source file, accumulating ordered lock pairs. Test
+    /// modules and comment lines are skipped like [`lint_source`].
+    pub fn scan(&mut self, rel_path: &str, content: &str) {
+        let mut held: Vec<(String, usize)> = Vec::new();
+        for (i, line) in content.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("#[cfg(test)]") {
+                break;
+            }
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            // A new fn starts a fresh ordering context.
+            if trimmed.starts_with("fn ")
+                || trimmed.contains(" fn ")
+                || trimmed.starts_with("pub fn ")
+            {
+                held.clear();
+            }
+            let mut from = 0;
+            while let Some(at) = line[from..].find(".lock()") {
+                let end = from + at;
+                if let Some(recv) = lock_receiver(line, end) {
+                    let lineno = i + 1;
+                    for (prev, _) in &held {
+                        if *prev != recv {
+                            self.pairs
+                                .entry((prev.clone(), recv.clone()))
+                                .or_default()
+                                .push((format!("{rel_path}:{lineno}"), line.to_string()));
+                        }
+                    }
+                    held.push((recv, lineno));
+                }
+                from = end + ".lock()".len();
+            }
+        }
+    }
+
+    /// Diagnostics for every pair of locks observed in both orders, one
+    /// per involved site (deduplicated, allowlist applied).
+    pub fn findings(&self, allow: &[AllowEntry]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for ((a, b), sites) in &self.pairs {
+            let reverse = match self.pairs.get(&(b.clone(), a.clone())) {
+                Some(r) if (a, b) <= (b, a) => r,
+                _ => continue,
+            };
+            for (site, line) in sites.iter().chain(reverse) {
+                let (rel_path, _) = site.rsplit_once(':').unwrap_or((site.as_str(), ""));
+                if allow
+                    .iter()
+                    .any(|e| e.matches(Rule::LintLockOrder, rel_path, line))
+                {
+                    continue;
+                }
+                if !seen.insert(site.clone()) {
+                    continue;
+                }
+                diags.push(Diagnostic::error(
+                    Rule::LintLockOrder,
+                    site.clone(),
+                    format!(
+                        "locks `{a}` and `{b}` are taken in both orders across the workspace; \
+                         a consistent order (or a lock merge) is required to rule out deadlock"
+                    ),
+                ));
+            }
+        }
+        diags.sort_by(|x, y| x.location.cmp(&y.location));
+        diags
+    }
 }
 
 /// The outcome of a repository lint run.
@@ -194,17 +386,22 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Propagates I/O errors from walking or reading the source tree.
 pub fn lint_repo(root: &Path, allow: &[AllowEntry]) -> io::Result<LintReport> {
     let mut scopes: Vec<&str> = DETERMINISTIC_SCOPES.to_vec();
-    scopes.push(RUNTIME_SCOPE);
+    scopes.extend(UNWRAP_SCOPES);
+    scopes.extend(ATOMIC_SCOPES);
+    scopes.extend(LOCK_ORDER_SCOPES);
     let mut files = Vec::new();
     for scope in &scopes {
-        let dir = root.join(scope);
-        if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
+        let path = root.join(scope);
+        if path.is_dir() {
+            collect_rs_files(&path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path);
         }
     }
     files.sort();
     files.dedup();
     let mut diagnostics = Vec::new();
+    let mut lock_order = LockOrderScanner::new();
     let mut files_scanned = 0usize;
     for path in &files {
         let rel = path
@@ -215,7 +412,11 @@ pub fn lint_repo(root: &Path, allow: &[AllowEntry]) -> io::Result<LintReport> {
         let content = fs::read_to_string(path)?;
         files_scanned += 1;
         diagnostics.extend(lint_source(&rel, &content, allow));
+        if in_scope(&rel, LOCK_ORDER_SCOPES) {
+            lock_order.scan(&rel, &content);
+        }
     }
+    diagnostics.extend(lock_order.findings(allow));
     record_lint_findings(diagnostics.len() as u64);
     Ok(LintReport {
         files_scanned,
@@ -263,6 +464,95 @@ mod tests {
         assert!(lint_source("crates/runtime/src/backend.rs", unwrap, &[])
             .iter()
             .any(|d| d.rule == Rule::LintUnwrap));
+    }
+
+    #[test]
+    fn relaxed_atomics_are_flagged_unless_allowlisted() {
+        let src = "self.flag.store(true, Ordering::Relaxed);\nself.hits.fetch_add(1, Ordering::Relaxed);\n";
+        let diags = lint_source("crates/serve/src/server.rs", src, &[]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::LintAtomicOrdering));
+        // Allowlisting the counter leaves only the flag publication.
+        let allow = parse_allowlist(
+            "lint.atomic-ordering | server.rs | hits.fetch_add(1, Ordering::Relaxed)\n",
+        );
+        let diags = lint_source("crates/serve/src/server.rs", src, &allow);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].explanation.contains("Ordering::Relaxed"));
+        // Out of scope (obs is Relaxed-by-design): clean.
+        assert!(lint_source("crates/obs/src/metrics.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn inverted_lock_orders_convict_every_site() {
+        let mut scanner = LockOrderScanner::new();
+        scanner.scan(
+            "crates/serve/src/server.rs",
+            "fn a(&self) {\n let s = self.dispatch.lock();\n let t = self.samples.lock();\n}\n",
+        );
+        scanner.scan(
+            "crates/serve/src/other.rs",
+            "fn b(&self) {\n let t = self.samples.lock();\n let s = self.dispatch.lock();\n}\n",
+        );
+        let diags = scanner.findings(&[]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::LintLockOrder));
+        assert!(diags.iter().any(|d| d.location.ends_with("server.rs:3")));
+        assert!(diags.iter().any(|d| d.location.ends_with("other.rs:3")));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean_and_indexes_normalize() {
+        let mut scanner = LockOrderScanner::new();
+        // Same textual order in both functions; index arguments differ
+        // but normalize to one receiver, so no self-pair is recorded.
+        scanner.scan(
+            "crates/core/src/cache.rs",
+            "fn a(&self) {\n let g = self.shards[i].lock();\n let h = self.meta.lock();\n}\n\
+             fn b(&self) {\n let g = self.shards[j + 1].lock();\n let h = self.meta.lock();\n}\n",
+        );
+        assert!(scanner.findings(&[]).is_empty());
+        // A fn boundary resets the held set: locks in different functions
+        // never pair.
+        let mut reset = LockOrderScanner::new();
+        reset.scan(
+            "crates/core/src/cache.rs",
+            "fn a(&self) {\n let g = self.x.lock();\n}\nfn b(&self) {\n let h = self.y.lock();\n}\n\
+             fn c(&self) {\n let h = self.y.lock();\n let g = self.x.lock();\n}\n",
+        );
+        assert!(reset.findings(&[]).is_empty());
+    }
+
+    #[test]
+    fn lock_receiver_extraction_handles_calls_and_indexes() {
+        let line = "        let mut ring = self.shards[shard_index()].lock();";
+        let at = line.find(".lock()").unwrap();
+        assert_eq!(lock_receiver(line, at).as_deref(), Some("self.shards[]"));
+        let line = "            let mut stream = stream.lock();";
+        let at = line.find(".lock()").unwrap();
+        assert_eq!(lock_receiver(line, at).as_deref(), Some("stream"));
+        let line = "        let st = self.shard(key).lock();";
+        let at = line.find(".lock()").unwrap();
+        assert_eq!(lock_receiver(line, at).as_deref(), Some("self.shard()"));
+    }
+
+    #[test]
+    fn unwrap_scope_covers_serve_and_the_recorder() {
+        let unwrap = "let x = rx.recv().unwrap();\n";
+        for path in [
+            "crates/serve/src/server.rs",
+            "crates/obs/src/recorder.rs",
+            "crates/runtime/src/backend.rs",
+        ] {
+            assert!(
+                lint_source(path, unwrap, &[])
+                    .iter()
+                    .any(|d| d.rule == Rule::LintUnwrap),
+                "{path} should be in the unwrap scope"
+            );
+        }
+        // The rest of obs stays out of scope.
+        assert!(lint_source("crates/obs/src/metrics.rs", unwrap, &[]).is_empty());
     }
 
     #[test]

@@ -58,6 +58,7 @@ USAGE:
   crossmesh autospec --src-mesh <RxC> --dst-mesh <RxC> --shape <AxBxC> [--elem-bytes N]
                      [--fixed-src SPEC] [--fixed-dst SPEC] [--memory-cap BYTES] [--json]
   crossmesh check    --task spec.json --plan plan.json [--format text|json]
+  crossmesh check    --races [--seeds N] [--format text|json]
   crossmesh validate-trace --trace FILE.json [--against OTHER.json] [--json]
   crossmesh moe      [--hosts N] [--gpus-per-host N] [--fabric rails|flat|fat-tree|torus]
                      [--strategy multi_rail|send_recv|broadcast] [--direction dispatch|combine]
@@ -86,6 +87,10 @@ USAGE:
               JSON, in the format `crossmesh check` consumes
   check:      run the static plan verifier (coverage, sender, ring, and
               capacity rules) over an emitted plan; exits non-zero on errors
+  check --races: run the happens-before race detector instead — the seeded
+              defect classes must all convict across --seeds schedule seeds
+              (default 8) and the clean concurrent suite must stay silent at
+              pool widths 1/4/8; exits non-zero on any miss
   --threads:  planner worker-pool width (default: CROSSMESH_THREADS env var,
               else all cores); plans are byte-identical at any width
   --iterations: training iterations to simulate; the plan cache carries
@@ -148,6 +153,7 @@ fn run(tokens: Vec<String>) -> Result<String, Box<dyn Error>> {
             "stats",
             "telemetry",
             "shutdown",
+            "races",
         ],
     )?;
     if args.has_flag("help") {
@@ -416,6 +422,9 @@ impl TaskSpecFile {
 /// task without executing anything. Exits non-zero when any rule fires at
 /// error severity.
 fn check(args: &Args) -> Result<String, Box<dyn Error>> {
+    if args.has_flag("races") {
+        return check_races(args);
+    }
     let task_path = args.get("task").ok_or("missing --task")?;
     let plan_path = args.get("plan").ok_or("missing --plan")?;
     let spec_text = std::fs::read_to_string(task_path)
@@ -454,6 +463,119 @@ fn check(args: &Args) -> Result<String, Box<dyn Error>> {
     if crossmesh_check::has_errors(&diags) {
         // Findings are the output, not a usage error: print them and exit
         // non-zero without the usage banner.
+        println!("{body}");
+        std::process::exit(1);
+    }
+    Ok(body)
+}
+
+/// `crossmesh check --races`: run the happens-before race detector's
+/// acceptance sweep — every seeded defect class must convict under its
+/// expected `race.*` rule on every schedule seed, and the clean
+/// concurrent suite must stay silent at pool widths 1, 4, and 8. Exits
+/// non-zero on any miss, mirroring the `crossmesh-race` binary.
+fn check_races(args: &Args) -> Result<String, Box<dyn Error>> {
+    use crossmesh_check::race::{run_clean, run_defect, Defect};
+    use crossmesh_check::schedules::sweep;
+
+    let seeds: u64 = args.get_parsed("seeds", 8u64)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let mut failed = false;
+    let mut defects = Vec::new();
+    for defect in Defect::all() {
+        let report = sweep(0, seeds, |seed| (run_defect(defect, seed), None));
+        let matching = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.diagnostics
+                    .iter()
+                    .any(|d| defect.expected_rules().contains(&d.rule))
+            })
+            .count() as u64;
+        failed |= matching != seeds;
+        defects.push((defect, matching));
+    }
+    let mut widths = Vec::new();
+    for width in [1usize, 4, 8] {
+        let report = sweep(0, seeds, |seed| (run_clean(width, seed), None));
+        let findings = report.total_findings();
+        let oracle_failures = report.oracle_failures().len();
+        failed |= findings > 0 || oracle_failures > 0;
+        widths.push((width, findings, oracle_failures));
+    }
+
+    let body = match args.get_or("format", "text") {
+        "json" => {
+            let out = serde_json::json!({
+                "seeds": seeds,
+                "defects": defects
+                    .iter()
+                    .map(|(d, matching)| {
+                        serde_json::json!({
+                            "name": d.name(),
+                            "expected_rules": d
+                                .expected_rules()
+                                .iter()
+                                .map(|r| r.id())
+                                .collect::<Vec<_>>(),
+                            "convicted_seeds": matching,
+                        })
+                    })
+                    .collect::<Vec<_>>(),
+                "clean_widths": widths
+                    .iter()
+                    .map(|(w, findings, oracles)| {
+                        serde_json::json!({
+                            "width": w,
+                            "findings": findings,
+                            "oracle_failures": oracles,
+                        })
+                    })
+                    .collect::<Vec<_>>(),
+                "ok": !failed,
+            });
+            serde_json::to_string_pretty(&out)?
+        }
+        "text" => {
+            let mut lines = Vec::new();
+            for (defect, matching) in &defects {
+                lines.push(format!(
+                    "defect {}: {} ({matching}/{seeds} seeds convicted under {})",
+                    defect.name(),
+                    if *matching == seeds { "ok" } else { "MISSED" },
+                    defect
+                        .expected_rules()
+                        .iter()
+                        .map(|r| r.id())
+                        .collect::<Vec<_>>()
+                        .join("|"),
+                ));
+            }
+            for (width, findings, oracles) in &widths {
+                lines.push(format!(
+                    "clean width {width}: {} ({seeds} seeds, {findings} findings, \
+                     {oracles} oracle failures)",
+                    if *findings == 0 && *oracles == 0 {
+                        "ok"
+                    } else {
+                        "FALSE POSITIVE"
+                    },
+                ));
+            }
+            lines.push(if failed {
+                "check --races: FAILED".to_string()
+            } else {
+                format!("check --races: OK — {seeds} seeds per sweep")
+            });
+            lines.join("\n")
+        }
+        other => return Err(format!("unknown --format {other:?}").into()),
+    };
+    if failed {
+        // Misses are the output, not a usage error.
         println!("{body}");
         std::process::exit(1);
     }
@@ -1272,6 +1394,23 @@ mod tests {
         assert!(tel.contains("# TYPE serve_requests counter"), "got: {tel}");
         assert!(tel.contains("serve_exec_ms_window"), "got: {tel}");
         server.shutdown();
+    }
+
+    #[test]
+    fn check_races_sweeps_and_reports() {
+        let out = run(toks("check --races --seeds 2 --format json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "got: {out}");
+        assert_eq!(v["defects"].as_array().unwrap().len(), 3);
+        for d in v["defects"].as_array().unwrap() {
+            assert_eq!(d["convicted_seeds"].as_u64(), Some(2), "got: {d:?}");
+        }
+        for w in v["clean_widths"].as_array().unwrap() {
+            assert_eq!(w["findings"].as_u64(), Some(0), "got: {w:?}");
+        }
+        let text = run(toks("check --races --seeds 1")).unwrap();
+        assert!(text.contains("check --races: OK"), "got: {text}");
+        assert!(run(toks("check --races --seeds 0")).is_err());
     }
 
     #[test]

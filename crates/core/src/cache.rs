@@ -14,6 +14,7 @@ use crate::plan::{Assignment, Plan};
 use crate::planners::{plan_with_exclusions, Planner};
 use crate::task::ReshardingTask;
 use crossmesh_collectives::CostParams;
+use crossmesh_hb as hb;
 use crossmesh_obs as obs;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
@@ -237,7 +238,15 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let guard = s.lock();
+                    hb::read(hb::object_id(s));
+                    guard.len()
+                })
+                .sum(),
         }
     }
 
@@ -254,7 +263,9 @@ impl PlanCache {
     /// counters are monotone and unaffected).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            let mut guard = shard.lock();
+            hb::write(hb::object_id(shard));
+            guard.clear();
         }
         self.registry.reset();
     }
@@ -280,7 +291,15 @@ impl PlanCache {
         exclusions: &SenderExclusions,
     ) -> Option<Plan<'t>> {
         let global = global_cache_metrics();
-        let entry = self.shard(key).lock().get(&key).cloned();
+        // The shard map is a declared race-detector access point: every
+        // touch happens under the shard lock, and `check::race` audits
+        // exactly that (the lock is the instrumented shim).
+        let entry = {
+            let shard = self.shard(key);
+            let guard = shard.lock();
+            hb::read(hb::object_id(shard));
+            guard.get(&key).cloned()
+        };
         if let Some(entry) = entry {
             let views: Vec<_> = entry.assignments.iter().map(Assignment::as_view).collect();
             let diags = crossmesh_check::verify::verify_plan(
@@ -292,7 +311,11 @@ impl PlanCache {
                 &|d, h| exclusions.excludes(d, h),
             );
             if crossmesh_check::has_errors(&diags) {
-                self.shard(key).lock().remove(&key);
+                let shard = self.shard(key);
+                let mut guard = shard.lock();
+                hb::write(hb::object_id(shard));
+                guard.remove(&key);
+                drop(guard);
                 self.invalidations.inc();
                 global.invalidations.inc();
                 obs::event(
@@ -319,7 +342,10 @@ impl PlanCache {
     /// Stores a freshly planned result. Raced duplicate misses overwrite
     /// each other with identical content (planning is deterministic).
     fn insert(&self, key: u64, plan: &Plan<'_>) {
-        self.shard(key).lock().insert(
+        let shard = self.shard(key);
+        let mut guard = shard.lock();
+        hb::write(hb::object_id(shard));
+        guard.insert(
             key,
             Entry {
                 assignments: plan.assignments().to_vec(),

@@ -1,0 +1,451 @@
+//! Happens-before instrumentation seam for the concurrent core.
+//!
+//! The vendored sync shims (`shims/parking_lot`, `shims/rayon`), the
+//! runtime's channels, and the declared shared-state access points call
+//! into this crate at every synchronization operation. Two independently
+//! armable behaviors hang off those call sites:
+//!
+//! - **Event emission** ([`install`]): each acquire/release/read/write is
+//!   forwarded to a process-global [`Sink`] — in practice the
+//!   FastTrack-style vector-clock engine in `crossmesh-check`'s
+//!   `race` module, which convicts unordered conflicting accesses.
+//! - **Schedule perturbation** ([`fuzz`]): each call site doubles as a
+//!   preemption point where a per-thread seeded RNG injects yields and
+//!   microsleeps, deterministically (per seed) perturbing thread
+//!   interleavings so equivalence oracles can be re-run across a seed
+//!   sweep.
+//!
+//! Both are off by default and the disarmed fast path is a single relaxed
+//! atomic load per site — the same discipline `crossmesh-obs` uses for
+//! its collector facade. This crate is dependency-free so the shims can
+//! use it without cycles; the analysis lives upstream in
+//! `crossmesh-check`.
+//!
+//! Sinks must only use `std::sync` primitives internally: a sink that
+//! acquired an instrumented lock would re-enter the seam from inside
+//! itself.
+
+use std::cell::Cell;
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Bit in [`state`]: events flow to the installed [`Sink`].
+const ARMED_BIT: u8 = 1;
+/// Bit in [`state`]: call sites perturb the schedule.
+const FUZZ_BIT: u8 = 2;
+
+/// The one word every instrumented site loads on its fast path.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// True when a sink is installed and events are being emitted.
+#[inline]
+pub fn armed() -> bool {
+    STATE.load(Ordering::Relaxed) & ARMED_BIT != 0
+}
+
+/// True when either arming bit is set; instrumented sites that need to do
+/// per-call setup (e.g. allocate edge ids) key off this.
+#[inline]
+pub fn engaged() -> bool {
+    STATE.load(Ordering::Relaxed) != 0
+}
+
+/// A source location captured at an instrumented call site via
+/// `#[track_caller]`, so lock events carry the *user* call site, not the
+/// shim's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Source file, as `file!()` would render it at the call site.
+    pub file: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Site {
+    /// The caller's location (propagated through `#[track_caller]`
+    /// frames).
+    #[track_caller]
+    pub fn caller() -> Site {
+        let loc = Location::caller();
+        Site {
+            file: loc.file(),
+            line: loc.line(),
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// The four synchronization/access event kinds the seam distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The thread synchronized *from* `object` (lock acquired, message
+    /// received, job started, join completed).
+    Acquire,
+    /// The thread synchronized *into* `object` (lock released, message
+    /// sent, job spawned, job finished).
+    Release,
+    /// The thread read the shared state declared as access point
+    /// `object`.
+    Read,
+    /// The thread wrote the shared state declared as access point
+    /// `object`.
+    Write,
+}
+
+/// One synchronization or shared-access event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Stable per-OS-thread id (dense, assigned on first event).
+    pub thread: u32,
+    /// The synchronization object or access point. Address-derived ids
+    /// (`&thing as *const _ as usize as u64`) and [`fresh_id`] values
+    /// never collide: fresh ids have the top bit set, userspace pointers
+    /// do not.
+    pub object: u64,
+    /// Where in the source the event was emitted.
+    pub site: Site,
+}
+
+/// Receives every event while armed. See the module docs for the
+/// no-instrumented-locks rule.
+pub trait Sink: Send + Sync {
+    /// Called once per event, from the emitting thread.
+    fn event(&self, ev: Event);
+}
+
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn Sink>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<dyn Sink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: Cell<u32> = const { Cell::new(u32::MAX) };
+    /// (seed this state was derived from, xorshift state) for the
+    /// perturbation RNG; re-derived whenever the global seed changes.
+    static FUZZ_RNG: Cell<(u64, u64)> = const { Cell::new((u64::MAX, 0)) };
+}
+
+/// This thread's dense id, assigned on first use.
+pub fn thread_id() -> u32 {
+    THREAD_ID.with(|c| {
+        let id = c.get();
+        if id != u32::MAX {
+            return id;
+        }
+        let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) as u32;
+        c.set(id);
+        id
+    })
+}
+
+/// Fresh ids start above the pointer range (top bit set) so
+/// address-derived object ids can never alias them.
+static NEXT_OBJECT: AtomicU64 = AtomicU64::new(1 << 63);
+
+/// A new, never-before-used synchronization object id — for per-message
+/// and per-job edges where no stable address exists.
+pub fn fresh_id() -> u64 {
+    NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reserves a contiguous block of `n` fresh ids, returning the first —
+/// for indexed families (per-channel, per-task) allocated in one shot.
+pub fn fresh_ids(n: u64) -> u64 {
+    NEXT_OBJECT.fetch_add(n.max(1), Ordering::Relaxed)
+}
+
+/// An object id derived from a value's address: stable for the value's
+/// lifetime, distinct across live values.
+pub fn object_id<T: ?Sized>(value: &T) -> u64 {
+    value as *const T as *const () as usize as u64
+}
+
+/// The seed the perturbation RNGs derive from; only read when
+/// [`FUZZ_BIT`] is set.
+static FUZZ_SEED: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Emits `kind` for `object` if armed, perturbing first if fuzzing. The
+/// cold continuation of the four inline entry points.
+#[cold]
+fn engage(state: u8, kind: EventKind, object: u64, site: Site) {
+    if state & FUZZ_BIT != 0 {
+        perturb_slow();
+    }
+    if state & ARMED_BIT != 0 {
+        let sink = sink_slot()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        if let Some(sink) = sink {
+            sink.event(Event {
+                kind,
+                thread: thread_id(),
+                object,
+                site,
+            });
+        }
+    }
+}
+
+/// Record that the calling thread synchronized *from* `object`.
+#[inline]
+#[track_caller]
+pub fn acquire(object: u64) {
+    let state = STATE.load(Ordering::Relaxed);
+    if state != 0 {
+        engage(state, EventKind::Acquire, object, Site::caller());
+    }
+}
+
+/// Record that the calling thread synchronized *into* `object`.
+#[inline]
+#[track_caller]
+pub fn release(object: u64) {
+    let state = STATE.load(Ordering::Relaxed);
+    if state != 0 {
+        engage(state, EventKind::Release, object, Site::caller());
+    }
+}
+
+/// Record a read of the shared state declared as access point `object`.
+#[inline]
+#[track_caller]
+pub fn read(object: u64) {
+    let state = STATE.load(Ordering::Relaxed);
+    if state != 0 {
+        engage(state, EventKind::Read, object, Site::caller());
+    }
+}
+
+/// Record a write of the shared state declared as access point `object`.
+#[inline]
+#[track_caller]
+pub fn write(object: u64) {
+    let state = STATE.load(Ordering::Relaxed);
+    if state != 0 {
+        engage(state, EventKind::Write, object, Site::caller());
+    }
+}
+
+/// A bare preemption point with no associated event: perturbs the
+/// schedule when fuzzing, otherwise one relaxed load.
+#[inline]
+pub fn preempt() {
+    let state = STATE.load(Ordering::Relaxed);
+    if state & FUZZ_BIT != 0 {
+        perturb_slow();
+    }
+}
+
+#[cold]
+fn perturb_slow() {
+    let seed = FUZZ_SEED.load(Ordering::Relaxed);
+    let roll = FUZZ_RNG.with(|c| {
+        let (derived_from, mut state) = c.get();
+        if derived_from != seed || state == 0 {
+            state =
+                splitmix64(seed ^ u64::from(thread_id()).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+        }
+        // xorshift64: cheap, full-period, deterministic per (seed, thread).
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        c.set((seed, state));
+        state
+    });
+    // Mostly run through; sometimes yield; rarely stall long enough for
+    // another thread to overtake. The distribution is what varies the
+    // interleaving — determinism comes from the per-(seed, thread) RNG.
+    match roll % 16 {
+        0..=3 => std::thread::yield_now(),
+        4 => std::thread::sleep(Duration::from_micros(roll % 20 + 1)),
+        _ => {}
+    }
+}
+
+/// Restores the seam state it displaced when dropped, so armed sections
+/// nest and tests cannot leak arming into each other.
+pub struct Guard {
+    prev_state: u8,
+    prev_sink: Option<Arc<dyn Sink>>,
+    prev_seed: u64,
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard")
+            .field("prev_state", &self.prev_state)
+            .finish()
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let mut slot = sink_slot()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = self.prev_sink.take();
+        FUZZ_SEED.store(self.prev_seed, Ordering::Relaxed);
+        STATE.store(self.prev_state, Ordering::Relaxed);
+    }
+}
+
+fn snapshot() -> Guard {
+    let prev_sink = sink_slot()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    Guard {
+        prev_state: STATE.load(Ordering::Relaxed),
+        prev_sink,
+        prev_seed: FUZZ_SEED.load(Ordering::Relaxed),
+    }
+}
+
+/// Installs `sink` and arms event emission until the guard drops.
+///
+/// Concurrent armed sections in one process share the global seam; tests
+/// must serialize through [`test_lock`].
+#[must_use]
+pub fn install(sink: Arc<dyn Sink>) -> Guard {
+    let guard = snapshot();
+    *sink_slot()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(sink);
+    STATE.store(guard.prev_state | ARMED_BIT, Ordering::Relaxed);
+    guard
+}
+
+/// Arms schedule perturbation with `seed` until the guard drops.
+/// Composes with [`install`]: arm both to race-check perturbed
+/// schedules.
+#[must_use]
+pub fn fuzz(seed: u64) -> Guard {
+    let guard = snapshot();
+    FUZZ_SEED.store(seed, Ordering::Relaxed);
+    STATE.store(guard.prev_state | FUZZ_BIT, Ordering::Relaxed);
+    guard
+}
+
+/// Serializes armed sections across tests sharing a process: the seam is
+/// process-global, so two concurrently armed tests would see each
+/// other's events.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        events: StdMutex<Vec<Event>>,
+    }
+
+    impl Sink for Recorder {
+        fn event(&self, ev: Event) {
+            self.events.lock().unwrap().push(ev);
+        }
+    }
+
+    #[test]
+    fn disarmed_emits_nothing() {
+        let _serial = test_lock();
+        assert!(!armed());
+        acquire(1);
+        release(1);
+        read(2);
+        write(2);
+        preempt();
+        // Nothing to observe without a sink; the assertion is that the
+        // calls are no-ops that do not panic or allocate state.
+        assert!(!engaged());
+    }
+
+    #[test]
+    fn armed_events_reach_the_sink_and_disarm_on_drop() {
+        let _serial = test_lock();
+        let rec = Arc::new(Recorder::default());
+        {
+            let _armed = install(rec.clone());
+            assert!(armed());
+            acquire(7);
+            write(9);
+        }
+        assert!(!armed());
+        release(7); // after disarm: must not land
+        let events = rec.events.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Acquire);
+        assert_eq!(events[0].object, 7);
+        assert_eq!(events[1].kind, EventKind::Write);
+        assert_eq!(events[1].object, 9);
+        assert_eq!(events[0].thread, events[1].thread);
+        assert!(events[0].site.file.ends_with("lib.rs"));
+    }
+
+    #[test]
+    fn fresh_ids_are_distinct_and_disjoint_from_addresses() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert_ne!(a, b);
+        assert!(a & (1 << 63) != 0);
+        let value = 42u64;
+        assert!(object_id(&value) & (1 << 63) == 0);
+    }
+
+    #[test]
+    fn fuzz_guard_restores_state() {
+        let _serial = test_lock();
+        {
+            let _fuzzing = fuzz(3);
+            assert!(engaged());
+            assert!(!armed());
+            for _ in 0..64 {
+                preempt();
+            }
+        }
+        assert!(!engaged());
+    }
+
+    #[test]
+    fn guards_nest() {
+        let _serial = test_lock();
+        let rec = Arc::new(Recorder::default());
+        let outer = install(rec.clone());
+        {
+            let _inner = fuzz(1);
+            assert!(armed());
+            assert!(engaged());
+            acquire(5);
+        }
+        assert!(armed());
+        drop(outer);
+        assert!(!armed());
+        assert_eq!(rec.events.lock().unwrap().len(), 1);
+    }
+}

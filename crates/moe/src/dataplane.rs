@@ -24,6 +24,7 @@ use crossmesh_core::dataplane::{
     verify_destination, DataPlaneError, DestinationBuffer, TileBuffer,
 };
 use crossmesh_faults::{FaultEvent, FaultSchedule};
+use crossmesh_hb as hb;
 use crossmesh_netsim::DeviceId;
 use rand::prelude::*;
 use std::collections::BTreeMap;
@@ -160,17 +161,25 @@ pub fn execute_threaded_with_faults(
 
     // One assembler per destination device, fed over a bounded channel so
     // fast senders exert backpressure instead of buffering everything.
-    let mut inboxes: BTreeMap<DeviceId, mpsc::SyncSender<TileBuffer>> = BTreeMap::new();
+    // Per-inbox happens-before edge and per-destination-buffer access
+    // point: the race detector sees every shard delivery as release(edge)
+    // at the sender's `send` and acquire(edge) + write(buffer) at the
+    // assembler, so an unsynchronized buffer write would convict.
+    let mut inboxes: BTreeMap<DeviceId, (mpsc::SyncSender<TileBuffer>, u64)> = BTreeMap::new();
     let mut assemblers = Vec::new();
     for (device, tile) in a2a.destination_tiles() {
         let (tx, rx) = mpsc::sync_channel::<TileBuffer>(64);
-        inboxes.insert(*device, tx);
+        let chan_edge = hb::fresh_id();
+        let buf_point = hb::fresh_id();
+        inboxes.insert(*device, (tx, chan_edge));
         let device = *device;
         let tile = tile.clone();
         assemblers.push(thread::spawn(
             move || -> Result<(DeviceId, DestinationBuffer), DataPlaneError> {
                 let mut buf = DestinationBuffer::new(tile, 1);
                 for piece in rx {
+                    hb::acquire(chan_edge);
+                    hb::write(buf_point);
                     buf.write(&piece, device)?;
                 }
                 Ok((device, buf))
@@ -206,11 +215,12 @@ pub fn execute_threaded_with_faults(
                 }
                 let piece = TileBuffer::materialize(&unit.slice, &shape, 1);
                 let r = &unit.receivers[0];
-                inboxes
+                let (tx, chan_edge) = inboxes
                     .get(&r.device)
-                    .expect("every receiver owns a destination tile")
-                    .send(piece)
-                    .expect("assembler outlives its senders");
+                    .expect("every receiver owns a destination tile");
+                hb::preempt();
+                hb::release(*chan_edge);
+                tx.send(piece).expect("assembler outlives its senders");
                 delivered += unit.bytes;
             }
             Ok(delivered)

@@ -19,6 +19,8 @@
 use crate::collect::Collector;
 use crate::export::TraceExport;
 use crate::{Event, Level, SpanId};
+use crossmesh_hb as hb;
+use parking_lot::Mutex as ShardMutex;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -78,9 +80,13 @@ struct Ring {
 }
 
 /// The per-thread-sharded bounded ring buffer. See the module docs.
+///
+/// The shard locks are the instrumented `parking_lot` shim and each ring
+/// is a declared `check::race` access point, so the race detector audits
+/// the push/dump protocol along with the rest of the concurrent core.
 #[derive(Debug)]
 pub struct FlightRecorder {
-    shards: Vec<Mutex<Ring>>,
+    shards: Vec<ShardMutex<Ring>>,
     cap_per_shard: usize,
     epoch: Instant,
     seq: AtomicU64,
@@ -103,7 +109,9 @@ impl FlightRecorder {
     /// evenly across the thread shards).
     pub fn with_capacity(capacity: usize) -> FlightRecorder {
         FlightRecorder {
-            shards: (0..SHARDS).map(|_| Mutex::new(Ring::default())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| ShardMutex::new(Ring::default()))
+                .collect(),
             cap_per_shard: (capacity / SHARDS).max(1),
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
@@ -114,9 +122,9 @@ impl FlightRecorder {
     fn push(&self, kind: RecordKind) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ts_us = self.epoch.elapsed().as_secs_f64() * 1e6;
-        let mut ring = self.shards[shard_index()]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let shard = &self.shards[shard_index()];
+        let mut ring = shard.lock();
+        hb::write(hb::object_id(shard));
         if ring.records.len() >= self.cap_per_shard {
             ring.records.pop_front();
             ring.dropped += 1;
@@ -142,7 +150,11 @@ impl FlightRecorder {
     pub fn dropped(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).dropped)
+            .map(|s| {
+                let ring = s.lock();
+                hb::read(hb::object_id(s));
+                ring.dropped
+            })
             .sum()
     }
 
@@ -160,8 +172,9 @@ impl FlightRecorder {
     pub fn dump(&self, trigger: &str) -> String {
         let mut records: Vec<(usize, Record)> = Vec::new();
         let mut dropped = 0u64;
-        for (shard, ring) in self.shards.iter().enumerate() {
-            let ring = ring.lock().unwrap_or_else(|e| e.into_inner());
+        for (shard, ring_lock) in self.shards.iter().enumerate() {
+            let ring = ring_lock.lock();
+            hb::read(hb::object_id(ring_lock));
             dropped += ring.dropped;
             records.extend(ring.records.iter().map(|r| (shard, r.clone())));
         }

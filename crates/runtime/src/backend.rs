@@ -20,8 +20,17 @@
 //! decremented, and timestamps come from a single monotonic clock, so
 //! `finish(dep) <= start(task)` holds in the emitted [`Trace`] exactly as
 //! it does in the simulator.
+//!
+//! Those edges are also *declared* to the `crossmesh-hb` seam so the
+//! `check::race` vector-clock detector can audit them: every dispatch
+//! channel send/recv, ack-counter decrement, and per-flow frame delivery
+//! emits a release/acquire pair, and the per-task timestamp slots are
+//! declared write access points (a double-dispatch convicts as
+//! `race.write-write`). Disarmed, each emission is one relaxed atomic
+//! load and a predicted branch.
 
 use bytes::Bytes;
+use crossmesh_hb as hb;
 use crossmesh_netsim::{
     Backend, ClusterSpec, DeviceId, FailureKind, FaultStats, SimError, TaskGraph, TaskId, Trace,
     TraceBuilder, Work,
@@ -458,11 +467,45 @@ struct Shared {
     faults: Arc<InjectedFaults>,
     /// Flow re-transmissions performed (drop-triggered attempts).
     retries: AtomicU64,
+    /// First id of this run's happens-before block, laid out as
+    /// `[compute chan × D][send chan × D][inbound chan × D]`
+    /// `[pending edge × n][flow edge × n][task point × n]`.
+    hb_base: u64,
 }
 
 impl Shared {
     fn now_ns(&self) -> u64 {
         self.t0.elapsed().as_nanos() as u64
+    }
+
+    fn hb_compute_chan(&self, dev: usize) -> u64 {
+        self.hb_base + dev as u64
+    }
+
+    fn hb_send_chan(&self, dev: usize) -> u64 {
+        self.hb_base + (self.compute_tx.len() + dev) as u64
+    }
+
+    fn hb_inbound_chan(&self, dev: usize) -> u64 {
+        self.hb_base + (2 * self.compute_tx.len() + dev) as u64
+    }
+
+    /// The ack edge a completing dependency releases and the dispatching
+    /// thread acquires when `t`'s pending count hits zero.
+    fn hb_pending_edge(&self, t: u32) -> u64 {
+        self.hb_base + (3 * self.compute_tx.len()) as u64 + t as u64
+    }
+
+    /// The frame-delivery edge from `t`'s send worker to its receiver.
+    fn hb_flow_edge(&self, t: u32) -> u64 {
+        self.hb_pending_edge(t) + self.kinds.len() as u64
+    }
+
+    /// Declared access point for `t`'s timestamp slots: exactly one
+    /// worker may own a dispatched task, so unordered writes here mean a
+    /// double dispatch.
+    fn hb_task_point(&self, t: u32) -> u64 {
+        self.hb_pending_edge(t) + 2 * self.kinds.len() as u64
     }
 
     /// Accounts one frame landing on `dst`'s inbound queue. Every frame
@@ -482,12 +525,14 @@ impl Shared {
     }
 
     fn record_start(&self, t: u32) {
+        hb::write(self.hb_task_point(t));
         self.start_ns[t as usize].store(self.now_ns(), Ordering::Release);
     }
 
     /// Marks `t` finished, releases its dependents, and completes any
     /// markers that become ready, iteratively.
     fn finish_task(&self, t: u32) {
+        hb::write(self.hb_task_point(t));
         self.finish_ns[t as usize].store(self.now_ns(), Ordering::Release);
         let mut done = vec![t];
         self.drain_completions(&mut done);
@@ -496,7 +541,12 @@ impl Shared {
     fn drain_completions(&self, done: &mut Vec<u32>) {
         while let Some(t) = done.pop() {
             for &d in &self.dependents[t as usize] {
+                // The release precedes the decrement, so by the time some
+                // thread sees the count hit zero every completer's clock
+                // is already in the edge (joined, not overwritten).
+                hb::release(self.hb_pending_edge(d));
                 if self.pending[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    hb::acquire(self.hb_pending_edge(d));
                     self.dispatch(d, done);
                 }
             }
@@ -509,6 +559,7 @@ impl Shared {
     fn dispatch(&self, t: u32, done: &mut Vec<u32>) {
         match self.kinds[t as usize] {
             Kind::Marker => {
+                hb::write(self.hb_task_point(t));
                 let now = self.now_ns();
                 self.start_ns[t as usize].store(now, Ordering::Release);
                 self.finish_ns[t as usize].store(now, Ordering::Release);
@@ -516,10 +567,12 @@ impl Shared {
             }
             Kind::Compute { .. } => {
                 let dev = self.executor_device(t);
+                hb::release(self.hb_compute_chan(dev));
                 let _ = self.compute_tx[dev].send(Cmd::Run(t));
             }
             Kind::Flow { .. } => {
                 let dev = self.executor_device(t);
+                hb::release(self.hb_send_chan(dev));
                 let _ = self.send_tx[dev].send(Cmd::Run(t));
             }
         }
@@ -601,6 +654,10 @@ impl Shared {
             self.device_host[src as usize],
             self.device_host[dst as usize],
         );
+        // The receive worker acquires this edge per frame, so everything
+        // the sender did before handing off the payload — including the
+        // flow's start-timestamp write — is ordered before the ack.
+        hb::release(self.hb_flow_edge(flow));
         if sh != dh && !self.tcp_writers.is_empty() {
             let stream = self
                 .tcp_writers
@@ -618,6 +675,7 @@ impl Shared {
             last,
             attempt,
         };
+        hb::release(self.hb_inbound_chan(dst as usize));
         loop {
             match self.inbound_tx[dst as usize].try_send(msg) {
                 Ok(()) => {
@@ -805,6 +863,7 @@ fn run(
         chunk_bytes: backend.chunk_bytes,
         faults: Arc::clone(&backend.faults),
         retries: AtomicU64::new(0),
+        hb_base: hb::fresh_ids((3 * num_devices + 3 * n) as u64),
     });
 
     let mut workers = Vec::with_capacity(num_devices * 3 + reader_streams.len());
@@ -904,9 +963,22 @@ fn spawn_named<F>(name: String, shared: Arc<Shared>, f: F) -> JoinHandle<()>
 where
     F: FnOnce(&Shared) + Send + 'static,
 {
+    // Fork edge: the spawner's clock flows into the new worker, so
+    // everything set up before the spawn is ordered before its first
+    // action (priced only when a detector is installed).
+    let fork = if hb::engaged() {
+        let id = hb::fresh_id();
+        hb::release(id);
+        Some(id)
+    } else {
+        None
+    };
     thread::Builder::new()
         .name(name.clone())
         .spawn(move || {
+            if let Some(id) = fork {
+                hb::acquire(id);
+            }
             let guard = PanicGuard { shared, name };
             f(&guard.shared);
         })
@@ -1008,6 +1080,7 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
             last,
             attempt,
         };
+        hb::release(shared.hb_inbound_chan(dst as usize));
         loop {
             match shared.inbound_tx[dst as usize].try_send(msg) {
                 Ok(()) => {
@@ -1032,6 +1105,7 @@ fn tcp_reader(mut stream: TcpStream, shared: &Shared) {
 /// A task landing on a crashed host times out and fails the run.
 fn compute_worker(rx: Receiver<Cmd>, shared: &Shared) {
     while let Ok(Cmd::Run(t)) = rx.recv() {
+        hb::acquire(shared.hb_compute_chan(shared.executor_device(t)));
         shared.record_start(t);
         let Kind::Compute { wall } = shared.kinds[t as usize] else {
             shared.monitor.fail(RunFailure::task(
@@ -1081,6 +1155,7 @@ fn precise_wait(d: Duration) {
 /// off exponentially, then re-sends under a higher attempt number.
 fn send_worker(device: u32, rx: Receiver<Cmd>, shared: &Shared) {
     while let Ok(Cmd::Run(t)) = rx.recv() {
+        hb::acquire(shared.hb_send_chan(device as usize));
         shared.record_start(t);
         let Kind::Flow { dst, bytes } = shared.kinds[t as usize] else {
             shared.monitor.fail(RunFailure::task(
@@ -1210,6 +1285,8 @@ fn recv_worker(device: u32, rx: Receiver<Inbound>, shared: &Shared) {
                 last,
                 attempt,
             } => {
+                hb::acquire(shared.hb_inbound_chan(device as usize));
+                hb::acquire(shared.hb_flow_edge(flow));
                 shared.note_dequeued(device);
                 let entry = progress.entry(flow).or_insert((attempt, 0));
                 if attempt > entry.0 {
@@ -1572,6 +1649,7 @@ mod tests {
             chunk_bytes: 1,
             faults: Arc::new(InjectedFaults::default()),
             retries: AtomicU64::new(0),
+            hb_base: hb::fresh_ids(1),
         })
     }
 

@@ -25,6 +25,7 @@ use crossmesh_core::{
     Planner, PlannerConfig, RandomizedGreedyPlanner, ReshardingTask, SenderExclusions,
 };
 use crossmesh_faults::{execute_with_repair_cached, FaultSchedule};
+use crossmesh_hb as hb;
 use crossmesh_mesh::DeviceMesh;
 use crossmesh_models::presets;
 use crossmesh_netsim::{Backend, ClusterSpec, LinkParams, SimBackend};
@@ -822,6 +823,9 @@ fn admit(id: u64, tenant: String, req: ReshardRequest, conn: &Arc<Conn>, shared:
                 }
                 Ok(()) => {
                     t.accepted += 1;
+                    // Admission-queue access point for `check::race`: every
+                    // push/pop must stay under the dispatch lock.
+                    hb::write(hb::object_id(&shared.dispatch));
                     t.queue.push_back(Job {
                         id,
                         tenant: tenant.clone(),
@@ -887,6 +891,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut st = shared.dispatch.lock();
             loop {
                 if let Some(job) = st.pop_round_robin() {
+                    hb::write(hb::object_id(&shared.dispatch));
                     break Some(job);
                 }
                 if shared.draining.load(Ordering::SeqCst) {

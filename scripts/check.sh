@@ -33,9 +33,21 @@ cargo run --offline --release -p crossmesh-check --bin crossmesh-lint
 echo "==> bounded model checker smoke (runtime dataflow interleavings)"
 cargo run --offline --release -p crossmesh-check --bin crossmesh-modelcheck -- --smoke
 
+echo "==> race detector smoke (seeded defects convict, clean suite silent)"
+cargo run --offline --release -p crossmesh-check --bin crossmesh-race -- --smoke
+
 echo "==> snapshot committed bench baselines (regression-gate reference)"
 bench_baseline="$(mktemp -d)"
 cp BENCH_*.json "$bench_baseline"/
+# Restore on ANY exit: a failing smoke or gate step must not leave the
+# committed baselines overwritten with smoke-run numbers.
+restore_baselines() {
+    if [ -d "$bench_baseline" ]; then
+        cp "$bench_baseline"/BENCH_*.json . 2>/dev/null || true
+        rm -rf "$bench_baseline"
+    fi
+}
+trap restore_baselines EXIT
 
 echo "==> planner bench smoke (1 vs 4 threads)"
 cargo run --offline --release -p crossmesh-bench --bin repro_planner -- --smoke > /dev/null
@@ -51,6 +63,9 @@ cargo run --offline --release -p crossmesh-bench --bin repro_moe -- --smoke > /d
 
 echo "==> netsim engine smoke (incremental vs reference, aggregate sweep, zero convictions)"
 cargo run --offline --release -p crossmesh-bench --bin repro_netsim -- --smoke > /dev/null
+
+echo "==> race overhead smoke (seam disarmed vs armed, conviction sweep)"
+cargo run --offline --release -p crossmesh-bench --bin repro_race -- --smoke
 
 echo "==> serve smoke (daemon + trace-driven load, zero convictions, clean drain)"
 serve_dir="$(mktemp -d)"
@@ -73,8 +88,8 @@ cargo run --offline --release -p crossmesh-bench --bin repro_regress -- \
     --baseline-dir "$bench_baseline" --fresh-dir .
 
 echo "==> restore committed bench baselines (smoke runs overwrote them)"
-cp "$bench_baseline"/BENCH_*.json .
-rm -rf "$bench_baseline"
+restore_baselines
+trap - EXIT
 
 echo "==> seeded-fault serve smoke (flight-recorder dump validates)"
 fault_dir="$(mktemp -d)"

@@ -7,7 +7,14 @@
 //! [`PoisonError::into_inner`](std::sync::PoisonError::into_inner) — the
 //! semantic parking_lot guarantees (a panicking holder does not poison
 //! the lock for everyone else), without the custom futex machinery.
+//!
+//! Every acquire and release is also a `crossmesh-hb` instrumentation
+//! point: when the happens-before seam is armed, lock edges keyed by the
+//! mutex's address are emitted to the installed sink (the race detector),
+//! and the call sites double as schedule-perturbation points. Disarmed,
+//! each point costs one relaxed atomic load.
 
+use crossmesh_hb as hb;
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 use std::time::Duration;
 
@@ -24,6 +31,16 @@ pub struct Mutex<T: ?Sized> {
 /// at every point user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<StdMutexGuard<'a, T>>,
+    /// The owning mutex's hb object id, for the release edge on drop.
+    lock_id: u64,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Emitted while still holding the lock: the release edge must
+        // order before any later acquire of the same mutex.
+        hb::release(self.lock_id);
+    }
 }
 
 impl<T> Mutex<T> {
@@ -46,12 +63,19 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available. Unlike
     /// `std::sync::Mutex`, a panic in another holder does not make this
     /// return an error: the lock is simply acquired.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let lock_id = hb::object_id(self);
+        hb::preempt();
         let guard = self
             .inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        MutexGuard { inner: Some(guard) }
+        hb::acquire(lock_id);
+        MutexGuard {
+            inner: Some(guard),
+            lock_id,
+        }
     }
 }
 
@@ -99,17 +123,23 @@ impl Condvar {
     /// Blocks until notified or `timeout` elapses. The guard is atomically
     /// released while waiting and re-acquired before returning, matching
     /// parking_lot's in-place signature.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        // A wait releases and re-acquires the mutex; mirror that for the
+        // happens-before engine so state handed off through a condvar
+        // carries the lock's edge.
+        hb::release(guard.lock_id);
         let std_guard = guard.inner.take().expect("guard is present");
         let (std_guard, result) = self
             .inner
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         guard.inner = Some(std_guard);
+        hb::acquire(guard.lock_id);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }

@@ -14,7 +14,16 @@
 //! variable (falling back to the machine's available parallelism); a pool
 //! of one thread runs every task inline on the caller, which makes
 //! "1 thread" a true sequential baseline for benchmarks.
+//!
+//! Scope spawn and join points are `crossmesh-hb` instrumentation seams:
+//! when armed, each spawned job gets a fresh pair of happens-before edge
+//! ids — spawner→job (released at spawn, acquired when the job starts)
+//! and job→scope-exit (released when the job finishes, acquired after the
+//! scope's latch opens) — so the race detector sees fork/join ordering
+//! exactly as precise per-job edges. Disarmed, the cost is one relaxed
+//! atomic load per spawn.
 
+use crossmesh_hb as hb;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -45,6 +54,7 @@ impl PoolState {
     }
 
     fn push(&self, job: Job) {
+        hb::preempt();
         self.queue
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -52,11 +62,18 @@ impl PoolState {
         self.available.notify_one();
     }
 
-    fn try_pop(&self) -> Option<Job> {
+    /// Pops the most recently pushed job. Helpers blocked in a scope use
+    /// this so the job they run is (almost always) their own just-spawned
+    /// child: helping then nests proportionally to the *user* recursion
+    /// depth, not the total task count. Popping oldest-first there lets a
+    /// recursive join workload stack thousands of unrelated task frames
+    /// on one thread.
+    fn try_pop_newest(&self) -> Option<Job> {
+        hb::preempt();
         self.queue
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .pop_front()
+            .pop_back()
     }
 }
 
@@ -91,6 +108,19 @@ thread_local! {
         const { std::cell::RefCell::new(None) };
 }
 
+/// Worker threads run pending tasks inline while blocked in [`join`], so a
+/// deeply recursive workload can stack many task frames on one worker; give
+/// workers more headroom than the platform default.
+const WORKER_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+fn spawn_worker(state: Arc<PoolState>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("crossmesh-pool-worker".into())
+        .stack_size(WORKER_STACK_BYTES)
+        .spawn(move || worker_loop(state))
+        .expect("spawn pool worker")
+}
+
 fn default_threads() -> usize {
     if let Ok(v) = std::env::var("CROSSMESH_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -111,8 +141,7 @@ fn global_state() -> Arc<PoolState> {
             // The caller participates, so spawn threads - 1 workers; the
             // global pool lives for the process, its workers are detached.
             for _ in 1..threads {
-                let s = state.clone();
-                std::thread::spawn(move || worker_loop(s));
+                spawn_worker(state.clone());
             }
             state
         })
@@ -136,6 +165,9 @@ struct Latch {
     pending: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// job→scope-exit edge ids of every job spawned while the hb seam was
+    /// engaged; the scope acquires them after the latch opens.
+    hb_joins: Mutex<Vec<u64>>,
 }
 
 impl Latch {
@@ -144,6 +176,7 @@ impl Latch {
             pending: Mutex::new(0),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            hb_joins: Mutex::new(Vec::new()),
         }
     }
 
@@ -185,7 +218,7 @@ fn help_until_done(state: &PoolState, latch: &Latch) {
         if latch.is_done() {
             return;
         }
-        if let Some(job) = state.try_pop() {
+        if let Some(job) = state.try_pop_newest() {
             job();
             continue;
         }
@@ -237,6 +270,22 @@ impl<'scope> Scope<'scope> {
             self.latch.decrement();
             return;
         }
+        // Fork edge: released here, acquired when the job starts on its
+        // worker; the join edge runs the other way (released at job end,
+        // acquired by the scope after the latch opens).
+        let hb_ids = if hb::engaged() {
+            let fork = hb::fresh_id();
+            let join = hb::fresh_id();
+            hb::release(fork);
+            self.latch
+                .hb_joins
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(join);
+            Some((fork, join))
+        } else {
+            None
+        };
         let latch = self.latch.clone();
         let scope_ptr = SendPtr(self as *const Scope<'scope> as *const ());
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -247,9 +296,15 @@ impl<'scope> Scope<'scope> {
             // SAFETY: `scope` waits for this job before the Scope value
             // (and everything 'scope borrows) can be dropped.
             let scope = unsafe { &*(raw as *const Scope<'scope>) };
+            if let Some((fork, _)) = hb_ids {
+                hb::acquire(fork);
+            }
             match catch_unwind(AssertUnwindSafe(|| f(scope))) {
                 Ok(()) => {}
                 Err(payload) => latch.record_panic(payload),
+            }
+            if let Some((_, join)) = hb_ids {
+                hb::release(join);
             }
             latch.decrement();
         });
@@ -280,6 +335,21 @@ where
     // Even if `f` panicked, spawned jobs still borrow the stack: drain
     // them before unwinding further.
     help_until_done(&state, &sc.latch);
+    // Join edges: every finished job released its id before decrementing
+    // the latch, so acquiring here orders all job effects before the
+    // scope's continuation.
+    if hb::engaged() {
+        let joins: Vec<u64> = sc
+            .latch
+            .hb_joins
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for join in joins {
+            hb::acquire(join);
+        }
+    }
     match result {
         Ok(r) => {
             sc.latch.resume_if_panicked();
@@ -355,12 +425,7 @@ impl ThreadPoolBuilder {
         };
         let state = Arc::new(PoolState::new(threads));
         // The installing caller participates, so spawn threads - 1 workers.
-        let workers = (1..threads)
-            .map(|_| {
-                let s = state.clone();
-                std::thread::spawn(move || worker_loop(s))
-            })
-            .collect();
+        let workers = (1..threads).map(|_| spawn_worker(state.clone())).collect();
         Ok(ThreadPool { state, workers })
     }
 }
@@ -566,6 +631,22 @@ mod tests {
         }
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn deep_recursive_joins_stay_within_stack() {
+        // ~20k tasks; helping must pop newest-first so nesting tracks the
+        // recursion depth (~20) rather than the task count, else this
+        // overflows the test thread's stack.
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| fib(20)), 6765);
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub use crossmesh_check as check;
 pub use crossmesh_collectives as collectives;
 pub use crossmesh_core as core;
 pub use crossmesh_faults as faults;
+pub use crossmesh_hb as hb;
 pub use crossmesh_mesh as mesh;
 pub use crossmesh_models as models;
 pub use crossmesh_moe as moe;
